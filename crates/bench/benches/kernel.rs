@@ -1,0 +1,52 @@
+//! Criterion bench: the streaming FFT kernel against the iterative
+//! reference, across sizes and radices.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use fft_kernel::{fft, Cplx, FftDirection, KernelConfig, Radix, StreamingFft};
+
+fn signal(n: usize) -> Vec<Cplx> {
+    (0..n)
+        .map(|i| Cplx::new((i % 17) as f64 * 0.1, (i % 5) as f64 * 0.2))
+        .collect()
+}
+
+fn bench_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for n in [256usize, 1024, 4096] {
+        let x = signal(n);
+        g.throughput(Throughput::Elements(n as u64));
+        g.bench_with_input(BenchmarkId::new("reference", n), &x, |b, x| {
+            b.iter(|| fft(x, FftDirection::Forward).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("streaming-r2", n), &x, |b, x| {
+            b.iter(|| {
+                let mut k = StreamingFft::new(KernelConfig {
+                    n,
+                    width: 8,
+                    radix: Radix::R2,
+                    direction: FftDirection::Forward,
+                })
+                .unwrap();
+                k.transform(x).unwrap()
+            })
+        });
+        if Radix::R4.supports(n) {
+            g.bench_with_input(BenchmarkId::new("streaming-r4", n), &x, |b, x| {
+                b.iter(|| {
+                    let mut k = StreamingFft::new(KernelConfig {
+                        n,
+                        width: 8,
+                        radix: Radix::R4,
+                        direction: FftDirection::Forward,
+                    })
+                    .unwrap();
+                    k.transform(x).unwrap()
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernel);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion bench: raw simulator performance of the 3D memory model
+//! under the access patterns the application generates. This measures
+//! the *simulator* (host ops/sec), complementing the table binaries that
+//! report *simulated* bandwidth.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use mem3d::{AccessTrace, AddressMapKind, Geometry, MemorySystem, TimingParams};
+
+fn bench_patterns(c: &mut Criterion) {
+    let mut g = c.benchmark_group("memsim");
+    let geom = Geometry::default();
+    let timing = TimingParams::default();
+    let count = 8192usize;
+
+    for (name, trace, map) in [
+        (
+            "sequential",
+            AccessTrace::sequential_read(0, 64, count),
+            AddressMapKind::VaultInterleaved,
+        ),
+        (
+            "strided-8k",
+            AccessTrace::strided_read(0, 8, 8192, count),
+            AddressMapKind::Chunked,
+        ),
+        (
+            "row-burst",
+            AccessTrace::strided_read(0, 8192, 8192, count),
+            AddressMapKind::VaultInterleaved,
+        ),
+    ] {
+        g.throughput(Throughput::Elements(trace.len() as u64));
+        g.bench_with_input(BenchmarkId::new("replay", name), &trace, |b, t| {
+            b.iter(|| {
+                let mut mem = MemorySystem::new(geom, timing);
+                t.replay(&mut mem, map, None).unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_patterns);
+criterion_main!(benches);

@@ -1,0 +1,61 @@
+//! **Ablation A** — layout sweep: column-phase bandwidth of every layout
+//! family (row-major baseline, column-major, Akin et al. tiling, and the
+//! block DDL across all feasible heights).
+//!
+//! Shows *why* the paper's layout wins: tiling amortizes some
+//! activations, but only DRAM-row-sized blocks with vault rotation reach
+//! the device's parallelism.
+
+use bench::{gbps, pct, Table};
+use layout::{
+    col_phase_trace, BlockDynamic, ColMajor, LayoutParams, MatrixLayout, RowMajor, Tiled,
+};
+use mem3d::{Direction, Geometry, MemorySystem, TimingParams};
+
+fn measure(
+    layout: &dyn MatrixLayout,
+    group: usize,
+    geom: Geometry,
+    timing: TimingParams,
+) -> (f64, u64) {
+    let mut mem = MemorySystem::new(geom, timing);
+    let trace = col_phase_trace(layout, Direction::Read, group);
+    let stats = trace
+        .replay(&mut mem, layout.map_kind(), None)
+        .expect("replay");
+    (stats.bandwidth_gbps(), stats.stats.activations)
+}
+
+fn main() {
+    let geom = Geometry::default();
+    let timing = TimingParams::default();
+    let n = 1024;
+    let params = LayoutParams::for_device(n, &geom, &timing);
+    let peak = geom.vaults as f64 * timing.vault_peak_gbps();
+
+    let mut table = Table::new(&["layout", "col GB/s", "utilization", "activations"]);
+    let rm = RowMajor::new(&params);
+    let (bw, acts) = measure(&rm, 1, geom, timing);
+    table.row(&[&"row-major (baseline)", &gbps(bw), &pct(bw / peak), &acts]);
+
+    let rmi = RowMajor::interleaved(&params);
+    let (bw, acts) = measure(&rmi, 1, geom, timing);
+    table.row(&[&"row-major interleaved", &gbps(bw), &pct(bw / peak), &acts]);
+
+    let cm = ColMajor::new(&params);
+    let (bw, acts) = measure(&cm, 1, geom, timing);
+    table.row(&[&"col-major", &gbps(bw), &pct(bw / peak), &acts]);
+
+    let tiled = Tiled::row_buffer_sized(&params).expect("tiled layout");
+    let (bw, acts) = measure(&tiled, 1, geom, timing);
+    table.row(&[&"tiled (Akin et al.)", &gbps(bw), &pct(bw / peak), &acts]);
+
+    for h in params.valid_block_heights() {
+        let ddl = BlockDynamic::with_height(&params, h).expect("feasible height");
+        let (bw, acts) = measure(&ddl, ddl.w, geom, timing);
+        let label = format!("block-ddl h={h:4} w={:4}", ddl.w);
+        table.row(&[&label, &gbps(bw), &pct(bw / peak), &acts]);
+    }
+    println!("Ablation A: column-phase bandwidth by layout (N = {n}, open loop)");
+    println!("{}", table.render());
+}

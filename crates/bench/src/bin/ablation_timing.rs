@@ -1,0 +1,55 @@
+//! **Ablation B** — timing sensitivity: how the baseline/optimized gap
+//! scales with the row-activation penalty `t_diff_row / t_in_row`.
+//!
+//! The paper's whole premise is that 3D memory *fails to deliver* its
+//! bandwidth when layouts force activations; this sweep quantifies that
+//! premise across memory generations (cheap SRAM-like rows to punishing
+//! DRAM rows).
+
+use bench::{gbps, Table};
+use fft2d::{improvement, Architecture, System, SystemConfig};
+use mem3d::{Picos, TimingParams};
+
+fn main() {
+    let n = 1024;
+    let mut table = Table::new(&[
+        "t_diff_row (ns)",
+        "ratio",
+        "baseline GB/s",
+        "optimized GB/s",
+        "improvement",
+    ]);
+    for t_diff_ns in [2u64, 5, 10, 20, 40, 80, 160] {
+        let timing = TimingParams {
+            t_diff_row: Picos::from_ns(t_diff_ns),
+            t_diff_bank: Picos::from_ns_f64((t_diff_ns as f64 / 4.0).max(1.0)),
+            t_in_vault: Picos::from_ns_f64((t_diff_ns as f64 / 8.0).max(0.8)),
+            ..TimingParams::default()
+        };
+        let sys = System::new(SystemConfig {
+            timing,
+            ..SystemConfig::default()
+        });
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline");
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized");
+        table.row(&[
+            &t_diff_ns,
+            &format!(
+                "{:.0}",
+                timing.t_diff_row.as_ps() as f64 / timing.t_in_row.as_ps() as f64
+            ),
+            &gbps(b.throughput_gbps),
+            &gbps(o.throughput_gbps),
+            &format!(
+                "{:.1}%",
+                improvement(b.throughput_gbps, o.throughput_gbps) * 100.0
+            ),
+        ]);
+    }
+    println!("Ablation B: column-phase sensitivity to row-activation cost (N = {n})");
+    println!("{}", table.render());
+}

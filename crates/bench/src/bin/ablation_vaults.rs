@@ -1,0 +1,50 @@
+//! **Ablation C** — vault scaling: how much of the optimized
+//! architecture's win comes from the third dimension's parallelism.
+//!
+//! Sweeps the vault count at constant total capacity; the block DDL's
+//! bandwidth scales with vaults until the FPGA kernel becomes the
+//! bottleneck, while the baseline is indifferent (it serializes on one
+//! bank regardless).
+
+use bench::{gbps, pct, Table};
+use fft2d::{Architecture, System, SystemConfig};
+use mem3d::Geometry;
+
+fn main() {
+    let n = 1024;
+    let mut table = Table::new(&[
+        "vaults",
+        "peak GB/s",
+        "baseline GB/s",
+        "optimized GB/s",
+        "opt utilization",
+    ]);
+    for vaults in [1usize, 2, 4, 8, 16, 32] {
+        let geometry = Geometry {
+            vaults,
+            // Hold total banks/capacity constant-ish by widening layers.
+            banks_per_layer: (128 / (vaults * 4)).max(1),
+            ..Geometry::default()
+        };
+        let sys = System::new(SystemConfig {
+            geometry,
+            ..SystemConfig::default()
+        });
+        let peak = geometry.vaults as f64 * sys.config().timing.vault_peak_gbps();
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline");
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized");
+        table.row(&[
+            &vaults,
+            &gbps(peak),
+            &gbps(b.throughput_gbps),
+            &gbps(o.throughput_gbps),
+            &pct(o.utilization()),
+        ]);
+    }
+    println!("Ablation C: vault-count scaling (N = {n}, kernel ceiling 32 GB/s)");
+    println!("{}", table.render());
+}

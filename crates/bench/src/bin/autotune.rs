@@ -1,0 +1,47 @@
+//! **Design-space exploration** — the paper's future-work "design
+//! framework … which enables automatic data layout optimizations".
+//!
+//! Sweeps kernel lane counts and dynamic-layout block heights for one
+//! problem size, simulates each candidate, and prints the
+//! throughput-vs-resources Pareto front on the target device.
+
+use bench::{gbps, Table};
+use fft2d::{pareto_front, System};
+
+fn main() {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let sys = System::default();
+    let points = sys.explore(n, &[2, 4, 8, 16, 32]).expect("exploration");
+    println!(
+        "explored {} design points for N = {n} on a Virtex-7 690T",
+        points.len()
+    );
+
+    let front = pareto_front(&points);
+    let mut table = Table::new(&[
+        "lanes",
+        "block h",
+        "throughput (GB/s)",
+        "clock MHz",
+        "LUT",
+        "DSP",
+        "BRAM",
+    ]);
+    for p in &front {
+        table.row(&[
+            &p.lanes,
+            &p.h,
+            &gbps(p.throughput_gbps),
+            &format!("{:.0}", p.clock_mhz),
+            &p.resources.luts,
+            &p.resources.dsp48,
+            &p.resources.bram36,
+        ]);
+    }
+    println!();
+    println!("throughput vs DSP Pareto front:");
+    println!("{}", table.render());
+}

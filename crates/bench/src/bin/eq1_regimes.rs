@@ -1,0 +1,51 @@
+//! Regenerates the **Eq. (1)** design-space study: the closed-form
+//! optimal block height across its three regimes, validated against the
+//! simulator-driven exhaustive search.
+
+use bench::{gbps, Table};
+use layout::{optimal_h, regime, search_optimal_h, LayoutParams};
+use mem3d::{Geometry, MemorySystem, TimingParams};
+
+fn main() {
+    // A reduced stack keeps the exhaustive search fast while exposing
+    // all three regimes of m = N against s·b.
+    let geom = Geometry {
+        vaults: 8,
+        layers: 2,
+        banks_per_layer: 4,
+        rows_per_bank: 8192,
+        row_bytes: 2048,
+    };
+    let timing = TimingParams::default();
+    let mem = MemorySystem::new(geom, timing);
+    let mut table = Table::new(&[
+        "N",
+        "regime",
+        "Eq.(1) h",
+        "search-best h",
+        "Eq.(1) GB/s",
+        "best GB/s",
+        "ratio",
+    ]);
+    for n in [16usize, 64, 256, 1024, 4096] {
+        let p = LayoutParams::for_device(n, &geom, &timing);
+        let h = optimal_h(&p);
+        let results = search_optimal_h(&p, &mem).expect("search");
+        let best = &results[0];
+        let closed = results
+            .iter()
+            .find(|m| m.h == h)
+            .expect("closed-form h is feasible");
+        table.row(&[
+            &n,
+            &format!("{:?}", regime(&p)),
+            &h,
+            &best.h,
+            &gbps(closed.col_bandwidth_gbps),
+            &gbps(best.col_bandwidth_gbps),
+            &format!("{:.2}", closed.col_bandwidth_gbps / best.col_bandwidth_gbps),
+        ]);
+    }
+    println!("Eq. (1) closed form vs exhaustive search (reduced 8-vault stack)");
+    println!("{}", table.render());
+}

@@ -1,0 +1,48 @@
+//! Regenerates the **Fig. 2 / Section 4.1** kernel component study:
+//! per-size resource inventory of the streaming 1D FFT kernel (radix
+//! blocks, DPP buffers, TFC ROMs) and its FPGA cost.
+
+use bench::{Table, PAPER_SIZES};
+use fft2d::ProcessorModel;
+use fpga_model::resources::devices::VIRTEX7_690T;
+use layout::LayoutParams;
+use mem3d::{Geometry, TimingParams};
+
+fn main() {
+    let geom = Geometry::default();
+    let timing = TimingParams::default();
+    let mut table = Table::new(&[
+        "N",
+        "stages",
+        "radix blocks",
+        "cplx adders",
+        "cplx mults",
+        "ROM KiB",
+        "buffer KiB",
+        "LUT",
+        "DSP",
+        "BRAM",
+        "clock MHz",
+    ]);
+    for &n in &PAPER_SIZES {
+        let params = LayoutParams::for_device(n, &geom, &timing);
+        let m = ProcessorModel::new(&params, 8, 64, &VIRTEX7_690T).expect("processor");
+        let k = m.kernel_resources();
+        let f = m.fpga();
+        table.row(&[
+            &n,
+            &k.stages,
+            &k.radix_blocks,
+            &k.complex_adders,
+            &k.complex_multipliers,
+            &(k.rom_bytes / 1024),
+            &(k.buffer_words * 8 / 1024),
+            &f.resources.luts,
+            &f.resources.dsp48,
+            &f.resources.bram36,
+            &format!("{:.0}", f.clock_mhz),
+        ]);
+    }
+    println!("Kernel component inventory (8 lanes, Virtex-7 690T)");
+    println!("{}", table.render());
+}

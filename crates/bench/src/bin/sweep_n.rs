@@ -1,0 +1,37 @@
+//! **Figure-style sweep**: throughput of all three architectures across
+//! problem sizes (the series behind Tables 1 and 2, extended beyond the
+//! paper's three points).
+
+use bench::{gbps, pct, Table};
+use fft2d::{improvement, Architecture, System};
+
+fn main() {
+    let sys = System::default();
+    let mut col = Table::new(&[
+        "N",
+        "baseline GB/s",
+        "tiled GB/s",
+        "optimized GB/s",
+        "opt util",
+        "improvement",
+    ]);
+    for n in [128usize, 256, 512, 1024, 2048, 4096] {
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline");
+        let t = sys.column_phase(Architecture::Tiled, n).expect("tiled");
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized");
+        col.row(&[
+            &n,
+            &gbps(b.throughput_gbps),
+            &gbps(t.throughput_gbps),
+            &gbps(o.throughput_gbps),
+            &pct(o.utilization()),
+            &pct(improvement(b.throughput_gbps, o.throughput_gbps)),
+        ]);
+    }
+    println!("Column-wise FFT throughput vs problem size (all architectures)");
+    println!("{}", col.render());
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table 1**: throughput and peak-bandwidth utilization of
+//! the column-wise FFT phase, baseline vs optimized, for N ∈
+//! {512, 1024, 2048}.
+//!
+//! Paper reference values — baseline: 6.4 / 3.2 / 3.2 Gb/s at 1.0 / 0.5 /
+//! 0.5 % utilization; optimized: 32 / 25.6 / 23.04 GB/s at 40 / 32 /
+//! 28.8 %.
+
+use bench::{gbps, pct, Table, PAPER_SIZES};
+use fft2d::{Architecture, System};
+
+fn main() {
+    let sys = System::default();
+    let mut table = Table::new(&[
+        "N",
+        "arch",
+        "throughput (GB/s)",
+        "utilization",
+        "activations",
+        "block h",
+        "paper GB/s",
+        "paper util",
+    ]);
+    let paper: [(f64, f64, f64, f64); 3] = [
+        (0.8, 0.01, 32.0, 0.40),
+        (0.4, 0.005, 25.6, 0.32),
+        (0.4, 0.005, 23.04, 0.288),
+    ];
+    for (i, &n) in PAPER_SIZES.iter().enumerate() {
+        let (pb, pbu, po, pou) = paper[i];
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline column phase");
+        table.row(&[
+            &n,
+            &"baseline",
+            &gbps(b.throughput_gbps),
+            &pct(b.utilization()),
+            &b.activations,
+            &b.block_h,
+            &gbps(pb),
+            &pct(pbu),
+        ]);
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized column phase");
+        table.row(&[
+            &n,
+            &"optimized",
+            &gbps(o.throughput_gbps),
+            &pct(o.utilization()),
+            &o.activations,
+            &o.block_h,
+            &gbps(po),
+            &pct(pou),
+        ]);
+    }
+    println!("Table 1: column-wise FFT throughput ({} GB/s peak)", 80);
+    println!("{}", table.render());
+    println!("Utilization gain (baseline -> optimized) per size: the paper reports up to 40x.");
+}

@@ -1,0 +1,61 @@
+//! Regenerates **Table 2**: throughput, latency and data parallelism of
+//! the entire 2D FFT application, baseline vs optimized.
+//!
+//! Paper reference values — optimized throughput 32.0 / 25.6 / 23.0 GB/s
+//! with improvements of 95.1 / 97.0 / 96.6 % (paper convention
+//! `(opt − base)/opt`), and latency reduced by up to 3×.
+
+use bench::{gbps, pct, Table, PAPER_SIZES};
+use fft2d::{improvement, Architecture, System};
+
+fn main() {
+    let sys = System::default();
+    let mut table = Table::new(&[
+        "N",
+        "arch",
+        "throughput (GB/s)",
+        "latency",
+        "parallelism (elem/cyc)",
+        "phase1",
+        "phase2",
+        "improvement",
+        "paper impr",
+    ]);
+    let paper_impr = [0.951, 0.970, 0.966];
+    for (i, &n) in PAPER_SIZES.iter().enumerate() {
+        let base = sys
+            .run_app(Architecture::Baseline, n)
+            .expect("baseline app");
+        let opt = sys
+            .run_app(Architecture::Optimized, n)
+            .expect("optimized app");
+        let imp = improvement(base.throughput_gbps, opt.throughput_gbps);
+        table.row(&[
+            &n,
+            &"baseline",
+            &gbps(base.throughput_gbps),
+            &base.latency,
+            &format!("{:.2}", base.data_parallelism),
+            &base.phase1.duration(),
+            &base.phase2.duration(),
+            &"-",
+            &"-",
+        ]);
+        table.row(&[
+            &n,
+            &"optimized",
+            &gbps(opt.throughput_gbps),
+            &opt.latency,
+            &format!("{:.2}", opt.data_parallelism),
+            &opt.phase1.duration(),
+            &opt.phase2.duration(),
+            &pct(imp),
+            &pct(paper_impr[i]),
+        ]);
+        let lat_ratio = base.latency.as_ps() as f64 / opt.latency.as_ps().max(1) as f64;
+        println!("N = {n}: latency reduced {lat_ratio:.2}x (paper: up to 3x)");
+    }
+    println!();
+    println!("Table 2: entire 2D FFT application");
+    println!("{}", table.render());
+}

@@ -1,0 +1,135 @@
+//! Shared infrastructure for the benchmark harness: plain-text table
+//! rendering and the standard experiment configurations.
+//!
+//! Every table and figure of the paper's evaluation has a binary in
+//! `src/bin/` that regenerates it (see DESIGN.md for the index); the
+//! Criterion benches in `benches/` measure the simulator itself.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+
+/// The problem sizes the paper evaluates.
+pub const PAPER_SIZES: [usize; 3] = [512, 1024, 2048];
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use bench::Table;
+///
+/// let mut t = Table::new(&["n", "GB/s"]);
+/// t.row(&[&512, &32.0]);
+/// let s = t.render();
+/// assert!(s.contains("512"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// A table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the header count).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count differs from the header count.
+    pub fn row(&mut self, cells: &[&dyn Display]) {
+        assert_eq!(cells.len(), self.headers.len(), "cell count mismatch");
+        self.rows
+            .push(cells.iter().map(|c| c.to_string()).collect());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with aligned columns.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:>width$}", cell, width = widths[i]));
+            }
+            line.push('\n');
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        let total: usize = widths.iter().sum::<usize>() + 2 * (widths.len() - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+/// Formats a GB/s figure with two decimals.
+pub fn gbps(v: f64) -> String {
+    format!("{v:.2}")
+}
+
+/// Formats a fraction as a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{:.1}%", v * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(&["a", "bbbb"]);
+        t.row(&[&1, &"x"]);
+        t.row(&[&1000, &"yy"]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains('a'));
+        assert!(lines[2].ends_with("x"));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(gbps(31.2345), "31.23");
+        assert_eq!(pct(0.4), "40.0%");
+    }
+
+    #[test]
+    #[should_panic(expected = "cell count mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&[&1]);
+    }
+}

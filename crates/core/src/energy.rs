@@ -1,0 +1,178 @@
+//! Whole-application energy accounting.
+//!
+//! Combines the 3D memory's energy bill (activations, array accesses,
+//! TSV traffic, background power — see [`mem3d::EnergyReport`]) with the
+//! FPGA datapath's dynamic arithmetic energy and static power. The
+//! layout's effect is concentrated in the activation term: the baseline
+//! activates a DRAM row per *element* in the column phase, the dynamic
+//! data layout once per *row buffer* — the energy claim of the authors'
+//! companion ARC 2015 paper.
+
+use fpga_model::{kernel_transform_pj, static_power_mw, OpEnergies};
+use mem3d::{EnergyParams, EnergyReport, Picos, Stats};
+
+use crate::{AppResult, Architecture, Fft2dError, PhaseReport, System};
+
+/// Energy coefficients for the whole platform.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PlatformEnergy {
+    /// Memory-side coefficients.
+    pub memory: EnergyParams,
+    /// FPGA-side coefficients.
+    pub fpga: OpEnergies,
+}
+
+/// The itemized energy bill of one 2D FFT execution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AppEnergyReport {
+    /// Architecture measured.
+    pub arch: Architecture,
+    /// Problem size.
+    pub n: usize,
+    /// Memory-side energy (both phases merged).
+    pub memory: EnergyReport,
+    /// FPGA dynamic energy (butterflies, twiddle multiplies, buffers), pJ.
+    pub fpga_dynamic_pj: f64,
+    /// FPGA static energy over the execution, pJ.
+    pub fpga_static_pj: f64,
+    /// End-to-end execution time the bill covers.
+    pub duration: Picos,
+}
+
+impl AppEnergyReport {
+    /// Total platform energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        (self.memory.total_pj() + self.fpga_dynamic_pj + self.fpga_static_pj) / 1e6
+    }
+
+    /// Energy per complex element processed (2·n² kernel elements), in pJ.
+    pub fn pj_per_element(&self) -> f64 {
+        self.total_uj() * 1e6 / (2.0 * (self.n * self.n) as f64)
+    }
+
+    /// Fraction of the total spent on DRAM row activations.
+    pub fn activation_share(&self) -> f64 {
+        self.memory.activation_pj / (self.total_uj() * 1e6).max(f64::MIN_POSITIVE)
+    }
+}
+
+fn phase_stats(p: &PhaseReport) -> Stats {
+    Stats {
+        activations: p.activations,
+        bytes_read: p.read_bytes,
+        bytes_written: p.write_bytes,
+        ..Stats::default()
+    }
+}
+
+impl System {
+    /// Runs the application and prices it with `coeffs`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`Fft2dError`] from [`System::run_app`].
+    pub fn energy_report(
+        &self,
+        arch: Architecture,
+        n: usize,
+        coeffs: &PlatformEnergy,
+    ) -> Result<AppEnergyReport, Fft2dError> {
+        let app = self.run_app(arch, n)?;
+        Ok(self.price_app(&app, coeffs))
+    }
+
+    /// Prices an already-run application result.
+    pub fn price_app(&self, app: &AppResult, coeffs: &PlatformEnergy) -> AppEnergyReport {
+        let vaults = self.config().geometry.vaults;
+        let mem1 = EnergyReport::from_stats(
+            &phase_stats(&app.phase1),
+            app.phase1.duration(),
+            vaults,
+            &coeffs.memory,
+        );
+        let mem2 = EnergyReport::from_stats(
+            &phase_stats(&app.phase2),
+            app.phase2.duration(),
+            vaults,
+            &coeffs.memory,
+        );
+        let memory = mem1.merged(&mem2);
+
+        // 2·n transforms of size n; each transform also moves every
+        // element through one frame buffer per stage (write + read).
+        let params =
+            layout::LayoutParams::for_device(app.n, &self.config().geometry, &self.config().timing);
+        let proc =
+            crate::ProcessorModel::new(&params, self.config().lanes, 0, &self.config().budget)
+                .expect("configuration already validated by run_app");
+        let radix = proc.kernel_config().radix.arity();
+        let stages = proc.kernel_resources().stages as u64;
+        let buffered = stages * 2 * (app.n as u64) * 8;
+        let per_transform = kernel_transform_pj(app.n, radix, buffered, &coeffs.fpga);
+        let fpga_dynamic_pj = per_transform * 2.0 * app.n as f64;
+        let static_mw = static_power_mw(&proc.fpga().resources, &coeffs.fpga);
+        let fpga_static_pj = static_mw * app.total.as_ps() as f64 * 1e-3;
+
+        AppEnergyReport {
+            arch: app.arch,
+            n: app.n,
+            memory,
+            fpga_dynamic_pj,
+            fpga_static_pj,
+            duration: app.total,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn optimized_spends_far_less_on_activations() {
+        let sys = System::default();
+        let coeffs = PlatformEnergy::default();
+        let base = sys
+            .energy_report(Architecture::Baseline, 512, &coeffs)
+            .unwrap();
+        let opt = sys
+            .energy_report(Architecture::Optimized, 512, &coeffs)
+            .unwrap();
+        assert!(
+            base.memory.activation_pj > 50.0 * opt.memory.activation_pj,
+            "baseline {} pJ vs optimized {} pJ",
+            base.memory.activation_pj,
+            opt.memory.activation_pj
+        );
+        // And less in total: the baseline also burns background/static
+        // power over a 20x longer execution.
+        assert!(base.total_uj() > opt.total_uj());
+    }
+
+    #[test]
+    fn arithmetic_energy_is_architecture_independent() {
+        let sys = System::default();
+        let coeffs = PlatformEnergy::default();
+        let base = sys
+            .energy_report(Architecture::Baseline, 256, &coeffs)
+            .unwrap();
+        let opt = sys
+            .energy_report(Architecture::Optimized, 256, &coeffs)
+            .unwrap();
+        // Same FFT math either way.
+        assert!((base.fpga_dynamic_pj - opt.fpga_dynamic_pj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn per_element_energy_is_positive_and_sane() {
+        let sys = System::default();
+        let coeffs = PlatformEnergy::default();
+        let r = sys
+            .energy_report(Architecture::Optimized, 256, &coeffs)
+            .unwrap();
+        let pj = r.pj_per_element();
+        assert!(pj > 10.0 && pj < 100_000.0, "got {pj} pJ/element");
+        assert!(r.activation_share() < 0.2);
+        assert!(r.total_uj() > 0.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! The application-level error type.
+
+use std::fmt;
+
+/// Errors reported by the 2D FFT system simulation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Fft2dError {
+    /// The memory simulator rejected a configuration or request.
+    Mem(mem3d::Error),
+    /// The FFT kernel rejected a configuration or stream.
+    Kernel(fft_kernel::KernelError),
+    /// A layout could not be constructed.
+    Layout(String),
+    /// A buffer had the wrong number of elements.
+    Shape {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        got: usize,
+    },
+}
+
+impl fmt::Display for Fft2dError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Fft2dError::Mem(e) => write!(f, "memory system: {e}"),
+            Fft2dError::Kernel(e) => write!(f, "fft kernel: {e}"),
+            Fft2dError::Layout(msg) => write!(f, "layout: {msg}"),
+            Fft2dError::Shape { expected, got } => {
+                write!(f, "expected {expected} elements, got {got}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for Fft2dError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Fft2dError::Mem(e) => Some(e),
+            Fft2dError::Kernel(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mem3d::Error> for Fft2dError {
+    fn from(e: mem3d::Error) -> Self {
+        Fft2dError::Mem(e)
+    }
+}
+
+impl From<fft_kernel::KernelError> for Fft2dError {
+    fn from(e: fft_kernel::KernelError) -> Self {
+        Fft2dError::Kernel(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::error::Error as _;
+
+    #[test]
+    fn conversions_and_sources() {
+        let m: Fft2dError = mem3d::Error::BadRequest("x".into()).into();
+        assert!(m.source().is_some());
+        assert!(m.to_string().contains("memory system"));
+        let k: Fft2dError = fft_kernel::KernelError::NotPowerOfTwo { n: 3 }.into();
+        assert!(k.source().is_some());
+        let l = Fft2dError::Layout("bad".into());
+        assert!(l.source().is_none());
+        assert!(l.to_string().contains("bad"));
+        let s = Fft2dError::Shape {
+            expected: 1,
+            got: 2,
+        };
+        assert!(s.to_string().contains("expected 1"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Fft2dError>();
+    }
+}

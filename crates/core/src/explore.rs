@@ -1,0 +1,156 @@
+//! Design-space exploration — the paper's stated future work: "a design
+//! framework targeted at throughput-oriented signal processing kernels,
+//! which enables automatic data layout optimizations".
+//!
+//! [`explore`] sweeps kernel lane counts and block heights for a problem
+//! size, simulates each candidate's column phase, costs it on the FPGA,
+//! and returns the candidates with their throughput/resource trade-off.
+//! [`pareto_front`] filters them to the throughput-vs-DSP Pareto set.
+
+use fpga_model::Resources;
+use layout::{BlockDynamic, LayoutParams, MatrixLayout};
+use mem3d::{Direction, MemorySystem, Picos};
+
+use crate::{run_phase, DriverConfig, Fft2dError, ProcessorModel, System};
+
+/// One evaluated design point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// Kernel lanes (elements per cycle).
+    pub lanes: usize,
+    /// Block height of the dynamic layout.
+    pub h: usize,
+    /// Column-phase throughput in GB/s (closed loop, kernel-coupled).
+    pub throughput_gbps: f64,
+    /// FPGA resources of the processor.
+    pub resources: Resources,
+    /// Achieved clock in MHz.
+    pub clock_mhz: f64,
+    /// Whether the design fits the device budget.
+    pub fits: bool,
+}
+
+impl System {
+    /// Sweeps `lanes × h` for size `n` and returns every evaluated
+    /// design point (unsorted).
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulation errors; infeasible layout/lane combinations
+    /// are skipped rather than reported.
+    pub fn explore(
+        &self,
+        n: usize,
+        lane_options: &[usize],
+    ) -> Result<Vec<DesignPoint>, Fft2dError> {
+        let params = self.layout_params_pub(n);
+        let mut out = Vec::new();
+        for &lanes in lane_options {
+            if lanes == 0 || !lanes.is_power_of_two() || lanes > n {
+                continue;
+            }
+            for h in params.valid_block_heights() {
+                let Ok(layout) = BlockDynamic::with_height(&params, h) else {
+                    continue;
+                };
+                let Ok(proc) = ProcessorModel::new(&params, lanes, h, &self.config().budget) else {
+                    continue;
+                };
+                let mut mem = MemorySystem::try_new(self.config().geometry, self.config().timing)?;
+                let reads = layout::col_phase_trace(&layout, Direction::Read, layout.w);
+                let cfg = DriverConfig {
+                    ps_per_byte: proc.ps_per_byte(),
+                    window_bytes: self.config().window_bytes,
+                    write_delay: Picos::ZERO,
+                    latency_probe_bytes: 0,
+                };
+                let rep = run_phase(&mut mem, &cfg, &reads, layout.map_kind(), None, Picos::ZERO)?;
+                out.push(DesignPoint {
+                    lanes,
+                    h,
+                    throughput_gbps: rep.read_bandwidth_gbps(),
+                    resources: proc.fpga().resources,
+                    clock_mhz: proc.fpga().clock_mhz,
+                    fits: proc.fpga().resources.fits(&self.config().budget),
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Internal accessor used by the explorer (kept private elsewhere).
+    fn layout_params_pub(&self, n: usize) -> LayoutParams {
+        LayoutParams::for_device(n, &self.config().geometry, &self.config().timing)
+    }
+}
+
+/// Filters design points to the throughput-vs-DSP Pareto front among
+/// those that fit the device, sorted by ascending DSP count.
+pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let mut fitting: Vec<DesignPoint> = points.iter().copied().filter(|p| p.fits).collect();
+    fitting.sort_by(|a, b| {
+        a.resources
+            .dsp48
+            .cmp(&b.resources.dsp48)
+            .then(
+                b.throughput_gbps
+                    .partial_cmp(&a.throughput_gbps)
+                    .expect("finite"),
+            )
+            .then(a.resources.bram36.cmp(&b.resources.bram36))
+    });
+    let mut front = Vec::new();
+    let mut best = f64::NEG_INFINITY;
+    for p in fitting {
+        if p.throughput_gbps > best {
+            best = p.throughput_gbps;
+            front.push(p);
+        }
+    }
+    front
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn explore_finds_the_paper_configuration() {
+        let sys = System::default();
+        let points = sys.explore(512, &[4, 8]).unwrap();
+        assert!(!points.is_empty());
+        // The 8-lane points must include one near the 32 GB/s ceiling.
+        let best8 = points
+            .iter()
+            .filter(|p| p.lanes == 8)
+            .map(|p| p.throughput_gbps)
+            .fold(0.0, f64::max);
+        assert!(best8 > 28.0, "got {best8}");
+        // 4-lane designs cap at ~16 GB/s.
+        let best4 = points
+            .iter()
+            .filter(|p| p.lanes == 4)
+            .map(|p| p.throughput_gbps)
+            .fold(0.0, f64::max);
+        assert!(best4 < 17.0, "got {best4}");
+    }
+
+    #[test]
+    fn pareto_front_is_monotone() {
+        let sys = System::default();
+        let points = sys.explore(512, &[2, 4, 8]).unwrap();
+        let front = pareto_front(&points);
+        assert!(!front.is_empty());
+        for w in front.windows(2) {
+            assert!(w[0].resources.dsp48 <= w[1].resources.dsp48);
+            assert!(w[0].throughput_gbps < w[1].throughput_gbps);
+        }
+    }
+
+    #[test]
+    fn explore_skips_nonsense_lanes() {
+        let sys = System::default();
+        let points = sys.explore(512, &[0, 3, 1024]).unwrap();
+        assert!(points.is_empty());
+    }
+}

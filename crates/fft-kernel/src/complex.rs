@@ -1,0 +1,286 @@
+//! A minimal complex-number type.
+//!
+//! The datapath works on 64-bit complex words (the paper: "each data
+//! element is a complex number including both its real part and imaginary
+//! part, hence the data width is 64 bit" — 2 × 32-bit floats in hardware).
+//! The simulator computes in `f64` for accuracy; the *storage* width used
+//! for bandwidth accounting is [`Cplx::STORAGE_BYTES`].
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A complex number with `f64` components.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Cplx {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Cplx {
+    /// Additive identity.
+    pub const ZERO: Cplx = Cplx { re: 0.0, im: 0.0 };
+    /// Multiplicative identity.
+    pub const ONE: Cplx = Cplx { re: 1.0, im: 0.0 };
+    /// The imaginary unit.
+    pub const I: Cplx = Cplx { re: 0.0, im: 1.0 };
+
+    /// Bytes one element occupies in memory and on the TSVs
+    /// (2 × 32-bit floats, as in the paper's FPGA datapath).
+    pub const STORAGE_BYTES: u32 = 8;
+
+    /// Creates `re + im·i`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Cplx { re, im }
+    }
+
+    /// `e^(i·theta)`.
+    pub fn expi(theta: f64) -> Self {
+        Cplx {
+            re: theta.cos(),
+            im: theta.sin(),
+        }
+    }
+
+    /// The twiddle factor `W_n^k = e^(−2πik/n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is zero.
+    pub fn twiddle(n: usize, k: usize) -> Self {
+        assert!(n > 0, "twiddle order must be non-zero");
+        Cplx::expi(-2.0 * std::f64::consts::PI * k as f64 / n as f64)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Cplx {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplies by a real scalar.
+    pub fn scale(self, s: f64) -> Self {
+        Cplx {
+            re: self.re * s,
+            im: self.im * s,
+        }
+    }
+
+    /// Squared magnitude.
+    pub fn norm_sqr(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        self.norm_sqr().sqrt()
+    }
+
+    /// Multiplication by `i` without a full complex multiply (the radix-4
+    /// block's "free" rotation).
+    pub fn mul_i(self) -> Self {
+        Cplx {
+            re: -self.im,
+            im: self.re,
+        }
+    }
+
+    /// Multiplication by `−i`.
+    pub fn mul_neg_i(self) -> Self {
+        Cplx {
+            re: self.im,
+            im: -self.re,
+        }
+    }
+}
+
+impl Add for Cplx {
+    type Output = Cplx;
+    fn add(self, rhs: Cplx) -> Cplx {
+        Cplx {
+            re: self.re + rhs.re,
+            im: self.im + rhs.im,
+        }
+    }
+}
+
+impl AddAssign for Cplx {
+    fn add_assign(&mut self, rhs: Cplx) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Cplx {
+    type Output = Cplx;
+    fn sub(self, rhs: Cplx) -> Cplx {
+        Cplx {
+            re: self.re - rhs.re,
+            im: self.im - rhs.im,
+        }
+    }
+}
+
+impl SubAssign for Cplx {
+    fn sub_assign(&mut self, rhs: Cplx) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul for Cplx {
+    type Output = Cplx;
+    fn mul(self, rhs: Cplx) -> Cplx {
+        Cplx {
+            re: self.re * rhs.re - self.im * rhs.im,
+            im: self.re * rhs.im + self.im * rhs.re,
+        }
+    }
+}
+
+impl MulAssign for Cplx {
+    fn mul_assign(&mut self, rhs: Cplx) {
+        *self = *self * rhs;
+    }
+}
+
+impl Neg for Cplx {
+    type Output = Cplx;
+    fn neg(self) -> Cplx {
+        Cplx {
+            re: -self.re,
+            im: -self.im,
+        }
+    }
+}
+
+impl Sum for Cplx {
+    fn sum<I: Iterator<Item = Cplx>>(iter: I) -> Cplx {
+        iter.fold(Cplx::ZERO, Add::add)
+    }
+}
+
+impl From<f64> for Cplx {
+    fn from(re: f64) -> Self {
+        Cplx { re, im: 0.0 }
+    }
+}
+
+impl fmt::Display for Cplx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}i", self.re, self.im)
+        } else {
+            write!(f, "{}{}i", self.re, self.im)
+        }
+    }
+}
+
+/// Largest element-wise absolute difference between two complex slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn max_abs_diff(a: &[Cplx], b: &[Cplx]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (*x - *y).abs())
+        .fold(0.0, f64::max)
+}
+
+/// Root-mean-square error between two complex slices.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn rms_error(a: &[Cplx], b: &[Cplx]) -> f64 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    assert!(!a.is_empty(), "empty slices");
+    let sum: f64 = a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sqr()).sum();
+    (sum / a.len() as f64).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const EPS: f64 = 1e-12;
+
+    #[test]
+    fn field_axioms_spot_checks() {
+        let a = Cplx::new(1.0, 2.0);
+        let b = Cplx::new(-3.0, 0.5);
+        assert_eq!(a + b, Cplx::new(-2.0, 2.5));
+        assert_eq!(a - b, Cplx::new(4.0, 1.5));
+        assert_eq!(a * Cplx::ONE, a);
+        assert_eq!(a + Cplx::ZERO, a);
+        assert_eq!(-a, Cplx::new(-1.0, -2.0));
+        // (1+2i)(-3+0.5i) = -3 + 0.5i - 6i + i^2 = -4 - 5.5i
+        assert_eq!(a * b, Cplx::new(-4.0, -5.5));
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert_eq!(Cplx::I * Cplx::I, -Cplx::ONE);
+        let z = Cplx::new(3.0, -4.0);
+        assert_eq!(z.mul_i(), z * Cplx::I);
+        assert_eq!(z.mul_neg_i(), z * -Cplx::I);
+    }
+
+    #[test]
+    fn conj_and_norm() {
+        let z = Cplx::new(3.0, 4.0);
+        assert_eq!(z.conj(), Cplx::new(3.0, -4.0));
+        assert!((z.abs() - 5.0).abs() < EPS);
+        assert!((z.norm_sqr() - 25.0).abs() < EPS);
+        assert!(((z * z.conj()).re - 25.0).abs() < EPS);
+    }
+
+    #[test]
+    fn twiddle_roots_of_unity() {
+        let n = 8;
+        let w = Cplx::twiddle(n, 1);
+        let mut acc = Cplx::ONE;
+        for _ in 0..n {
+            acc *= w;
+        }
+        assert!((acc - Cplx::ONE).abs() < EPS, "W_8^8 = 1");
+        assert!((Cplx::twiddle(4, 1) - (-Cplx::I)).abs() < EPS, "W_4 = -i");
+    }
+
+    #[test]
+    fn assign_ops_and_sum() {
+        let mut z = Cplx::ONE;
+        z += Cplx::I;
+        z -= Cplx::ONE;
+        z *= Cplx::new(0.0, -1.0);
+        assert_eq!(z, Cplx::ONE);
+        let s: Cplx = [Cplx::ONE, Cplx::I, Cplx::new(1.0, 1.0)].into_iter().sum();
+        assert_eq!(s, Cplx::new(2.0, 2.0));
+        assert_eq!(Cplx::from(2.5), Cplx::new(2.5, 0.0));
+    }
+
+    #[test]
+    fn error_metrics() {
+        let a = [Cplx::ZERO, Cplx::ONE];
+        let b = [Cplx::ZERO, Cplx::new(1.0, 1.0)];
+        assert!((max_abs_diff(&a, &b) - 1.0).abs() < EPS);
+        assert!((rms_error(&a, &b) - (0.5f64).sqrt()).abs() < EPS);
+        assert_eq!(max_abs_diff(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn display_formats_sign() {
+        assert_eq!(Cplx::new(1.0, 2.0).to_string(), "1+2i");
+        assert_eq!(Cplx::new(1.0, -2.0).to_string(), "1-2i");
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn diff_checks_lengths() {
+        let _ = max_abs_diff(&[Cplx::ZERO], &[]);
+    }
+}

@@ -1,0 +1,164 @@
+//! Data-path permutation (DPP) units: Fig. 2(b).
+//!
+//! A DPP unit moves data between butterfly stages: front multiplexers
+//! steer incoming lanes into data buffers, each element waits a
+//! stage-dependent number of cycles, and back multiplexers steer buffer
+//! outputs onto the outgoing lanes. Functionally, one DPP realises a
+//! fixed stride permutation of the streaming frame.
+//!
+//! This implementation wraps a double-buffered [`StreamingPermuter`] for
+//! the data movement and reports both the buffering *it* uses and the
+//! optimal delay-buffer sizing a hand-built DPP would use, so the FPGA
+//! resource model can account for either design point.
+
+use permute::{Permutation, StreamError, StreamingPermuter};
+
+use crate::Cplx;
+
+/// A streaming data-path permutation unit.
+///
+/// # Example
+///
+/// ```
+/// use fft_kernel::{Cplx, DppUnit};
+/// use permute::Permutation;
+///
+/// let mut dpp = DppUnit::new(Permutation::stride(8, 4).unwrap(), 4).unwrap();
+/// let frame: Vec<Cplx> = (0..8).map(|i| Cplx::new(i as f64, 0.0)).collect();
+/// let mut out = Vec::new();
+/// for chunk in frame.chunks(4) {
+///     out.extend(dpp.push(chunk).unwrap());
+/// }
+/// out.extend(dpp.flush());
+/// assert_eq!(out.len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DppUnit {
+    perm: Permutation,
+    engine: StreamingPermuter<Cplx>,
+}
+
+impl DppUnit {
+    /// Creates a DPP realising `perm` on a `width`-lane datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::BadWidth`] unless `width` divides the frame
+    /// size.
+    pub fn new(perm: Permutation, width: usize) -> Result<Self, StreamError> {
+        let engine = StreamingPermuter::new(perm.clone(), width)?;
+        Ok(DppUnit { perm, engine })
+    }
+
+    /// The permutation this unit realises.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Pushes one cycle of `width` elements, returning the elements that
+    /// leave the unit this cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::ChunkWidth`] on a wrong-width chunk.
+    pub fn push(&mut self, chunk: &[Cplx]) -> Result<Vec<Cplx>, StreamError> {
+        self.engine.push(chunk)
+    }
+
+    /// Drains buffered output after the stream ends.
+    pub fn flush(&mut self) -> Vec<Cplx> {
+        self.engine.flush()
+    }
+
+    /// Lanes per cycle.
+    pub fn width(&self) -> usize {
+        self.engine.width()
+    }
+
+    /// Frame size in elements.
+    pub fn frame_len(&self) -> usize {
+        self.engine.frame_len()
+    }
+
+    /// Cycles from first input to first output.
+    pub fn latency_cycles(&self) -> u64 {
+        self.engine.latency_cycles()
+    }
+
+    /// Buffer words this double-buffered implementation uses
+    /// (two frames).
+    pub fn buffer_words(&self) -> usize {
+        self.engine.buffer_words()
+    }
+
+    /// Buffer words an optimally-sized delay-based DPP needs for the same
+    /// permutation: the largest displacement between an element's input
+    /// and output cycle, times the lane count — i.e. the in-flight window
+    /// that must be held on chip.
+    pub fn optimal_buffer_words(&self) -> usize {
+        let p = self.width();
+        let mut max_disp = 0usize;
+        for i in 0..self.perm.len() {
+            let in_cycle = i / p;
+            let out_cycle = self.perm.dest(i) / p;
+            // Elements that move to a later cycle must be buffered for
+            // the difference; earlier-cycle destinations force the whole
+            // window to shift, bounded by the same displacement.
+            max_disp = max_disp.max(out_cycle.abs_diff(in_cycle));
+        }
+        (max_disp + 1) * p
+    }
+
+    /// Multiplexers in the unit: one front and one back mux per lane
+    /// (Fig. 2b shows `2p` multiplexers for a `p`-lane DPP).
+    pub fn mux_count(&self) -> usize {
+        2 * self.width()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpp_permutes_frames() {
+        let perm = Permutation::stride(8, 2).unwrap();
+        let mut dpp = DppUnit::new(perm.clone(), 4).unwrap();
+        let frame: Vec<Cplx> = (0..8).map(|i| Cplx::new(i as f64, 0.0)).collect();
+        let mut out = Vec::new();
+        for chunk in frame.chunks(4) {
+            out.extend(dpp.push(chunk).unwrap());
+        }
+        out.extend(dpp.flush());
+        let expected = perm.apply(&frame);
+        assert_eq!(out.len(), expected.len());
+        for (a, b) in out.iter().zip(&expected) {
+            assert_eq!(a.re, b.re);
+        }
+    }
+
+    #[test]
+    fn resource_counters() {
+        let dpp = DppUnit::new(Permutation::stride(16, 4).unwrap(), 4).unwrap();
+        assert_eq!(dpp.width(), 4);
+        assert_eq!(dpp.frame_len(), 16);
+        assert_eq!(dpp.latency_cycles(), 4);
+        assert_eq!(dpp.buffer_words(), 32);
+        assert_eq!(dpp.mux_count(), 8);
+        assert_eq!(dpp.permutation(), &Permutation::stride(16, 4).unwrap());
+    }
+
+    #[test]
+    fn optimal_buffer_is_no_larger_than_double_buffer() {
+        for (n, s, p) in [(16, 4, 4), (64, 8, 8), (64, 2, 4), (8, 8, 2)] {
+            let dpp = DppUnit::new(Permutation::stride(n, s).unwrap(), p).unwrap();
+            assert!(
+                dpp.optimal_buffer_words() <= dpp.buffer_words(),
+                "optimal sizing must not exceed double buffering (n={n}, s={s}, p={p})"
+            );
+        }
+        // The identity permutation needs only the in-flight chunk.
+        let id = DppUnit::new(Permutation::identity(16), 4).unwrap();
+        assert_eq!(id.optimal_buffer_words(), 4);
+    }
+}

@@ -1,0 +1,104 @@
+//! Error type for kernel construction and streaming.
+
+use std::fmt;
+
+use crate::Radix;
+
+/// Errors reported by the FFT kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum KernelError {
+    /// The transform size must be a power of two (non-zero).
+    NotPowerOfTwo {
+        /// The offending size.
+        n: usize,
+    },
+    /// The size is incompatible with the chosen radix (e.g. 8 points
+    /// with radix-4).
+    UnsupportedSize {
+        /// The offending size.
+        n: usize,
+        /// The radix that cannot build it.
+        radix: Radix,
+    },
+    /// The stream width must be a non-zero power of two dividing `n`;
+    /// also returned when a pushed chunk has the wrong length.
+    BadWidth {
+        /// Transform size.
+        n: usize,
+        /// Offending width.
+        width: usize,
+    },
+    /// A buffer had the wrong number of elements.
+    ShapeMismatch {
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        got: usize,
+    },
+    /// `transform` was called on a kernel with frames still in flight.
+    NotIdle {
+        /// Elements unaccounted for.
+        in_flight: usize,
+    },
+}
+
+impl fmt::Display for KernelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KernelError::NotPowerOfTwo { n } => {
+                write!(f, "size {n} is not a non-zero power of two")
+            }
+            KernelError::UnsupportedSize { n, radix } => {
+                write!(f, "size {n} cannot be built from {radix:?} stages")
+            }
+            KernelError::BadWidth { n, width } => {
+                write!(f, "stream width {width} invalid for {n}-point kernel")
+            }
+            KernelError::ShapeMismatch { expected, got } => {
+                write!(f, "expected {expected} elements, got {got}")
+            }
+            KernelError::NotIdle { in_flight } => {
+                write!(f, "kernel not idle: {in_flight} elements in flight")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KernelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_specifics() {
+        assert!(KernelError::NotPowerOfTwo { n: 12 }
+            .to_string()
+            .contains("12"));
+        assert!(KernelError::UnsupportedSize {
+            n: 8,
+            radix: Radix::R4
+        }
+        .to_string()
+        .contains("R4"));
+        assert!(KernelError::BadWidth { n: 16, width: 3 }
+            .to_string()
+            .contains("3"));
+        assert!(KernelError::ShapeMismatch {
+            expected: 4,
+            got: 5
+        }
+        .to_string()
+        .contains("5"));
+        assert!(KernelError::NotIdle { in_flight: 2 }
+            .to_string()
+            .contains("2"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<KernelError>();
+    }
+}

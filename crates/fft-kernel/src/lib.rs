@@ -1,0 +1,52 @@
+//! Reference FFTs and a structural, cycle-driven streaming 1D FFT kernel.
+//!
+//! The paper's 1D FFT kernel (Section 4.1) concatenates three component
+//! types per butterfly stage, all modelled here:
+//!
+//! * **radix blocks** ([`Radix2Block`], [`Radix4Block`]) — complex
+//!   adder/subtractor butterflies (Fig. 2a);
+//! * **data-path permutation (DPP) units** ([`DppUnit`]) — multiplexers
+//!   plus data buffers shuffling elements between stages (Fig. 2b);
+//! * **twiddle-factor computation (TFC) units** ([`TfcUnit`]) — functional
+//!   ROMs feeding complex multipliers (Fig. 2c).
+//!
+//! [`StreamingFft`] assembles them into a kernel that consumes and
+//! produces `width` complex elements per cycle with a bounded fill
+//! latency, computing numerically-correct FFTs (validated against
+//! [`naive_dft`] and [`fft`]).
+//!
+//! # Example
+//!
+//! ```
+//! use fft_kernel::{fft, max_abs_diff, Cplx, FftDirection, KernelConfig, StreamingFft};
+//!
+//! let input: Vec<Cplx> = (0..64).map(|i| Cplx::new((i % 7) as f64, 0.0)).collect();
+//! let mut kernel = StreamingFft::new(KernelConfig::forward(64, 8))?;
+//! let streamed = kernel.transform(&input)?;
+//! let reference = fft(&input, FftDirection::Forward)?;
+//! assert!(max_abs_diff(&streamed, &reference) < 1e-9);
+//! # Ok::<(), fft_kernel::KernelError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod complex;
+mod dpp;
+mod error;
+mod kernel;
+mod radix;
+mod reference;
+mod tfc;
+mod twiddle;
+
+pub use complex::{max_abs_diff, rms_error, Cplx};
+pub use dpp::DppUnit;
+pub use error::KernelError;
+pub use kernel::{
+    digit_reversal, KernelConfig, KernelResources, StreamingFft, ARITH_PIPELINE_CYCLES,
+};
+pub use radix::{Radix, Radix2Block, Radix4Block};
+pub use reference::{fft, fft_2d, fft_in_place, naive_dft, FftDirection};
+pub use tfc::TfcUnit;
+pub use twiddle::TwiddleRom;

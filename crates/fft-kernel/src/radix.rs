@@ -1,0 +1,151 @@
+//! Radix blocks: the butterfly units of Fig. 2(a).
+//!
+//! A radix block performs the twiddle-free part of a butterfly: sums and
+//! differences (radix-2), or sums/differences with the "free" `±i`
+//! rotations (radix-4). Twiddle multiplication is the TFC unit's job
+//! ([`crate::TfcUnit`]).
+
+use crate::Cplx;
+
+/// The butterfly radix of a kernel stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Radix {
+    /// 2-input butterflies; any power-of-two size.
+    R2,
+    /// 4-input butterflies (Fig. 2a); size must be a power of four.
+    R4,
+}
+
+impl Radix {
+    /// Inputs consumed per butterfly.
+    pub fn arity(self) -> usize {
+        match self {
+            Radix::R2 => 2,
+            Radix::R4 => 4,
+        }
+    }
+
+    /// Complex adder/subtractor count of one block of this radix.
+    ///
+    /// Radix-2: one adder + one subtractor. Radix-4: two 2-point levels
+    /// of four adders each (Fig. 2a's adder/subtractor tree).
+    pub fn complex_adders(self) -> usize {
+        match self {
+            Radix::R2 => 2,
+            Radix::R4 => 8,
+        }
+    }
+
+    /// `true` if an FFT of `n` points can be built purely from stages of
+    /// this radix.
+    pub fn supports(self, n: usize) -> bool {
+        if n < 2 || !n.is_power_of_two() {
+            return false;
+        }
+        match self {
+            Radix::R2 => true,
+            Radix::R4 => n.trailing_zeros().is_multiple_of(2),
+        }
+    }
+}
+
+/// The radix-2 butterfly: `(a, b) → (a + b, a − b)`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Radix2Block;
+
+impl Radix2Block {
+    /// Computes one butterfly.
+    pub fn butterfly(a: Cplx, b: Cplx) -> (Cplx, Cplx) {
+        (a + b, a - b)
+    }
+}
+
+/// The radix-4 butterfly of Fig. 2(a): a 4-point DFT using only adders,
+/// subtractors and `±i` rotations.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Radix4Block;
+
+impl Radix4Block {
+    /// Computes one decimation-in-frequency radix-4 butterfly
+    /// (a 4-point DFT of its inputs):
+    ///
+    /// ```text
+    /// z0 = a + b + c + d
+    /// z1 = (a − c) − i(b − d)
+    /// z2 = (a − b + c − d)
+    /// z3 = (a − c) + i(b − d)
+    /// ```
+    pub fn butterfly(a: Cplx, b: Cplx, c: Cplx, d: Cplx) -> [Cplx; 4] {
+        Self::butterfly_dir(a, b, c, d, crate::FftDirection::Forward)
+    }
+
+    /// Radix-4 butterfly with a selectable rotation direction: the
+    /// embedded `W_4` factor is `−i` forward and `+i` inverse.
+    pub fn butterfly_dir(
+        a: Cplx,
+        b: Cplx,
+        c: Cplx,
+        d: Cplx,
+        dir: crate::FftDirection,
+    ) -> [Cplx; 4] {
+        let t0 = a + c;
+        let t1 = a - c;
+        let t2 = b + d;
+        let t3 = match dir {
+            crate::FftDirection::Forward => (b - d).mul_neg_i(),
+            crate::FftDirection::Inverse => (b - d).mul_i(),
+        };
+        [t0 + t2, t1 + t3, t0 - t2, t1 - t3]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_abs_diff, naive_dft, FftDirection};
+    use proptest::prelude::*;
+
+    #[test]
+    fn radix_metadata() {
+        assert_eq!(Radix::R2.arity(), 2);
+        assert_eq!(Radix::R4.arity(), 4);
+        assert_eq!(Radix::R2.complex_adders(), 2);
+        assert_eq!(Radix::R4.complex_adders(), 8);
+    }
+
+    #[test]
+    fn radix_support_matrix() {
+        assert!(Radix::R2.supports(2));
+        assert!(Radix::R2.supports(1024));
+        assert!(!Radix::R2.supports(12));
+        assert!(!Radix::R2.supports(0));
+        assert!(Radix::R4.supports(4));
+        assert!(Radix::R4.supports(256));
+        assert!(!Radix::R4.supports(2));
+        assert!(!Radix::R4.supports(8));
+        assert!(!Radix::R4.supports(1));
+    }
+
+    #[test]
+    fn radix2_butterfly_is_a_2point_dft() {
+        let a = Cplx::new(1.0, 2.0);
+        let b = Cplx::new(-0.5, 3.0);
+        let (s, d) = Radix2Block::butterfly(a, b);
+        let dft = naive_dft(&[a, b], FftDirection::Forward);
+        assert!(max_abs_diff(&[s, d], &dft) < 1e-12);
+    }
+
+    proptest! {
+        #[test]
+        fn radix4_butterfly_is_a_4point_dft(
+            re in proptest::collection::vec(-10.0f64..10.0, 4),
+            im in proptest::collection::vec(-10.0f64..10.0, 4),
+        ) {
+            let x: Vec<Cplx> =
+                re.iter().zip(&im).map(|(&r, &i)| Cplx::new(r, i)).collect();
+            let out = Radix4Block::butterfly(x[0], x[1], x[2], x[3]);
+            let dft = naive_dft(&x, FftDirection::Forward);
+            prop_assert!(max_abs_diff(&out, &dft) < 1e-10);
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! Reference transforms used to validate the structural kernel.
+//!
+//! [`naive_dft`] is the O(n²) definition — slow but obviously correct.
+//! [`fft_in_place`] is a standard iterative radix-2 Cooley–Tukey FFT.
+//! [`fft_2d`] applies the row–column algorithm with a full transpose,
+//! the mathematical specification of what the simulated architecture
+//! must compute.
+
+use crate::{Cplx, KernelError};
+
+/// Transform direction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FftDirection {
+    /// `X[k] = Σ x[j]·e^(−2πijk/n)`.
+    Forward,
+    /// `x[j] = (1/n)·Σ X[k]·e^(+2πijk/n)`.
+    Inverse,
+}
+
+impl FftDirection {
+    /// Sign of the exponent: −1 forward, +1 inverse.
+    pub fn sign(self) -> f64 {
+        match self {
+            FftDirection::Forward => -1.0,
+            FftDirection::Inverse => 1.0,
+        }
+    }
+}
+
+/// The O(n²) discrete Fourier transform, straight from the definition.
+///
+/// The inverse direction includes the `1/n` normalization, so
+/// `naive_dft(naive_dft(x, Forward), Inverse) ≈ x`.
+pub fn naive_dft(x: &[Cplx], dir: FftDirection) -> Vec<Cplx> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let sign = dir.sign();
+    let mut out = Vec::with_capacity(n);
+    for k in 0..n {
+        let mut acc = Cplx::ZERO;
+        for (j, &v) in x.iter().enumerate() {
+            let theta = sign * 2.0 * std::f64::consts::PI * (j * k % n) as f64 / n as f64;
+            acc += v * Cplx::expi(theta);
+        }
+        if dir == FftDirection::Inverse {
+            acc = acc.scale(1.0 / n as f64);
+        }
+        out.push(acc);
+    }
+    out
+}
+
+/// Iterative radix-2 Cooley–Tukey FFT, in place, natural order in and out.
+///
+/// The inverse direction includes the `1/n` normalization.
+///
+/// # Errors
+///
+/// Returns [`KernelError::NotPowerOfTwo`] unless `x.len()` is a power of
+/// two (length 0 is rejected too).
+pub fn fft_in_place(x: &mut [Cplx], dir: FftDirection) -> Result<(), KernelError> {
+    let n = x.len();
+    if n == 0 || !n.is_power_of_two() {
+        return Err(KernelError::NotPowerOfTwo { n });
+    }
+    // Bit-reversal reorder (decimation in time). n = 1 has nothing to do.
+    let bits = n.trailing_zeros();
+    if bits > 0 {
+        for i in 0..n {
+            let j = (i.reverse_bits() >> (usize::BITS - bits)) & (n - 1);
+            if i < j {
+                x.swap(i, j);
+            }
+        }
+    }
+    let sign = dir.sign();
+    let mut len = 2;
+    while len <= n {
+        let theta = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let w_len = Cplx::expi(theta);
+        for block in x.chunks_mut(len) {
+            let mut w = Cplx::ONE;
+            let half = len / 2;
+            for j in 0..half {
+                let u = block[j];
+                let v = block[j + half] * w;
+                block[j] = u + v;
+                block[j + half] = u - v;
+                w *= w_len;
+            }
+        }
+        len *= 2;
+    }
+    if dir == FftDirection::Inverse {
+        let scale = 1.0 / n as f64;
+        for v in x.iter_mut() {
+            *v = v.scale(scale);
+        }
+    }
+    Ok(())
+}
+
+/// Convenience wrapper around [`fft_in_place`] returning a new vector.
+///
+/// # Errors
+///
+/// Same as [`fft_in_place`].
+pub fn fft(x: &[Cplx], dir: FftDirection) -> Result<Vec<Cplx>, KernelError> {
+    let mut out = x.to_vec();
+    fft_in_place(&mut out, dir)?;
+    Ok(out)
+}
+
+/// Row–column 2D FFT of an `n × n` row-major matrix: 1D FFTs over every
+/// row, transpose, 1D FFTs over every (former) column, transpose back.
+///
+/// This is the mathematical reference for the architecture simulated in
+/// the `fft2d` crate.
+///
+/// # Errors
+///
+/// Returns [`KernelError::NotPowerOfTwo`] if `n` is not a power of two,
+/// or [`KernelError::ShapeMismatch`] if `data.len() != n * n`.
+pub fn fft_2d(data: &[Cplx], n: usize, dir: FftDirection) -> Result<Vec<Cplx>, KernelError> {
+    if n == 0 || !n.is_power_of_two() {
+        return Err(KernelError::NotPowerOfTwo { n });
+    }
+    if data.len() != n * n {
+        return Err(KernelError::ShapeMismatch {
+            expected: n * n,
+            got: data.len(),
+        });
+    }
+    let mut work = data.to_vec();
+    // Phase 1: row-wise FFTs.
+    for row in work.chunks_mut(n) {
+        fft_in_place(row, dir)?;
+    }
+    // Transpose.
+    let mut t = vec![Cplx::ZERO; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            t[c * n + r] = work[r * n + c];
+        }
+    }
+    // Phase 2: column-wise FFTs (now rows of the transpose).
+    for row in t.chunks_mut(n) {
+        fft_in_place(row, dir)?;
+    }
+    // Transpose back to natural orientation.
+    for r in 0..n {
+        for c in 0..n {
+            work[c * n + r] = t[r * n + c];
+        }
+    }
+    Ok(work)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_abs_diff;
+    use proptest::prelude::*;
+    use rand::{rngs::StdRng, Rng, SeedableRng};
+
+    fn random_signal(n: usize, seed: u64) -> Vec<Cplx> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
+            .collect()
+    }
+
+    #[test]
+    fn dft_of_impulse_is_flat() {
+        let mut x = vec![Cplx::ZERO; 8];
+        x[0] = Cplx::ONE;
+        for v in naive_dft(&x, FftDirection::Forward) {
+            assert!((v - Cplx::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn dft_of_constant_is_impulse() {
+        let x = vec![Cplx::ONE; 8];
+        let y = naive_dft(&x, FftDirection::Forward);
+        assert!((y[0] - Cplx::new(8.0, 0.0)).abs() < 1e-12);
+        for v in &y[1..] {
+            assert!(v.abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        for k in 0..8 {
+            let n = 1usize << k;
+            let x = random_signal(n, 42 + k as u64);
+            let fast = fft(&x, FftDirection::Forward).unwrap();
+            let slow = naive_dft(&x, FftDirection::Forward);
+            assert!(
+                max_abs_diff(&fast, &slow) < 1e-9 * n as f64,
+                "mismatch at n = {n}"
+            );
+        }
+    }
+
+    #[test]
+    fn inverse_round_trips() {
+        let x = random_signal(256, 7);
+        let y = fft(&x, FftDirection::Forward).unwrap();
+        let back = fft(&y, FftDirection::Inverse).unwrap();
+        assert!(max_abs_diff(&x, &back) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_non_power_of_two() {
+        let mut x = vec![Cplx::ZERO; 12];
+        assert!(matches!(
+            fft_in_place(&mut x, FftDirection::Forward),
+            Err(KernelError::NotPowerOfTwo { n: 12 })
+        ));
+        assert!(fft_in_place(&mut [], FftDirection::Forward).is_err());
+    }
+
+    #[test]
+    fn fft_2d_impulse_is_flat() {
+        let n = 8;
+        let mut x = vec![Cplx::ZERO; n * n];
+        x[0] = Cplx::ONE;
+        let y = fft_2d(&x, n, FftDirection::Forward).unwrap();
+        for v in y {
+            assert!((v - Cplx::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn fft_2d_separable_check() {
+        // F2D(outer(u, v)) = outer(F(u), F(v)).
+        let n = 16;
+        let u = random_signal(n, 1);
+        let v = random_signal(n, 2);
+        let mut x = vec![Cplx::ZERO; n * n];
+        for r in 0..n {
+            for c in 0..n {
+                x[r * n + c] = u[r] * v[c];
+            }
+        }
+        let fu = fft(&u, FftDirection::Forward).unwrap();
+        let fv = fft(&v, FftDirection::Forward).unwrap();
+        let y = fft_2d(&x, n, FftDirection::Forward).unwrap();
+        for r in 0..n {
+            for c in 0..n {
+                assert!((y[r * n + c] - fu[r] * fv[c]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn fft_2d_validates_shape() {
+        assert!(matches!(
+            fft_2d(&[Cplx::ZERO; 10], 4, FftDirection::Forward),
+            Err(KernelError::ShapeMismatch {
+                expected: 16,
+                got: 10
+            })
+        ));
+        assert!(fft_2d(&[Cplx::ZERO; 9], 3, FftDirection::Forward).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn parseval_energy_is_preserved(seed in any::<u64>(), k in 1usize..9) {
+            let n = 1usize << k;
+            let x = random_signal(n, seed);
+            let y = fft(&x, FftDirection::Forward).unwrap();
+            let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+            let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+            prop_assert!((ex - ey).abs() < 1e-8 * ex.max(1.0));
+        }
+
+        #[test]
+        fn fft_is_linear(seed in any::<u64>()) {
+            let n = 64;
+            let a = random_signal(n, seed);
+            let b = random_signal(n, seed.wrapping_add(1));
+            let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
+            let fa = fft(&a, FftDirection::Forward).unwrap();
+            let fb = fft(&b, FftDirection::Forward).unwrap();
+            let fsum = fft(&sum, FftDirection::Forward).unwrap();
+            let expect: Vec<Cplx> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
+            prop_assert!(max_abs_diff(&fsum, &expect) < 1e-9);
+        }
+
+        #[test]
+        fn fft_2d_round_trips(seed in any::<u64>()) {
+            let n = 8;
+            let x = random_signal(n * n, seed);
+            let y = fft_2d(&x, n, FftDirection::Forward).unwrap();
+            let back = fft_2d(&y, n, FftDirection::Inverse).unwrap();
+            prop_assert!(max_abs_diff(&x, &back) < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,126 @@
+//! Twiddle-factor computation (TFC) units: ROM + complex multiplier
+//! (Fig. 2c).
+
+use crate::{Cplx, FftDirection, Radix, TwiddleRom};
+
+/// One stage's twiddle machinery: the ROM holding that stage's
+/// coefficients and the complex multiplier applying them.
+///
+/// Real multiplications are counted ([`real_mults`](TfcUnit::real_mults))
+/// because each complex multiplier costs four real multipliers and two
+/// adders on the FPGA — the dominant DSP consumer of the kernel.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfcUnit {
+    rom: TwiddleRom,
+    real_mults: u64,
+}
+
+impl TfcUnit {
+    /// Builds the TFC unit for butterfly stage `stage` (0-based, outermost
+    /// first) of an `n`-point decimation-in-frequency FFT of the given
+    /// radix.
+    ///
+    /// For radix-2 stage `s` the block size is `n / 2^s` and the ROM holds
+    /// `block/2` coefficients; for radix-4 the block size is `n / 4^s` and
+    /// the ROM holds `3·block/4` coefficients (indexes `j`, `2j`, `3j`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n` is not supported by `radix` or `stage` is out of
+    /// range.
+    pub fn for_stage(n: usize, stage: usize, radix: Radix, dir: FftDirection) -> Self {
+        assert!(radix.supports(n), "{n} points unsupported by {radix:?}");
+        let r = radix.arity();
+        let stages = n.trailing_zeros() as usize / r.trailing_zeros() as usize;
+        assert!(stage < stages, "stage {stage} out of range (have {stages})");
+        let block = n / r.pow(stage as u32);
+        let len = match radix {
+            Radix::R2 => block / 2,
+            Radix::R4 => 3 * block / 4,
+        };
+        TfcUnit {
+            rom: TwiddleRom::new(block, len.max(1), dir == FftDirection::Inverse),
+            real_mults: 0,
+        }
+    }
+
+    /// The stage's block size (`W` order).
+    pub fn block(&self) -> usize {
+        self.rom.order()
+    }
+
+    /// Multiplies `x` by the ROM entry at index `t`, counting the real
+    /// multiplications a hardware multiplier would perform. Index 0
+    /// (`W^0 = 1`) is free, as hardware skips the multiply.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` exceeds the ROM depth.
+    pub fn apply(&mut self, x: Cplx, t: usize) -> Cplx {
+        if t == 0 {
+            return x;
+        }
+        self.real_mults += 4;
+        x * self.rom.lookup(t)
+    }
+
+    /// Real multiplications performed so far.
+    pub fn real_mults(&self) -> u64 {
+        self.real_mults
+    }
+
+    /// ROM footprint in bytes.
+    pub fn rom_bytes(&self) -> usize {
+        self.rom.bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_rom_sizes_follow_block() {
+        let t0 = TfcUnit::for_stage(16, 0, Radix::R2, FftDirection::Forward);
+        assert_eq!(t0.block(), 16);
+        assert_eq!(t0.rom_bytes(), 8 * 8); // 8 entries of 8 bytes
+        let t1 = TfcUnit::for_stage(16, 1, Radix::R2, FftDirection::Forward);
+        assert_eq!(t1.block(), 8);
+        let q = TfcUnit::for_stage(16, 0, Radix::R4, FftDirection::Forward);
+        assert_eq!(q.block(), 16);
+        assert_eq!(q.rom_bytes(), 12 * 8);
+    }
+
+    #[test]
+    fn apply_multiplies_and_counts() {
+        let mut t = TfcUnit::for_stage(8, 0, Radix::R2, FftDirection::Forward);
+        let x = Cplx::new(1.0, 1.0);
+        assert_eq!(t.apply(x, 0), x);
+        assert_eq!(t.real_mults(), 0, "W^0 is free");
+        let y = t.apply(x, 2);
+        assert!((y - x * Cplx::twiddle(8, 2)).abs() < 1e-15);
+        assert_eq!(t.real_mults(), 4);
+    }
+
+    #[test]
+    fn inverse_uses_conjugate_twiddles() {
+        let mut f = TfcUnit::for_stage(8, 0, Radix::R2, FftDirection::Forward);
+        let mut i = TfcUnit::for_stage(8, 0, Radix::R2, FftDirection::Inverse);
+        let x = Cplx::new(0.3, -0.7);
+        let prod = f.apply(x, 1) * i.apply(Cplx::ONE, 1);
+        // W * conj(W) = 1, so f(x,1) * i(1,1) = x.
+        assert!((prod - x).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn stage_bounds_checked() {
+        let _ = TfcUnit::for_stage(16, 4, Radix::R2, FftDirection::Forward);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported")]
+    fn radix4_rejects_odd_log() {
+        let _ = TfcUnit::for_stage(8, 0, Radix::R4, FftDirection::Forward);
+    }
+}

@@ -1,0 +1,106 @@
+//! Twiddle-factor ROMs: the lookup tables of the TFC unit (Fig. 2c).
+
+use crate::Cplx;
+
+/// A read-only table of twiddle factors `W_order^t` for `t < len`,
+/// modelling one of the "functional ROMs" in the TFC generation logic.
+///
+/// The inverse transform conjugates the table at construction time, so
+/// lookups stay branch-free as in hardware.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TwiddleRom {
+    order: usize,
+    table: Vec<Cplx>,
+}
+
+impl TwiddleRom {
+    /// Builds a ROM of `len` entries of `W_order^t`, conjugated when
+    /// `inverse` is set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `order` is zero.
+    pub fn new(order: usize, len: usize, inverse: bool) -> Self {
+        assert!(order > 0, "twiddle order must be non-zero");
+        let table = (0..len)
+            .map(|t| {
+                let w = Cplx::twiddle(order, t % order);
+                if inverse {
+                    w.conj()
+                } else {
+                    w
+                }
+            })
+            .collect();
+        TwiddleRom { order, table }
+    }
+
+    /// The `n` of `W_n^t`.
+    pub fn order(&self) -> usize {
+        self.order
+    }
+
+    /// Entries stored (the ROM depth in 64-bit words).
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// `true` for an empty ROM.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// Looks up `W_order^t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is beyond the ROM depth.
+    pub fn lookup(&self, t: usize) -> Cplx {
+        self.table[t]
+    }
+
+    /// ROM footprint in bytes (one 64-bit complex word per entry).
+    pub fn bytes(&self) -> usize {
+        self.table.len() * Cplx::STORAGE_BYTES as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_table_matches_twiddles() {
+        let rom = TwiddleRom::new(8, 8, false);
+        for t in 0..8 {
+            assert!((rom.lookup(t) - Cplx::twiddle(8, t)).abs() < 1e-15);
+        }
+        assert_eq!(rom.order(), 8);
+        assert_eq!(rom.len(), 8);
+        assert!(!rom.is_empty());
+        assert_eq!(rom.bytes(), 64);
+    }
+
+    #[test]
+    fn inverse_table_is_conjugated() {
+        let fwd = TwiddleRom::new(16, 12, false);
+        let inv = TwiddleRom::new(16, 12, true);
+        for t in 0..12 {
+            assert!((fwd.lookup(t).conj() - inv.lookup(t)).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn long_tables_wrap_modulo_order() {
+        let rom = TwiddleRom::new(4, 9, false);
+        assert!((rom.lookup(4) - rom.lookup(0)).abs() < 1e-15);
+        assert!((rom.lookup(7) - rom.lookup(3)).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lookup_past_depth_panics() {
+        let rom = TwiddleRom::new(8, 4, false);
+        let _ = rom.lookup(4);
+    }
+}

@@ -1,0 +1,108 @@
+//! Per-component resource costs.
+//!
+//! Calibrated to single-precision floating-point operators on Xilinx
+//! 7-series devices (the paper's kernel is floating-point, 2 × 32-bit
+//! per complex word). The constants are deliberately round numbers in
+//! the right band; absolute LUT counts do not affect any experiment's
+//! *shape*, only whether a configuration fits the device.
+
+use crate::Resources;
+
+/// Single-precision floating-point adder/subtractor (logic
+/// implementation).
+pub const FP_ADD: Resources = Resources::new(350, 500, 0, 0);
+
+/// Single-precision floating-point multiplier (DSP implementation).
+pub const FP_MUL: Resources = Resources::new(100, 150, 0, 2);
+
+/// A complex adder: two FP adders.
+pub fn complex_adder() -> Resources {
+    FP_ADD * 2
+}
+
+/// A complex multiplier: four FP multipliers and two FP adders
+/// (Fig. 2c).
+pub fn complex_multiplier() -> Resources {
+    FP_MUL * 4 + FP_ADD * 2
+}
+
+/// A `ways`-to-1 multiplexer of `bits` data bits: one LUT6 steers two
+/// data bits per 4 ways (plus registers on the output).
+pub fn mux(ways: usize, bits: usize) -> Resources {
+    let levels = (ways as u64).next_power_of_two().trailing_zeros().max(1) as u64;
+    let luts = levels * bits as u64 / 2;
+    Resources::new(luts.max(1), bits as u64, 0, 0)
+}
+
+/// On-chip data buffering of `bytes` bytes as 36 Kb BRAMs (4.5 KiB each).
+pub fn buffer(bytes: u64) -> Resources {
+    Resources::new(0, 0, bytes.div_ceil(36 * 1024 / 8), 0)
+}
+
+/// A twiddle ROM of `bytes` bytes: small ROMs go to distributed RAM
+/// (LUTs), larger ones to BRAM, mirroring the paper's "BRAM or dist.
+/// RAM" remark.
+pub fn rom(bytes: u64) -> Resources {
+    const DIST_RAM_LIMIT: u64 = 2 * 1024;
+    if bytes <= DIST_RAM_LIMIT {
+        // LUT6 as 64-bit distributed RAM → 8 bytes per LUT.
+        Resources::new(bytes.div_ceil(8), 0, 0, 0)
+    } else {
+        buffer(bytes)
+    }
+}
+
+/// One per-vault memory controller port on the FPGA side (command queue,
+/// open-row tracking, TSV PHY interface).
+pub fn memory_controller() -> Resources {
+    Resources::new(2_500, 3_000, 2, 0)
+}
+
+/// The controlling unit steering the permutation network.
+pub fn controlling_unit() -> Resources {
+    Resources::new(1_200, 1_500, 1, 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn complex_ops_compose_fp_ops() {
+        assert_eq!(complex_adder(), FP_ADD * 2);
+        let m = complex_multiplier();
+        assert_eq!(m.dsp48, 8, "4 FP multipliers at 2 DSP each");
+        assert_eq!(m.luts, 4 * 100 + 2 * 350);
+    }
+
+    #[test]
+    fn mux_scales_with_width_and_ways() {
+        let m4 = mux(4, 64);
+        let m8 = mux(8, 64);
+        assert!(m8.luts > m4.luts);
+        assert!(mux(2, 1).luts >= 1);
+    }
+
+    #[test]
+    fn buffer_rounds_to_bram() {
+        assert_eq!(buffer(1).bram36, 1);
+        assert_eq!(buffer(4608).bram36, 1);
+        assert_eq!(buffer(4609).bram36, 2);
+    }
+
+    #[test]
+    fn small_roms_use_distributed_ram() {
+        let small = rom(1024);
+        assert_eq!(small.bram36, 0);
+        assert!(small.luts > 0);
+        let large = rom(64 * 1024);
+        assert!(large.bram36 > 0);
+        assert_eq!(large.luts, 0);
+    }
+
+    #[test]
+    fn infrastructure_components_are_modest() {
+        assert!(memory_controller().luts < 10_000);
+        assert!(controlling_unit().luts < 10_000);
+    }
+}

@@ -1,0 +1,153 @@
+//! Dynamic and static energy of the FPGA datapath.
+//!
+//! Dynamic energy is priced per arithmetic operation and per buffered
+//! byte; static power is priced per occupied resource. Coefficients sit
+//! in the band published for 28 nm (Virtex-7-class) devices; as with the
+//! area model, the experiments depend on ratios, not absolutes.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Resources;
+
+/// Per-operation and per-resource energy coefficients.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OpEnergies {
+    /// Single-precision FP add/sub, pJ per operation.
+    pub fp_add_pj: f64,
+    /// Single-precision FP multiply, pJ per operation.
+    pub fp_mul_pj: f64,
+    /// On-chip buffer read or write, pJ per byte.
+    pub buffer_pj_per_byte: f64,
+    /// Static power per 1000 occupied LUTs, mW.
+    pub static_mw_per_klut: f64,
+    /// Static power per occupied BRAM36, mW.
+    pub static_mw_per_bram: f64,
+    /// Static power per occupied DSP48, mW.
+    pub static_mw_per_dsp: f64,
+}
+
+impl Default for OpEnergies {
+    fn default() -> Self {
+        OpEnergies {
+            fp_add_pj: 12.0,
+            fp_mul_pj: 25.0,
+            buffer_pj_per_byte: 2.0,
+            static_mw_per_klut: 0.6,
+            static_mw_per_bram: 0.8,
+            static_mw_per_dsp: 0.5,
+        }
+    }
+}
+
+/// Arithmetic-operation counts of one N-point FFT.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FftOpCounts {
+    /// Real (FP) additions/subtractions.
+    pub fp_adds: u64,
+    /// Real (FP) multiplications.
+    pub fp_muls: u64,
+}
+
+/// Operation counts of one `n`-point FFT built from radix-`r` stages
+/// (`r` ∈ {2, 4}); complex add = 2 FP adds, complex mult = 4 FP muls +
+/// 2 FP adds (the paper's Fig. 2c multiplier).
+///
+/// # Panics
+///
+/// Panics if `n` is not a power of `r` or `r` is not 2 or 4.
+pub fn fft_op_counts(n: usize, r: usize) -> FftOpCounts {
+    assert!(n.is_power_of_two() && n > 1, "n must be a power of two > 1");
+    let stages = match r {
+        2 => n.trailing_zeros() as u64,
+        4 => {
+            assert!(
+                n.trailing_zeros().is_multiple_of(2),
+                "n must be a power of 4"
+            );
+            n.trailing_zeros() as u64 / 2
+        }
+        _ => panic!("unsupported radix {r}"),
+    };
+    let butterflies_per_stage = (n / r) as u64;
+    let (cadds_per_bfly, cmults_per_bfly) = match r {
+        2 => (2u64, 1u64),
+        _ => (8u64, 3u64),
+    };
+    let cadds = stages * butterflies_per_stage * cadds_per_bfly;
+    let cmults = stages * butterflies_per_stage * cmults_per_bfly;
+    FftOpCounts {
+        fp_adds: cadds * 2 + cmults * 2,
+        fp_muls: cmults * 4,
+    }
+}
+
+/// Dynamic energy of one `n`-point FFT through the kernel, including
+/// buffer traffic (`buffered_bytes` per transform), in pJ.
+pub fn kernel_transform_pj(n: usize, r: usize, buffered_bytes: u64, e: &OpEnergies) -> f64 {
+    let ops = fft_op_counts(n, r);
+    ops.fp_adds as f64 * e.fp_add_pj
+        + ops.fp_muls as f64 * e.fp_mul_pj
+        + buffered_bytes as f64 * e.buffer_pj_per_byte
+}
+
+/// Static power of an occupied design, in mW.
+pub fn static_power_mw(r: &Resources, e: &OpEnergies) -> f64 {
+    r.luts as f64 / 1000.0 * e.static_mw_per_klut
+        + r.bram36 as f64 * e.static_mw_per_bram
+        + r.dsp48 as f64 * e.static_mw_per_dsp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_counts_match_textbook_fft() {
+        // Radix-2 n-point FFT: (n/2)·log2 n butterflies.
+        let c = fft_op_counts(1024, 2);
+        let bflies = 512 * 10;
+        assert_eq!(c.fp_muls, bflies * 4);
+        assert_eq!(c.fp_adds, bflies * (4 + 2));
+    }
+
+    #[test]
+    fn radix4_uses_fewer_multiplies() {
+        let r2 = fft_op_counts(256, 2);
+        let r4 = fft_op_counts(256, 4);
+        assert!(
+            r4.fp_muls < r2.fp_muls,
+            "radix-4 trades multipliers for adders: {} vs {}",
+            r4.fp_muls,
+            r2.fp_muls
+        );
+    }
+
+    #[test]
+    fn transform_energy_scales_superlinearly() {
+        let e = OpEnergies::default();
+        let small = kernel_transform_pj(256, 2, 0, &e);
+        let big = kernel_transform_pj(1024, 2, 0, &e);
+        assert!(big > 4.0 * small, "n log n growth");
+        assert!(kernel_transform_pj(256, 2, 8192, &e) > small);
+    }
+
+    #[test]
+    fn static_power_prices_resources() {
+        let e = OpEnergies::default();
+        let r = Resources::new(100_000, 0, 500, 1000);
+        let p = static_power_mw(&r, &e);
+        assert!((p - (60.0 + 400.0 + 500.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of 4")]
+    fn radix4_rejects_odd_log() {
+        let _ = fft_op_counts(512, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported radix")]
+    fn weird_radix_rejected() {
+        let _ = fft_op_counts(64, 8);
+    }
+}

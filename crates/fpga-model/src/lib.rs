@@ -1,0 +1,46 @@
+//! FPGA resource and frequency model for the 2D FFT processor.
+//!
+//! The paper's architecture is bounded on the FPGA side by three things
+//! this crate models:
+//!
+//! * **area** — complex adders/multipliers (DSP48 slices), twiddle ROMs
+//!   (distributed RAM or BRAM), data buffers (BRAM), multiplexers and
+//!   per-vault memory controllers ([`costs`]);
+//! * **device capacity** — Virtex-7-class budgets
+//!   ([`resources::devices`]);
+//! * **clock** — a documented congestion-derating model in
+//!   [`build`]/[`Processor`], which turns lane count × clock into the
+//!   kernel-side bandwidth ceiling (32 GB/s for 8 lanes at 500 MHz —
+//!   exactly the 40% of the 80 GB/s memory peak that the paper reports
+//!   as its upper bound).
+//!
+//! # Example
+//!
+//! ```
+//! use fpga_model::{build, resources::devices::VIRTEX7_690T, ProcessorSpec};
+//!
+//! let spec = ProcessorSpec {
+//!     vaults: 16,
+//!     lanes: 8,
+//!     stages: 10,
+//!     complex_adders: 80,
+//!     complex_multipliers: 40,
+//!     rom_bytes: 32 * 1024,
+//!     kernel_buffer_bytes: 512 * 1024,
+//!     reorg_buffer_bytes: 2 * 1024 * 1024,
+//! };
+//! let proc = build(&spec, &VIRTEX7_690T);
+//! assert!(proc.resources.fits(&VIRTEX7_690T));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod costs;
+pub mod energy;
+mod processor;
+pub mod resources;
+
+pub use energy::{fft_op_counts, kernel_transform_pj, static_power_mw, FftOpCounts, OpEnergies};
+pub use processor::{build, Processor, ProcessorSpec, BASE_CLOCK_MHZ};
+pub use resources::Resources;

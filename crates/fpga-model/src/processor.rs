@@ -1,0 +1,133 @@
+//! Assembly of the full 2D FFT processor (Fig. 3) and its clock model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{costs, Resources};
+
+/// Inputs describing one processor instantiation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProcessorSpec {
+    /// Vaults the design connects to (one controller each).
+    pub vaults: usize,
+    /// Complex elements per cycle through the kernel.
+    pub lanes: usize,
+    /// Butterfly stages in the kernel.
+    pub stages: usize,
+    /// Complex adders in the kernel datapath.
+    pub complex_adders: usize,
+    /// Complex multipliers in the kernel datapath.
+    pub complex_multipliers: usize,
+    /// Twiddle ROM bytes.
+    pub rom_bytes: u64,
+    /// Kernel data-buffer bytes (DPP/frame buffers).
+    pub kernel_buffer_bytes: u64,
+    /// Reorganization (permutation network) buffer bytes.
+    pub reorg_buffer_bytes: u64,
+}
+
+/// The fully-costed processor.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Processor {
+    /// Total resource consumption.
+    pub resources: Resources,
+    /// Achievable clock in MHz under the congestion model.
+    pub clock_mhz: f64,
+}
+
+/// Nominal clock of the datapath before congestion derating, in MHz.
+pub const BASE_CLOCK_MHZ: f64 = 500.0;
+
+/// Builds and costs the processor, then derives the achievable clock.
+///
+/// The clock model is deliberately simple and documented: the design
+/// runs at [`BASE_CLOCK_MHZ`] up to 50% device utilization, then derates
+/// linearly to 60% of base at 100% utilization — the routing-congestion
+/// cliff every dense FPGA design hits.
+pub fn build(spec: &ProcessorSpec, budget: &Resources) -> Processor {
+    let mut r = Resources::ZERO;
+    r += costs::memory_controller() * spec.vaults as u64;
+    r += costs::controlling_unit();
+    // Permutation network: front and back crossbars need `lanes` muxes of
+    // `lanes`-to-1 each side, 64-bit data.
+    r += costs::mux(spec.lanes.max(2), 64) * (2 * spec.lanes) as u64;
+    r += costs::complex_adder() * spec.complex_adders as u64;
+    r += costs::complex_multiplier() * spec.complex_multipliers as u64;
+    r += costs::rom(spec.rom_bytes);
+    r += costs::buffer(spec.kernel_buffer_bytes);
+    r += costs::buffer(spec.reorg_buffer_bytes);
+
+    let util = r.utilization(budget);
+    let clock_mhz = if util <= 0.5 {
+        BASE_CLOCK_MHZ
+    } else {
+        let over = (util - 0.5).min(0.5) / 0.5;
+        BASE_CLOCK_MHZ * (1.0 - 0.4 * over)
+    };
+    Processor {
+        resources: r,
+        clock_mhz,
+    }
+}
+
+impl Processor {
+    /// Peak data rate into the kernel in GB/s for `lanes` 8-byte
+    /// elements per cycle at the achieved clock.
+    pub fn kernel_bandwidth_gbps(&self, lanes: usize) -> f64 {
+        self.clock_mhz * 1e6 * lanes as f64 * 8.0 / 1e9
+    }
+
+    /// Clock period in picoseconds.
+    pub fn clock_period_ps(&self) -> u64 {
+        (1e6 / self.clock_mhz).round() as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::resources::devices::VIRTEX7_690T;
+
+    fn spec() -> ProcessorSpec {
+        ProcessorSpec {
+            vaults: 16,
+            lanes: 8,
+            stages: 11,
+            complex_adders: 11 * 4 * 2,
+            complex_multipliers: 11 * 4,
+            rom_bytes: 64 * 1024,
+            kernel_buffer_bytes: 12 * 2 * 2048 * 8,
+            reorg_buffer_bytes: 2 * 64 * 2048 * 8,
+        }
+    }
+
+    #[test]
+    fn small_design_runs_at_base_clock() {
+        let p = build(&spec(), &VIRTEX7_690T);
+        assert!(p.resources.fits(&VIRTEX7_690T));
+        assert_eq!(p.clock_mhz, BASE_CLOCK_MHZ);
+        assert_eq!(p.clock_period_ps(), 2_000);
+        assert!((p.kernel_bandwidth_gbps(8) - 32.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn oversized_design_derates_clock() {
+        let mut s = spec();
+        s.complex_multipliers = 400; // 3200 DSPs: ~89% utilization
+        let p = build(&s, &VIRTEX7_690T);
+        assert!(p.clock_mhz < BASE_CLOCK_MHZ);
+        assert!(p.clock_mhz >= 0.6 * BASE_CLOCK_MHZ);
+    }
+
+    #[test]
+    fn resources_scale_with_vaults() {
+        let p16 = build(&spec(), &VIRTEX7_690T);
+        let p1 = build(
+            &ProcessorSpec {
+                vaults: 1,
+                ..spec()
+            },
+            &VIRTEX7_690T,
+        );
+        assert!(p16.resources.luts > p1.resources.luts);
+    }
+}

@@ -1,0 +1,175 @@
+//! Resource vectors and device budgets.
+
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul};
+
+use serde::{Deserialize, Serialize};
+
+/// A bundle of FPGA resources: lookup tables, flip-flops, 36 Kb block
+/// RAMs and DSP48 slices.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Resources {
+    /// 6-input lookup tables.
+    pub luts: u64,
+    /// Flip-flops.
+    pub ffs: u64,
+    /// 36 Kb block RAMs.
+    pub bram36: u64,
+    /// DSP48 slices.
+    pub dsp48: u64,
+}
+
+impl Resources {
+    /// The empty bundle.
+    pub const ZERO: Resources = Resources {
+        luts: 0,
+        ffs: 0,
+        bram36: 0,
+        dsp48: 0,
+    };
+
+    /// Creates a bundle from explicit counts.
+    pub const fn new(luts: u64, ffs: u64, bram36: u64, dsp48: u64) -> Self {
+        Resources {
+            luts,
+            ffs,
+            bram36,
+            dsp48,
+        }
+    }
+
+    /// `true` if every component of `self` fits inside `budget`.
+    pub fn fits(&self, budget: &Resources) -> bool {
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.bram36 <= budget.bram36
+            && self.dsp48 <= budget.dsp48
+    }
+
+    /// The highest per-component utilization fraction against `budget`
+    /// (may exceed 1 when the design does not fit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any budget component is zero.
+    pub fn utilization(&self, budget: &Resources) -> f64 {
+        assert!(
+            budget.luts > 0 && budget.ffs > 0 && budget.bram36 > 0 && budget.dsp48 > 0,
+            "budget components must be non-zero"
+        );
+        [
+            self.luts as f64 / budget.luts as f64,
+            self.ffs as f64 / budget.ffs as f64,
+            self.bram36 as f64 / budget.bram36 as f64,
+            self.dsp48 as f64 / budget.dsp48 as f64,
+        ]
+        .into_iter()
+        .fold(0.0, f64::max)
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            bram36: self.bram36 + rhs.bram36,
+            dsp48: self.dsp48 + rhs.dsp48,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Mul<u64> for Resources {
+    type Output = Resources;
+    fn mul(self, k: u64) -> Resources {
+        Resources {
+            luts: self.luts * k,
+            ffs: self.ffs * k,
+            bram36: self.bram36 * k,
+            dsp48: self.dsp48 * k,
+        }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl std::fmt::Display for Resources {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} LUT / {} FF / {} BRAM36 / {} DSP48",
+            self.luts, self.ffs, self.bram36, self.dsp48
+        )
+    }
+}
+
+/// Device budgets for the FPGA generation the paper targets.
+pub mod devices {
+    use super::Resources;
+
+    /// Xilinx Virtex-7 XC7VX690T (the family cited by the paper's
+    /// kernel implementation reference).
+    pub const VIRTEX7_690T: Resources = Resources::new(433_200, 866_400, 1_470, 3_600);
+
+    /// Xilinx Virtex-7 XC7VX485T, a mid-size member of the family.
+    pub const VIRTEX7_485T: Resources = Resources::new(303_600, 607_200, 1_030, 2_800);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(1, 2, 3, 4);
+        let b = Resources::new(10, 20, 30, 40);
+        assert_eq!(a + b, Resources::new(11, 22, 33, 44));
+        assert_eq!(a * 3, Resources::new(3, 6, 9, 12));
+        let mut c = a;
+        c += b;
+        assert_eq!(c, a + b);
+        let s: Resources = [a, b].into_iter().sum();
+        assert_eq!(s, a + b);
+    }
+
+    #[test]
+    fn fits_and_utilization() {
+        let design = Resources::new(100, 200, 10, 5);
+        let budget = Resources::new(1_000, 1_000, 20, 10);
+        assert!(design.fits(&budget));
+        assert!((design.utilization(&budget) - 0.5).abs() < 1e-12);
+        let too_big = Resources::new(2_000, 0, 0, 0);
+        assert!(!too_big.fits(&budget));
+        assert!(too_big.utilization(&budget) > 1.0);
+    }
+
+    #[test]
+    fn display_lists_components() {
+        let s = Resources::new(1, 2, 3, 4).to_string();
+        assert!(s.contains("1 LUT") && s.contains("4 DSP48"));
+    }
+
+    #[test]
+    fn device_budgets_are_plausible() {
+        let (big, small) = (devices::VIRTEX7_690T, devices::VIRTEX7_485T);
+        assert!(big.luts > small.luts);
+        assert!(big.dsp48 >= 3_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn utilization_rejects_zero_budget() {
+        let _ = Resources::new(1, 1, 1, 1).utilization(&Resources::ZERO);
+    }
+}

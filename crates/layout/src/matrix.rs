@@ -1,0 +1,481 @@
+//! Matrix-to-memory layouts.
+//!
+//! A [`MatrixLayout`] decides where element `(row, col)` of the `n × n`
+//! working array lives as a flat byte address, and which hardware
+//! interleaving ([`AddressMapKind`]) decodes those addresses to vaults,
+//! banks and rows. The combination fully determines the row-activation
+//! behaviour of the two FFT phases.
+
+use mem3d::AddressMapKind;
+
+use crate::LayoutParams;
+
+/// A mapping from matrix coordinates to memory addresses.
+///
+/// Implementations must be bijective on the `n × n` index space (the
+/// property tests in this module verify it for every provided layout).
+pub trait MatrixLayout: std::fmt::Debug {
+    /// Flat byte address of element `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `row` or `col` is out of range.
+    fn addr(&self, row: usize, col: usize) -> u64;
+
+    /// The hardware interleaving these addresses are decoded with.
+    fn map_kind(&self) -> AddressMapKind;
+
+    /// Matrix dimension.
+    fn n(&self) -> usize;
+
+    /// Element size in bytes.
+    fn elem_bytes(&self) -> usize;
+
+    /// Short human-readable name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Longest run of contiguous addresses when walking *down* one
+    /// column, in elements. 1 for row-major; `h` for a block layout.
+    fn column_run(&self) -> usize {
+        1
+    }
+}
+
+/// Row-major order. With the default [`AddressMapKind::Chunked`]
+/// interleaving this is the paper's baseline: a matrix row is contiguous,
+/// but a matrix column strides by the full row, re-activating a DRAM row
+/// of the *same bank* on every access. The
+/// [`interleaved`](RowMajor::interleaved) variant spreads consecutive
+/// memory rows over vaults — it fixes the *row* phase (which the
+/// optimized architecture uses for its input) but cannot fix the column
+/// phase, because activations still happen per element.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RowMajor {
+    n: usize,
+    elem_bytes: usize,
+    map: AddressMapKind,
+}
+
+impl RowMajor {
+    /// Creates the baseline layout for an `n × n` matrix (chunked map:
+    /// naive contiguous allocation inside one vault after another).
+    pub fn new(params: &LayoutParams) -> Self {
+        RowMajor {
+            n: params.n,
+            elem_bytes: params.elem_bytes,
+            map: AddressMapKind::Chunked,
+        }
+    }
+
+    /// Row-major over the vault-interleaved map: consecutive memory rows
+    /// rotate through all vaults, so sequential row sweeps engage the
+    /// whole device.
+    pub fn interleaved(params: &LayoutParams) -> Self {
+        RowMajor {
+            n: params.n,
+            elem_bytes: params.elem_bytes,
+            map: AddressMapKind::VaultInterleaved,
+        }
+    }
+}
+
+impl MatrixLayout for RowMajor {
+    fn addr(&self, row: usize, col: usize) -> u64 {
+        assert!(row < self.n && col < self.n, "({row}, {col}) out of range");
+        ((row * self.n + col) * self.elem_bytes) as u64
+    }
+
+    fn map_kind(&self) -> AddressMapKind {
+        self.map
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "row-major"
+    }
+}
+
+/// Column-major order (the mirror image of [`RowMajor`]): favours the
+/// column phase and penalizes the row phase. Included to demonstrate
+/// that *no static layout* serves both phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ColMajor {
+    n: usize,
+    elem_bytes: usize,
+}
+
+impl ColMajor {
+    /// Creates the column-major layout for an `n × n` matrix.
+    pub fn new(params: &LayoutParams) -> Self {
+        ColMajor {
+            n: params.n,
+            elem_bytes: params.elem_bytes,
+        }
+    }
+}
+
+impl MatrixLayout for ColMajor {
+    fn addr(&self, row: usize, col: usize) -> u64 {
+        assert!(row < self.n && col < self.n, "({row}, {col}) out of range");
+        ((col * self.n + row) * self.elem_bytes) as u64
+    }
+
+    fn map_kind(&self) -> AddressMapKind {
+        AddressMapKind::Chunked
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "col-major"
+    }
+
+    fn column_run(&self) -> usize {
+        self.n
+    }
+}
+
+/// The tiled mapping of Akin et al. (the paper's ref.\[2\]): the matrix is
+/// divided into `tile_rows × tile_cols` tiles, each stored row-major in
+/// consecutive addresses and sized to fill one DRAM row. A static
+/// compromise between the two phases.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tiled {
+    n: usize,
+    elem_bytes: usize,
+    tile_rows: usize,
+    tile_cols: usize,
+}
+
+impl Tiled {
+    /// Tile height in rows.
+    pub fn tile_rows(&self) -> usize {
+        self.tile_rows
+    }
+
+    /// Tile width in columns.
+    pub fn tile_cols(&self) -> usize {
+        self.tile_cols
+    }
+
+    /// Creates a tiled layout; `tile_rows * tile_cols` should equal the
+    /// row-buffer capacity `s` for the intended effect.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message if the tile does not evenly divide the
+    /// matrix.
+    pub fn new(params: &LayoutParams, tile_rows: usize, tile_cols: usize) -> Result<Self, String> {
+        if tile_rows == 0 || tile_cols == 0 {
+            return Err("tile dimensions must be non-zero".into());
+        }
+        if !params.n.is_multiple_of(tile_rows) || !params.n.is_multiple_of(tile_cols) {
+            return Err(format!(
+                "tile {tile_rows}x{tile_cols} does not divide matrix {0}x{0}",
+                params.n
+            ));
+        }
+        Ok(Tiled {
+            n: params.n,
+            elem_bytes: params.elem_bytes,
+            tile_rows,
+            tile_cols,
+        })
+    }
+
+    /// The square-ish tile filling one row buffer (`√s × s/√s`).
+    ///
+    /// # Errors
+    ///
+    /// As for [`Tiled::new`].
+    pub fn row_buffer_sized(params: &LayoutParams) -> Result<Self, String> {
+        let mut tr = 1usize;
+        while tr * tr < params.s {
+            tr *= 2;
+        }
+        let tc = params.s / tr;
+        Self::new(params, tr.min(params.n), tc.min(params.n))
+    }
+}
+
+impl MatrixLayout for Tiled {
+    fn addr(&self, row: usize, col: usize) -> u64 {
+        assert!(row < self.n && col < self.n, "({row}, {col}) out of range");
+        let tiles_per_row = self.n / self.tile_cols;
+        let tile_idx = (row / self.tile_rows) * tiles_per_row + col / self.tile_cols;
+        let within = (row % self.tile_rows) * self.tile_cols + col % self.tile_cols;
+        ((tile_idx * self.tile_rows * self.tile_cols + within) * self.elem_bytes) as u64
+    }
+
+    fn map_kind(&self) -> AddressMapKind {
+        AddressMapKind::VaultInterleaved
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "tiled"
+    }
+
+    fn column_run(&self) -> usize {
+        // Within a tile, column elements stride by tile_cols; only one
+        // element is contiguous.
+        1
+    }
+}
+
+/// The paper's **block dynamic data layout**: the matrix is divided into
+/// `w × h` blocks (`w` columns × `h` rows, `w·h = s` elements = one DRAM
+/// row), stored *column-major within the block* so that `h` consecutive
+/// elements of a matrix column are contiguous.
+///
+/// Blocks are placed *diagonally*: block `(bc, br)` occupies memory row
+/// `br·(n/w) + (bc + br) mod (n/w)` under the
+/// [`AddressMapKind::VaultInterleaved`] interleaving. The `+br` rotation
+/// makes **both** access directions vault-parallel: the row phase writes
+/// one band (`br` fixed, `bc` sweeping) across all vaults, and the
+/// column phase walks one block column (`bc` fixed, `br` sweeping)
+/// across all vaults too — activations pipeline over vaults, layers and
+/// banks in either phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockDynamic {
+    n: usize,
+    elem_bytes: usize,
+    /// Block width in columns.
+    pub w: usize,
+    /// Block height in rows.
+    pub h: usize,
+}
+
+impl BlockDynamic {
+    /// Creates the block layout with height `h`. The width is `s / h`,
+    /// capped at `n`: a matrix narrower than one DRAM row packs several
+    /// (sub-row) blocks per row, which is the natural degenerate case
+    /// for problems that fit inside a single row buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error message unless `h` divides both `s` and `n`, and
+    /// the resulting width divides `n`.
+    pub fn with_height(params: &LayoutParams, h: usize) -> Result<Self, String> {
+        if h == 0 || !params.s.is_multiple_of(h) {
+            return Err(format!("h = {h} does not divide s = {}", params.s));
+        }
+        let w = (params.s / h).min(params.n);
+        if !params.n.is_multiple_of(h) || !params.n.is_multiple_of(w) {
+            return Err(format!(
+                "block {w}x{h} does not tile the {0}x{0} matrix",
+                params.n
+            ));
+        }
+        Ok(BlockDynamic {
+            n: params.n,
+            elem_bytes: params.elem_bytes,
+            w,
+            h,
+        })
+    }
+
+    /// Memory-row index of the block holding `(row, col)`: band-major
+    /// with a per-band diagonal rotation (see the type docs).
+    fn block_index(&self, row: usize, col: usize) -> usize {
+        let blocks_per_row = self.n / self.w;
+        let br = row / self.h;
+        let bc = col / self.w;
+        br * blocks_per_row + (bc + br) % blocks_per_row
+    }
+}
+
+impl MatrixLayout for BlockDynamic {
+    fn addr(&self, row: usize, col: usize) -> u64 {
+        assert!(row < self.n && col < self.n, "({row}, {col}) out of range");
+        let within = (col % self.w) * self.h + row % self.h;
+        ((self.block_index(row, col) * self.w * self.h + within) * self.elem_bytes) as u64
+    }
+
+    fn map_kind(&self) -> AddressMapKind {
+        AddressMapKind::VaultInterleaved
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn elem_bytes(&self) -> usize {
+        self.elem_bytes
+    }
+
+    fn name(&self) -> &'static str {
+        "block-ddl"
+    }
+
+    fn column_run(&self) -> usize {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem3d::{Geometry, TimingParams};
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    fn params(n: usize) -> LayoutParams {
+        LayoutParams::for_device(n, &Geometry::default(), &TimingParams::default())
+    }
+
+    fn all_layouts(n: usize) -> Vec<Box<dyn MatrixLayout>> {
+        let p = params(n);
+        vec![
+            Box::new(RowMajor::new(&p)),
+            Box::new(ColMajor::new(&p)),
+            Box::new(Tiled::row_buffer_sized(&p).unwrap()),
+            Box::new(BlockDynamic::with_height(&p, 32.min(n)).unwrap()),
+        ]
+    }
+
+    #[test]
+    fn row_major_is_contiguous_along_rows() {
+        let l = RowMajor::new(&params(64));
+        assert_eq!(l.addr(0, 1) - l.addr(0, 0), 8);
+        assert_eq!(l.addr(1, 0) - l.addr(0, 0), 64 * 8);
+        assert_eq!(l.column_run(), 1);
+        assert_eq!(l.name(), "row-major");
+    }
+
+    #[test]
+    fn col_major_is_contiguous_along_columns() {
+        let l = ColMajor::new(&params(64));
+        assert_eq!(l.addr(1, 0) - l.addr(0, 0), 8);
+        assert_eq!(l.column_run(), 64);
+    }
+
+    #[test]
+    fn tiled_keeps_a_tile_contiguous() {
+        let p = params(256);
+        let t = Tiled::row_buffer_sized(&p).unwrap();
+        // 1024-element row buffer → 32×32 tiles.
+        let base = t.addr(0, 0);
+        assert_eq!(t.addr(0, 1) - base, 8);
+        let tile_bytes = (p.s * p.elem_bytes) as u64;
+        assert_eq!(
+            t.addr(0, 32) - base,
+            tile_bytes,
+            "next tile starts a new row"
+        );
+        assert!(Tiled::new(&p, 0, 4).is_err());
+        assert!(Tiled::new(&p, 3, 4).is_err());
+    }
+
+    #[test]
+    fn block_dynamic_makes_column_segments_contiguous() {
+        let p = params(512);
+        let l = BlockDynamic::with_height(&p, 64).unwrap();
+        assert_eq!(l.w, 16, "w = s/h = 1024/64");
+        for r in 0..63 {
+            assert_eq!(
+                l.addr(r + 1, 5) - l.addr(r, 5),
+                8,
+                "column run inside block"
+            );
+        }
+        // Crossing a block boundary jumps to the next memory row.
+        assert_ne!(l.addr(64, 5) - l.addr(63, 5), 8);
+        assert_eq!(l.column_run(), 64);
+    }
+
+    #[test]
+    fn block_dynamic_blocks_fill_exactly_one_memory_row() {
+        let p = params(512);
+        let l = BlockDynamic::with_height(&p, 128).unwrap();
+        let row_bytes = (p.s * p.elem_bytes) as u64;
+        // All elements of block (0,0) live in [0, row_bytes).
+        for r in 0..128 {
+            for c in 0..l.w {
+                assert!(l.addr(r, c) < row_bytes);
+            }
+        }
+        // The next block down the same block column sits one band later,
+        // rotated one slot right: memory row 64 + 1.
+        assert_eq!(l.addr(128, 0), 65 * row_bytes);
+    }
+
+    #[test]
+    fn block_dynamic_rotates_vaults_in_both_directions() {
+        let p = params(2048);
+        let l = BlockDynamic::with_height(&p, 64).unwrap(); // w = 16
+        let row_bytes = (p.s * p.elem_bytes) as u64;
+        let vaults = 16u64;
+        let vault_of = |r: usize, c: usize| (l.addr(r, c) / row_bytes) % vaults;
+        // Down one block column: 16 consecutive bands hit 16 vaults.
+        let down: std::collections::HashSet<u64> = (0..16).map(|br| vault_of(br * 64, 0)).collect();
+        assert_eq!(down.len(), 16, "column walk must engage every vault");
+        // Across one band: 16 consecutive block columns hit 16 vaults.
+        let across: std::collections::HashSet<u64> =
+            (0..16).map(|bc| vault_of(0, bc * 16)).collect();
+        assert_eq!(across.len(), 16, "band writes must engage every vault");
+    }
+
+    #[test]
+    fn block_dynamic_validates() {
+        let p = params(512);
+        assert!(BlockDynamic::with_height(&p, 0).is_err());
+        assert!(BlockDynamic::with_height(&p, 3).is_err());
+        // h = 1024 > n = 512 → block taller than the matrix.
+        assert!(BlockDynamic::with_height(&p, 1024).is_err());
+    }
+
+    #[test]
+    fn layouts_are_bijective_on_small_matrices() {
+        for l in all_layouts(32) {
+            let mut seen = HashSet::new();
+            for r in 0..32 {
+                for c in 0..32 {
+                    assert!(
+                        seen.insert(l.addr(r, c)),
+                        "{} repeats address for ({r}, {c})",
+                        l.name()
+                    );
+                }
+            }
+            // Addresses are exactly the multiples of elem_bytes in range.
+            let max = *seen.iter().max().unwrap();
+            assert_eq!(max, (32 * 32 - 1) * 8, "{} leaves holes", l.name());
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn addresses_stay_in_matrix_footprint(
+            r in 0usize..128,
+            c in 0usize..128,
+            which in 0usize..4,
+        ) {
+            let layouts = all_layouts(128);
+            let l = &layouts[which];
+            let a = l.addr(r, c);
+            prop_assert!(a < (128 * 128 * 8) as u64);
+            prop_assert_eq!(a % 8, 0);
+        }
+    }
+}

@@ -1,0 +1,122 @@
+//! The parameter bundle of the paper's Eq. (1).
+
+use mem3d::{Geometry, TimingParams};
+use serde::{Deserialize, Serialize};
+
+/// Everything the dynamic-data-layout optimizer needs to know about the
+/// memory device and the workload, in the paper's notation:
+///
+/// * `s` — row-buffer size of one vault, in *elements*;
+/// * `b` — banks per vault (across all layers);
+/// * `n_v` — vaults accessed in parallel;
+/// * the timing ratios `t_diff_row / t_in_row` etc. from
+///   [`TimingParams`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LayoutParams {
+    /// Matrix dimension `N` (the 2D FFT is `N × N`).
+    pub n: usize,
+    /// Bytes per element (64-bit complex words in the paper).
+    pub elem_bytes: usize,
+    /// Row-buffer size in elements (the paper's `s`).
+    pub s: usize,
+    /// Banks per vault (the paper's `b`).
+    pub b: usize,
+    /// Vaults accessed in parallel (the paper's `n_v`).
+    pub n_v: usize,
+    /// Memory timing parameters.
+    pub timing: TimingParams,
+}
+
+impl LayoutParams {
+    /// Derives the parameters for an `n × n` matrix of 8-byte elements
+    /// on the given device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry's row is smaller than one element.
+    pub fn for_device(n: usize, geom: &Geometry, timing: &TimingParams) -> Self {
+        let elem_bytes = 8;
+        assert!(geom.row_bytes >= elem_bytes, "row smaller than one element");
+        LayoutParams {
+            n,
+            elem_bytes,
+            s: geom.row_bytes / elem_bytes,
+            b: geom.banks_per_vault(),
+            n_v: geom.vaults,
+            timing: *timing,
+        }
+    }
+
+    /// `t_diff_row / t_in_row` — how many open-row accesses one row
+    /// activation is worth.
+    pub fn diff_row_ratio(&self) -> f64 {
+        self.timing.t_diff_row.as_ps() as f64 / self.timing.t_in_row.as_ps() as f64
+    }
+
+    /// `t_diff_bank / t_in_row`.
+    pub fn diff_bank_ratio(&self) -> f64 {
+        self.timing.t_diff_bank.as_ps() as f64 / self.timing.t_in_row.as_ps() as f64
+    }
+
+    /// Matrix footprint in bytes.
+    pub fn matrix_bytes(&self) -> u64 {
+        (self.n * self.n * self.elem_bytes) as u64
+    }
+
+    /// Valid block heights: powers of two dividing both `n` and `s` such
+    /// that the width `w = min(s/h, n)` also divides `n` (so blocks tile
+    /// the matrix exactly). Matrices narrower than one DRAM row use
+    /// width-`n` sub-row blocks.
+    pub fn valid_block_heights(&self) -> Vec<usize> {
+        let mut hs = Vec::new();
+        let mut h = 1usize;
+        while h <= self.s && h <= self.n {
+            if self.s.is_multiple_of(h)
+                && self.n.is_multiple_of(h)
+                && self.n.is_multiple_of((self.s / h).min(self.n))
+            {
+                hs.push(h);
+            }
+            h *= 2;
+        }
+        hs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derives_paper_notation_from_device() {
+        let geom = Geometry::default();
+        let timing = TimingParams::default();
+        let p = LayoutParams::for_device(1024, &geom, &timing);
+        assert_eq!(p.s, 1024, "8 KiB rows hold 1024 8-byte elements");
+        assert_eq!(p.b, 32);
+        assert_eq!(p.n_v, 16);
+        assert!((p.diff_row_ratio() - 25.0).abs() < 1e-9);
+        assert!((p.diff_bank_ratio() - 6.25).abs() < 1e-9);
+        assert_eq!(p.matrix_bytes(), 1024 * 1024 * 8);
+    }
+
+    #[test]
+    fn valid_heights_divide_both_dims() {
+        let p = LayoutParams::for_device(512, &Geometry::default(), &TimingParams::default());
+        let hs = p.valid_block_heights();
+        // h = 1 gives w = min(1024, 512) = 512, two blocks per DRAM row.
+        assert!(hs.contains(&1));
+        assert!(hs.contains(&2));
+        assert!(hs.contains(&512));
+        assert!(!hs.contains(&1024), "h cannot exceed n");
+        for h in hs {
+            assert_eq!(p.s % h, 0);
+            assert_eq!(p.n % h, 0);
+            assert_eq!(p.n % (p.s / h).min(p.n), 0);
+        }
+
+        // A matrix smaller than one DRAM row still has feasible heights.
+        let tiny = LayoutParams::for_device(16, &Geometry::default(), &TimingParams::default());
+        assert!(!tiny.valid_block_heights().is_empty());
+    }
+}

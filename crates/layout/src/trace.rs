@@ -1,0 +1,325 @@
+//! Access-trace generation for the two FFT phases under any layout.
+//!
+//! The generators walk the matrix exactly as the corresponding
+//! architecture does and *coalesce* runs of contiguous addresses into
+//! single burst requests, as a real memory controller front-end would.
+
+use mem3d::{AccessTrace, Direction};
+
+use crate::MatrixLayout;
+
+/// Maximum burst length in bytes (one full 8 KiB row); longer runs are
+/// chopped here and the memory system splits at row boundaries anyway.
+pub const MAX_BURST_BYTES: u32 = 8192;
+
+/// Coalesces an address stream into burst requests.
+///
+/// Consecutive addresses that extend the current run are merged until
+/// [`MAX_BURST_BYTES`]; any discontinuity starts a new request.
+#[derive(Debug)]
+pub struct Coalescer {
+    trace: AccessTrace,
+    run_start: u64,
+    run_len: u32,
+    dir: Direction,
+}
+
+impl Coalescer {
+    /// A coalescer producing requests in the given direction.
+    pub fn new(dir: Direction) -> Self {
+        Coalescer {
+            trace: AccessTrace::new(),
+            run_start: 0,
+            run_len: 0,
+            dir,
+        }
+    }
+
+    /// Adds `bytes` at `addr` to the stream.
+    pub fn push(&mut self, addr: u64, bytes: u32) {
+        if self.run_len > 0
+            && addr == self.run_start + self.run_len as u64
+            && self.run_len + bytes <= MAX_BURST_BYTES
+        {
+            self.run_len += bytes;
+        } else {
+            self.flush_run();
+            self.run_start = addr;
+            self.run_len = bytes;
+        }
+    }
+
+    fn flush_run(&mut self) {
+        if self.run_len > 0 {
+            self.trace.push(self.run_start, self.run_len, self.dir);
+            self.run_len = 0;
+        }
+    }
+
+    /// Finishes the stream and returns the coalesced trace.
+    pub fn finish(mut self) -> AccessTrace {
+        self.flush_run();
+        self.trace
+    }
+}
+
+/// The row phase: every matrix row is streamed in order (read for the
+/// row-wise FFT inputs, or write for storing its results).
+pub fn row_phase_trace(layout: &dyn MatrixLayout, dir: Direction) -> AccessTrace {
+    let n = layout.n();
+    let e = layout.elem_bytes() as u32;
+    let mut co = Coalescer::new(dir);
+    for r in 0..n {
+        for c in 0..n {
+            co.push(layout.addr(r, c), e);
+        }
+    }
+    co.finish()
+}
+
+/// The column phase: columns are processed in groups of `group`
+/// consecutive columns (the paper: "data inputs of several consecutive
+/// column-wise 1D FFTs will be moved from vaults to local memory
+/// together"). Within a group the walk is block-friendly: for each band
+/// of [`column_run`](MatrixLayout::column_run) rows, all `group` columns'
+/// segments are fetched before moving down.
+///
+/// With `group = 1` this degenerates to the baseline strided column walk.
+///
+/// # Panics
+///
+/// Panics if `group` is zero or does not divide `n`.
+pub fn col_phase_trace(layout: &dyn MatrixLayout, dir: Direction, group: usize) -> AccessTrace {
+    let n = layout.n();
+    assert!(
+        group > 0 && n.is_multiple_of(group),
+        "group {group} must divide n {n}"
+    );
+    let e = layout.elem_bytes() as u32;
+    let run = layout.column_run().min(n);
+    let mut co = Coalescer::new(dir);
+    for g in (0..n).step_by(group) {
+        // One group of `group` columns, walked band by band.
+        for band in (0..n).step_by(run) {
+            for c in g..g + group {
+                for r in band..(band + run).min(n) {
+                    co.push(layout.addr(r, c), e);
+                }
+            }
+        }
+    }
+    co.finish()
+}
+
+/// The write-back stream of the optimized row phase: after the
+/// permutation network has buffered a band of `h` matrix rows, it emits
+/// whole `w × h` blocks — full memory rows — left to right, band by
+/// band. Every burst is one contiguous DRAM row.
+pub fn band_block_write_trace(layout: &crate::BlockDynamic) -> AccessTrace {
+    let n = layout.n();
+    let e = layout.elem_bytes() as u32;
+    let (w, h) = (layout.w, layout.h);
+    let mut co = Coalescer::new(Direction::Write);
+    for band in (0..n).step_by(h) {
+        for bc in (0..n).step_by(w) {
+            // Within-block column-major emission order = ascending
+            // addresses = one coalesced burst per block.
+            for cc in bc..bc + w {
+                for rr in band..band + h {
+                    co.push(layout.addr(rr, cc), e);
+                }
+            }
+        }
+    }
+    co.finish()
+}
+
+/// The column phase of the tiled (Akin et al.) architecture: whole tiles
+/// are fetched — one contiguous burst each — in tile-*column*-major
+/// order, and an on-chip transposer (`permute::TileTransposer`) peels the
+/// column segments out locally.
+pub fn tile_sweep_trace(layout: &crate::Tiled, dir: Direction) -> AccessTrace {
+    let n = layout.n();
+    let e = layout.elem_bytes() as u32;
+    let (tr, tc) = (layout.tile_rows(), layout.tile_cols());
+    let mut co = Coalescer::new(dir);
+    for tile_col in (0..n).step_by(tc) {
+        for tile_row in (0..n).step_by(tr) {
+            // Row-major within the tile = ascending addresses.
+            for r in tile_row..tile_row + tr {
+                for c in tile_col..tile_col + tc {
+                    co.push(layout.addr(r, c), e);
+                }
+            }
+        }
+    }
+    co.finish()
+}
+
+/// The write-back stream of the tiled architecture's row phase: after
+/// buffering `tile_rows` matrix rows, whole tiles are emitted left to
+/// right (mirror of [`band_block_write_trace`] for the Akin layout).
+pub fn tile_band_write_trace(layout: &crate::Tiled) -> AccessTrace {
+    let n = layout.n();
+    let e = layout.elem_bytes() as u32;
+    let (tr, tc) = (layout.tile_rows(), layout.tile_cols());
+    let mut co = Coalescer::new(Direction::Write);
+    for tile_row in (0..n).step_by(tr) {
+        for tile_col in (0..n).step_by(tc) {
+            for r in tile_row..tile_row + tr {
+                for c in tile_col..tile_col + tc {
+                    co.push(layout.addr(r, c), e);
+                }
+            }
+        }
+    }
+    co.finish()
+}
+
+/// Convenience: the number of burst requests the column phase generates
+/// per column, a direct proxy for row-activation pressure.
+pub fn col_bursts_per_column(layout: &dyn MatrixLayout, group: usize) -> f64 {
+    let trace = col_phase_trace(layout, Direction::Read, group);
+    trace.len() as f64 / layout.n() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BlockDynamic, LayoutParams, RowMajor};
+    use mem3d::{Geometry, TimingParams};
+
+    fn params(n: usize) -> LayoutParams {
+        LayoutParams::for_device(n, &Geometry::default(), &TimingParams::default())
+    }
+
+    #[test]
+    fn coalescer_merges_contiguous_runs() {
+        let mut co = Coalescer::new(Direction::Read);
+        co.push(0, 8);
+        co.push(8, 8);
+        co.push(16, 8);
+        co.push(100, 8); // gap
+        co.push(108, 8);
+        let t = co.finish();
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_bytes(), 40);
+        let ops: Vec<_> = t.iter().collect();
+        assert_eq!((ops[0].addr, ops[0].bytes), (0, 24));
+        assert_eq!((ops[1].addr, ops[1].bytes), (100, 16));
+    }
+
+    #[test]
+    fn coalescer_respects_burst_cap() {
+        let mut co = Coalescer::new(Direction::Write);
+        for i in 0..3000u64 {
+            co.push(i * 8, 8);
+        }
+        let t = co.finish();
+        assert!(t.iter().all(|op| op.bytes <= MAX_BURST_BYTES));
+        assert_eq!(t.total_bytes(), 24_000);
+    }
+
+    #[test]
+    fn row_phase_on_row_major_is_fully_coalesced() {
+        let n = 64;
+        let l = RowMajor::new(&params(n));
+        let t = row_phase_trace(&l, Direction::Read);
+        // Adjacent rows are themselves contiguous, so the whole 32 KiB
+        // matrix coalesces into max-size bursts.
+        assert_eq!(t.len(), (n * n * 8) / MAX_BURST_BYTES as usize);
+        assert!(t.iter().all(|op| op.bytes == MAX_BURST_BYTES));
+        assert_eq!(t.total_bytes(), (n * n * 8) as u64);
+    }
+
+    #[test]
+    fn col_phase_on_row_major_cannot_coalesce() {
+        let n = 64;
+        let l = RowMajor::new(&params(n));
+        let t = col_phase_trace(&l, Direction::Read, 1);
+        assert_eq!(t.len(), n * n, "every element is its own burst");
+    }
+
+    #[test]
+    fn col_phase_on_block_layout_coalesces_into_segments() {
+        let n = 512;
+        let p = params(n);
+        let l = BlockDynamic::with_height(&p, 64).unwrap();
+        let t = col_phase_trace(&l, Direction::Read, 1);
+        // Each column is n/h = 8 segments of h = 64 elements; the walk
+        // occasionally merges a group boundary, so allow a small slack.
+        let expect = n * (n / 64);
+        assert!(t.len() <= expect && t.len() >= expect - n);
+        let per_col = col_bursts_per_column(&l, 1);
+        assert!((per_col - 8.0).abs() < 0.5, "got {per_col} bursts/column");
+    }
+
+    #[test]
+    fn grouped_col_phase_reads_whole_blocks() {
+        let n = 512;
+        let p = params(n);
+        let l = BlockDynamic::with_height(&p, 64).unwrap();
+        // Group = w = 16 columns: each block is one contiguous memory row.
+        let t = col_phase_trace(&l, Direction::Read, l.w);
+        assert_eq!(
+            t.len(),
+            (n / 64) * (n / l.w),
+            "one burst per block: blocks_down × block_cols"
+        );
+        assert!(t.iter().all(|op| op.bytes == 8192));
+    }
+
+    #[test]
+    fn traces_cover_the_whole_matrix_once() {
+        let n = 128;
+        let p = params(n);
+        let l = BlockDynamic::with_height(&p, 16).unwrap();
+        for t in [
+            row_phase_trace(&l, Direction::Read),
+            col_phase_trace(&l, Direction::Read, 1),
+            col_phase_trace(&l, Direction::Read, l.w),
+        ] {
+            assert_eq!(t.total_bytes(), (n * n * 8) as u64);
+        }
+    }
+
+    #[test]
+    fn tile_traces_move_whole_tiles() {
+        use crate::Tiled;
+        let n = 256;
+        let p = params(n);
+        let t = Tiled::row_buffer_sized(&p).unwrap(); // 32x32 tiles
+        let sweep = tile_sweep_trace(&t, Direction::Read);
+        assert_eq!(sweep.total_bytes(), (n * n * 8) as u64);
+        // Each tile is one row-buffer-sized burst (up to coalescing of
+        // address-adjacent tiles, capped at one row).
+        assert!(sweep
+            .iter()
+            .all(|op| (op.bytes as usize).is_multiple_of(p.s * p.elem_bytes)));
+        let writes = tile_band_write_trace(&t);
+        assert_eq!(writes.total_bytes(), (n * n * 8) as u64);
+        assert!(writes.iter().all(|op| op.dir == Direction::Write));
+    }
+
+    #[test]
+    fn band_block_writes_are_whole_rows() {
+        let n = 512;
+        let p = params(n);
+        let l = BlockDynamic::with_height(&p, 64).unwrap();
+        let t = band_block_write_trace(&l);
+        // Bursts coalesce across consecutive block indexes too, so each
+        // op is a multiple of the 8 KiB row up to the cap.
+        assert!(t
+            .iter()
+            .all(|op| (op.bytes as usize).is_multiple_of(p.s * p.elem_bytes)));
+        assert_eq!(t.total_bytes(), (n * n * 8) as u64);
+        assert!(t.iter().all(|op| op.dir == Direction::Write));
+    }
+
+    #[test]
+    #[should_panic(expected = "must divide")]
+    fn col_phase_group_must_divide_n() {
+        let l = RowMajor::new(&params(64));
+        let _ = col_phase_trace(&l, Direction::Read, 3);
+    }
+}

@@ -1,0 +1,265 @@
+//! Flat-address to physical-location mapping policies.
+//!
+//! The way consecutive byte addresses spread over vaults, layers, banks
+//! and rows determines how much of the stack's parallelism a given access
+//! stream can exploit. The layouts in the `layout` crate are expressed on
+//! top of these maps.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Error, Geometry, Location, Result};
+
+/// Interleaving policy for decoding flat byte addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum AddressMapKind {
+    /// Fully contiguous: a bank is filled row by row before moving to the
+    /// next bank, then the next layer, then the next vault.
+    ///
+    /// Sequential streams stay inside a single vault; strided streams
+    /// tend to re-activate rows of the *same* bank, paying `t_diff_row`
+    /// on every access. This is the paper's baseline behaviour.
+    Chunked,
+    /// Consecutive memory rows round-robin over the banks of a layer,
+    /// then over layers, then advance the row index; vaults are still
+    /// filled one after another.
+    RowInterleaved,
+    /// Consecutive memory rows round-robin over vaults first, then banks,
+    /// then layers. Sequential streams engage every vault; this is the
+    /// map the optimized dynamic layout builds on.
+    VaultInterleaved,
+}
+
+/// A concrete address decoder/encoder for one [`Geometry`].
+///
+/// `decode` and `encode` are exact inverses for every in-range address;
+/// this invariant is property-tested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AddressMap {
+    kind: AddressMapKind,
+    geom: Geometry,
+}
+
+impl AddressMap {
+    /// Creates a map with the given interleaving over `geom`.
+    pub fn new(kind: AddressMapKind, geom: Geometry) -> Self {
+        AddressMap { kind, geom }
+    }
+
+    /// The interleaving policy of this map.
+    pub fn kind(&self) -> AddressMapKind {
+        self.kind
+    }
+
+    /// The geometry this map decodes into.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// Decodes a flat byte address into a physical location.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] if `addr` is at or beyond the device
+    /// capacity.
+    pub fn decode(&self, addr: u64) -> Result<Location> {
+        let capacity = self.geom.capacity_bytes();
+        if addr >= capacity {
+            return Err(Error::OutOfRange { addr, capacity });
+        }
+        let row_bytes = self.geom.row_bytes as u64;
+        let col = (addr % row_bytes) as u32;
+        // Index of the memory row within the whole device.
+        let row_idx = addr / row_bytes;
+
+        let vaults = self.geom.vaults as u64;
+        let layers = self.geom.layers as u64;
+        let banks = self.geom.banks_per_layer as u64;
+        let rows = self.geom.rows_per_bank as u64;
+
+        let loc = match self.kind {
+            AddressMapKind::Chunked => {
+                // row, then bank, then layer, then vault.
+                let row = row_idx % rows;
+                let bank = (row_idx / rows) % banks;
+                let layer = (row_idx / (rows * banks)) % layers;
+                let vault = row_idx / (rows * banks * layers);
+                Location {
+                    vault: vault as usize,
+                    layer: layer as usize,
+                    bank: bank as usize,
+                    row: row as usize,
+                    col,
+                }
+            }
+            AddressMapKind::RowInterleaved => {
+                // bank, then layer, then row, then vault.
+                let bank = row_idx % banks;
+                let layer = (row_idx / banks) % layers;
+                let row = (row_idx / (banks * layers)) % rows;
+                let vault = row_idx / (banks * layers * rows);
+                Location {
+                    vault: vault as usize,
+                    layer: layer as usize,
+                    bank: bank as usize,
+                    row: row as usize,
+                    col,
+                }
+            }
+            AddressMapKind::VaultInterleaved => {
+                // vault, then bank, then layer, then row.
+                let vault = row_idx % vaults;
+                let bank = (row_idx / vaults) % banks;
+                let layer = (row_idx / (vaults * banks)) % layers;
+                let row = row_idx / (vaults * banks * layers);
+                Location {
+                    vault: vault as usize,
+                    layer: layer as usize,
+                    bank: bank as usize,
+                    row: row as usize,
+                    col,
+                }
+            }
+        };
+        debug_assert!(self.geom.contains(loc));
+        Ok(loc)
+    }
+
+    /// Encodes a physical location back into its flat byte address.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::InvalidGeometry`] if `loc` does not belong to this
+    /// map's geometry.
+    pub fn encode(&self, loc: Location) -> Result<u64> {
+        if !self.geom.contains(loc) {
+            return Err(Error::InvalidGeometry(format!(
+                "location {loc} outside geometry"
+            )));
+        }
+        let row_bytes = self.geom.row_bytes as u64;
+        let layers = self.geom.layers as u64;
+        let banks = self.geom.banks_per_layer as u64;
+        let rows = self.geom.rows_per_bank as u64;
+        let vaults = self.geom.vaults as u64;
+        let (vault, layer, bank, row) = (
+            loc.vault as u64,
+            loc.layer as u64,
+            loc.bank as u64,
+            loc.row as u64,
+        );
+
+        let row_idx = match self.kind {
+            AddressMapKind::Chunked => ((vault * layers + layer) * banks + bank) * rows + row,
+            AddressMapKind::RowInterleaved => {
+                ((vault * rows + row) * layers + layer) * banks + bank
+            }
+            AddressMapKind::VaultInterleaved => {
+                ((row * layers + layer) * banks + bank) * vaults + vault
+            }
+        };
+        Ok(row_idx * row_bytes + loc.col as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const KINDS: [AddressMapKind; 3] = [
+        AddressMapKind::Chunked,
+        AddressMapKind::RowInterleaved,
+        AddressMapKind::VaultInterleaved,
+    ];
+
+    fn small_geom() -> Geometry {
+        Geometry {
+            vaults: 4,
+            layers: 2,
+            banks_per_layer: 2,
+            rows_per_bank: 8,
+            row_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn chunked_keeps_sequential_in_one_vault() {
+        let map = AddressMap::new(AddressMapKind::Chunked, small_geom());
+        for addr in 0..small_geom().vault_bytes() {
+            assert_eq!(map.decode(addr).unwrap().vault, 0);
+        }
+        assert_eq!(map.decode(small_geom().vault_bytes()).unwrap().vault, 1);
+    }
+
+    #[test]
+    fn vault_interleaved_rotates_vaults_per_row() {
+        let g = small_geom();
+        let map = AddressMap::new(AddressMapKind::VaultInterleaved, g);
+        for i in 0..8u64 {
+            let loc = map.decode(i * g.row_bytes as u64).unwrap();
+            assert_eq!(loc.vault, (i % g.vaults as u64) as usize);
+        }
+    }
+
+    #[test]
+    fn row_interleaved_rotates_banks_per_row() {
+        let g = small_geom();
+        let map = AddressMap::new(AddressMapKind::RowInterleaved, g);
+        let a = map.decode(0).unwrap();
+        let b = map.decode(g.row_bytes as u64).unwrap();
+        assert_eq!(a.vault, b.vault);
+        assert_ne!((a.layer, a.bank), (b.layer, b.bank));
+    }
+
+    #[test]
+    fn decode_rejects_out_of_range() {
+        let g = small_geom();
+        for kind in KINDS {
+            let map = AddressMap::new(kind, g);
+            assert!(map.decode(g.capacity_bytes()).is_err());
+        }
+    }
+
+    #[test]
+    fn encode_rejects_foreign_location() {
+        let map = AddressMap::new(AddressMapKind::Chunked, small_geom());
+        let bad = Location {
+            vault: 99,
+            ..Location::ZERO
+        };
+        assert!(map.encode(bad).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn decode_encode_round_trip(
+            addr in 0u64..small_geom().capacity_bytes(),
+            kind_idx in 0usize..3,
+        ) {
+            let map = AddressMap::new(KINDS[kind_idx], small_geom());
+            let loc = map.decode(addr).unwrap();
+            prop_assert!(small_geom().contains(loc));
+            prop_assert_eq!(map.encode(loc).unwrap(), addr);
+        }
+
+        #[test]
+        fn decode_is_injective_on_rows(
+            a in 0u64..small_geom().capacity_bytes() / 64,
+            b in 0u64..small_geom().capacity_bytes() / 64,
+            kind_idx in 0usize..3,
+        ) {
+            // Distinct memory-row indexes decode to distinct (vault, layer,
+            // bank, row) tuples.
+            let g = small_geom();
+            let map = AddressMap::new(KINDS[kind_idx], g);
+            let la = map.decode(a * g.row_bytes as u64).unwrap();
+            let lb = map.decode(b * g.row_bytes as u64).unwrap();
+            if a != b {
+                prop_assert!(!la.same_row(&lb));
+            } else {
+                prop_assert_eq!(la, lb);
+            }
+        }
+    }
+}

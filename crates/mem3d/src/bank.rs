@@ -1,0 +1,83 @@
+//! Per-bank open-row and timing state.
+
+use crate::Picos;
+
+/// Timing-relevant state of one physical bank (one layer × bank slot).
+///
+/// The controller consults this state to decide whether an access is a
+/// row hit and how early the next activate or column command may start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BankState {
+    /// Currently open row, if any (open-page policy keeps rows open).
+    pub open_row: Option<usize>,
+    /// Start time of the most recent activate to this bank.
+    pub last_activate: Option<Picos>,
+    /// Start time of the most recent column command to this bank.
+    pub last_column: Option<Picos>,
+}
+
+impl BankState {
+    /// A bank with no row open and no command history.
+    pub const fn idle() -> Self {
+        BankState {
+            open_row: None,
+            last_activate: None,
+            last_column: None,
+        }
+    }
+
+    /// `true` if `row` is currently open in this bank.
+    pub fn is_open(&self, row: usize) -> bool {
+        self.open_row == Some(row)
+    }
+
+    /// Earliest time a new activate may start given the same-bank
+    /// activate-to-activate constraint `t_diff_row`.
+    pub fn next_activate_after(&self, t_diff_row: Picos) -> Picos {
+        match self.last_activate {
+            Some(t) => t + t_diff_row,
+            None => Picos::ZERO,
+        }
+    }
+
+    /// Earliest time a new column command may start given the same-row
+    /// column-to-column constraint `t_in_row`.
+    pub fn next_column_after(&self, t_in_row: Picos) -> Picos {
+        match self.last_column {
+            Some(t) => t + t_in_row,
+            None => Picos::ZERO,
+        }
+    }
+}
+
+impl Default for BankState {
+    fn default() -> Self {
+        BankState::idle()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_bank_has_no_constraints() {
+        let b = BankState::idle();
+        assert!(!b.is_open(0));
+        assert_eq!(b.next_activate_after(Picos(100)), Picos::ZERO);
+        assert_eq!(b.next_column_after(Picos(100)), Picos::ZERO);
+    }
+
+    #[test]
+    fn constraints_advance_with_history() {
+        let b = BankState {
+            open_row: Some(7),
+            last_activate: Some(Picos(1_000)),
+            last_column: Some(Picos(1_500)),
+        };
+        assert!(b.is_open(7));
+        assert!(!b.is_open(8));
+        assert_eq!(b.next_activate_after(Picos(20_000)), Picos(21_000));
+        assert_eq!(b.next_column_after(Picos(800)), Picos(2_300));
+    }
+}

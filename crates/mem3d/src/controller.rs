@@ -1,0 +1,324 @@
+//! The per-vault memory controller.
+
+use crate::{BankState, Direction, Geometry, Picos, Request, RequestOutcome, Stats, TimingParams};
+
+/// A dedicated controller for one vault, as in the paper's Fig. 1: it owns
+/// the vault's banks (across all layers) and the TSV bundle connecting the
+/// vault to the FPGA layer.
+///
+/// Requests are served in arrival order (FCFS) with an open-page policy:
+/// a row stays open until another row of the same bank is needed. The
+/// controller enforces
+///
+/// * `t_diff_row` between activates to the same bank,
+/// * `t_diff_bank` between activates to different banks on the same layer,
+/// * `t_in_vault` between activates to banks on different layers
+///   (activation pipelining through the stack),
+/// * `t_in_row` between column commands to the same bank, and
+/// * serialization of data beats on the shared TSV link.
+#[derive(Debug, Clone)]
+pub struct VaultController {
+    vault: usize,
+    geom: Geometry,
+    timing: TimingParams,
+    banks: Vec<BankState>,
+    /// Most recent activate anywhere in the vault: (start, layer, bank).
+    last_vault_activate: Option<(Picos, usize, usize)>,
+    /// The TSV data link is busy until this time.
+    tsv_free_at: Picos,
+    stats: Stats,
+}
+
+impl VaultController {
+    /// Creates an idle controller for vault `vault` of `geom`.
+    pub fn new(vault: usize, geom: Geometry, timing: TimingParams) -> Self {
+        let banks = vec![BankState::idle(); geom.banks_per_vault()];
+        VaultController {
+            vault,
+            geom,
+            timing,
+            banks,
+            last_vault_activate: None,
+            tsv_free_at: Picos::ZERO,
+            stats: Stats::default(),
+        }
+    }
+
+    /// The vault index this controller serves.
+    pub fn vault(&self) -> usize {
+        self.vault
+    }
+
+    /// Read-only view of a bank's state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer` or `bank` are out of range for the geometry.
+    pub fn bank(&self, layer: usize, bank: usize) -> &BankState {
+        &self.banks[layer * self.geom.banks_per_layer + bank]
+    }
+
+    /// Accumulated statistics for this vault.
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Clears statistics but keeps row-buffer state.
+    pub fn reset_stats(&mut self) {
+        self.stats = Stats::default();
+    }
+
+    /// Closes all rows and clears all timing history and statistics.
+    pub fn reset(&mut self) {
+        for b in &mut self.banks {
+            *b = BankState::idle();
+        }
+        self.last_vault_activate = None;
+        self.tsv_free_at = Picos::ZERO;
+        self.stats = Stats::default();
+    }
+
+    /// Earliest time an activate to (`layer`, `bank`) may start, given the
+    /// most recent activate anywhere in this vault.
+    fn vault_activate_constraint(&self, layer: usize, bank: usize) -> Picos {
+        match self.last_vault_activate {
+            None => Picos::ZERO,
+            Some((t, l, b)) => {
+                if l == layer && b == bank {
+                    // Same bank: the per-bank t_diff_row constraint governs;
+                    // no extra vault-level constraint.
+                    Picos::ZERO
+                } else if l == layer {
+                    t + self.timing.t_diff_bank
+                } else {
+                    t + self.timing.t_in_vault
+                }
+            }
+        }
+    }
+
+    /// Schedules one request and returns its resolved timing.
+    ///
+    /// The request must target this controller's vault and must not cross
+    /// a row boundary; [`crate::MemorySystem`] guarantees both.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug assertions) if the request targets another vault or
+    /// spills past the end of its row.
+    pub fn service(&mut self, req: Request) -> RequestOutcome {
+        debug_assert_eq!(req.loc.vault, self.vault, "request routed to wrong vault");
+        debug_assert!(
+            req.loc.col as usize + req.bytes as usize <= self.geom.row_bytes,
+            "request crosses a row boundary"
+        );
+
+        let t = &self.timing;
+        let bank_idx = req.loc.bank_in_vault(&self.geom);
+        let row_hit = self.banks[bank_idx].is_open(req.loc.row);
+
+        // 1. Open the row if necessary.
+        let row_ready = if row_hit {
+            req.at
+        } else {
+            let act_start = t.avoid_refresh(
+                req.at
+                    .max(self.banks[bank_idx].next_activate_after(t.t_diff_row))
+                    .max(self.vault_activate_constraint(req.loc.layer, req.loc.bank)),
+            );
+            self.banks[bank_idx].open_row = Some(req.loc.row);
+            self.banks[bank_idx].last_activate = Some(act_start);
+            self.last_vault_activate = Some((act_start, req.loc.layer, req.loc.bank));
+            self.stats.activations += 1;
+            act_start + t.t_activate
+        };
+
+        // 2. Issue the column command (also barred during refresh).
+        let col_start =
+            t.avoid_refresh(row_ready.max(self.banks[bank_idx].next_column_after(t.t_in_row)));
+        self.banks[bank_idx].last_column = Some(col_start);
+
+        // 3. Move the data over the TSVs.
+        let transfer = t.tsv_ps_per_byte * req.bytes as u64;
+        let data_ready = col_start + t.t_column;
+        let bus_start = data_ready.max(self.tsv_free_at);
+        let done = bus_start + transfer;
+        self.tsv_free_at = done;
+
+        // 4. Account.
+        let outcome = RequestOutcome {
+            data_start: bus_start,
+            done,
+            row_hit,
+        };
+        self.stats.record(&req, &outcome);
+        if row_hit {
+            self.stats.row_hits += 1;
+        } else {
+            self.stats.row_misses += 1;
+        }
+        match req.dir {
+            Direction::Read => self.stats.bytes_read += req.bytes as u64,
+            Direction::Write => self.stats.bytes_written += req.bytes as u64,
+        }
+        outcome
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Location;
+
+    fn ctl() -> VaultController {
+        VaultController::new(0, Geometry::default(), TimingParams::default())
+    }
+
+    fn loc(layer: usize, bank: usize, row: usize, col: u32) -> Location {
+        Location {
+            vault: 0,
+            layer,
+            bank,
+            row,
+            col,
+        }
+    }
+
+    #[test]
+    fn first_access_pays_activate_and_column_latency() {
+        let mut c = ctl();
+        let t = TimingParams::default();
+        let out = c.service(Request::read(loc(0, 0, 0, 0), 8));
+        assert!(!out.row_hit);
+        // activate at 0, row ready at t_activate, column data after
+        // t_column, then 8 bytes over the TSVs.
+        let expect = t.t_activate + t.t_column + t.tsv_ps_per_byte * 8;
+        assert_eq!(out.done, expect);
+        assert_eq!(c.stats().activations, 1);
+    }
+
+    #[test]
+    fn open_row_access_is_a_hit_and_faster() {
+        let mut c = ctl();
+        let miss = c.service(Request::read(loc(0, 0, 0, 0), 8));
+        let hit = c.service(Request::read(loc(0, 0, 0, 8), 8));
+        assert!(hit.row_hit);
+        assert!(hit.done - miss.done < miss.done, "hit avoids the activate");
+        assert_eq!(c.stats().row_hits, 1);
+        assert_eq!(c.stats().row_misses, 1);
+    }
+
+    #[test]
+    fn same_bank_row_conflict_pays_t_diff_row() {
+        let mut c = ctl();
+        let t = TimingParams::default();
+        c.service(Request::read(loc(0, 0, 0, 0), 8));
+        let out = c.service(Request::read(loc(0, 0, 1, 0), 8));
+        // Second activate may not start before t_diff_row after the first.
+        let second_act = t.t_diff_row;
+        assert_eq!(
+            out.done,
+            second_act + t.t_activate + t.t_column + t.tsv_ps_per_byte * 8
+        );
+    }
+
+    #[test]
+    fn different_layer_pipelines_faster_than_same_layer() {
+        let t = TimingParams::default();
+        // Same layer, different bank.
+        let mut c1 = ctl();
+        c1.service(Request::read(loc(0, 0, 0, 0), 8));
+        let same_layer = c1.service(Request::read(loc(0, 1, 0, 0), 8));
+        // Different layer.
+        let mut c2 = ctl();
+        c2.service(Request::read(loc(0, 0, 0, 0), 8));
+        let diff_layer = c2.service(Request::read(loc(1, 0, 0, 0), 8));
+        assert!(diff_layer.done < same_layer.done);
+        assert_eq!(
+            same_layer.done - diff_layer.done,
+            t.t_diff_bank - t.t_in_vault
+        );
+    }
+
+    #[test]
+    fn tsv_link_serializes_back_to_back_hits() {
+        let mut c = ctl();
+        let t = TimingParams::default();
+        let a = c.service(Request::read(loc(0, 0, 0, 0), 64));
+        let b = c.service(Request::read(loc(0, 0, 0, 64), 64));
+        // 64-byte transfers take 64 * 200 ps = 12.8 ns each, far more than
+        // t_in_row, so the link is the bottleneck and beats are contiguous.
+        assert_eq!(b.done - a.done, t.tsv_ps_per_byte * 64);
+    }
+
+    #[test]
+    fn streaming_a_row_approaches_link_bandwidth() {
+        let mut c = ctl();
+        let t = TimingParams::default();
+        let geom = Geometry::default();
+        let chunk = 64u32;
+        let n = geom.row_bytes as u32 / chunk;
+        let mut last = Picos::ZERO;
+        for i in 0..n {
+            last = c
+                .service(Request::read(loc(0, 0, 0, i * chunk), chunk))
+                .done;
+        }
+        let bytes = geom.row_bytes as u64;
+        let ideal = t.tsv_ps_per_byte * bytes;
+        // Only the initial activate+column latency is added on top of the
+        // pure transfer time.
+        assert!(last.as_ps() < ideal.as_ps() + 20_000);
+    }
+
+    #[test]
+    fn reset_clears_state_and_stats() {
+        let mut c = ctl();
+        c.service(Request::read(loc(0, 0, 0, 0), 8));
+        c.reset();
+        assert_eq!(c.stats().activations, 0);
+        assert_eq!(c.bank(0, 0).open_row, None);
+        let out = c.service(Request::read(loc(0, 0, 0, 0), 8));
+        assert!(!out.row_hit);
+    }
+
+    #[test]
+    fn reset_stats_keeps_open_rows() {
+        let mut c = ctl();
+        c.service(Request::read(loc(0, 0, 0, 0), 8));
+        c.reset_stats();
+        assert_eq!(c.stats().activations, 0);
+        let out = c.service(Request::read(loc(0, 0, 0, 8), 8));
+        assert!(out.row_hit, "row stayed open across reset_stats");
+    }
+
+    #[test]
+    fn refresh_steals_bandwidth() {
+        let geom = Geometry::default();
+        let base = TimingParams::default();
+        let with_ref = base.with_refresh();
+        let run = |timing: TimingParams| {
+            let mut c = VaultController::new(0, geom, timing);
+            let mut last = Picos::ZERO;
+            for i in 0..4096u32 {
+                let col = (i % 128) * 64;
+                let row = (i / 128) as usize;
+                last = c.service(Request::read(loc(0, 0, row, col), 64)).done;
+            }
+            last
+        };
+        let plain = run(base);
+        let refreshed = run(with_ref);
+        assert!(refreshed > plain, "refresh must cost time");
+        // tRFC/tREFI ≈ 4.5%: the slowdown stays single-digit percent.
+        let ratio = refreshed.as_ps() as f64 / plain.as_ps() as f64;
+        assert!(ratio < 1.10, "got slowdown {ratio}");
+    }
+
+    #[test]
+    fn arrival_time_defers_scheduling() {
+        let mut c = ctl();
+        let out = c.service(Request::read(loc(0, 0, 0, 0), 8).arriving_at(Picos(1_000_000)));
+        assert!(out.data_start >= Picos(1_000_000));
+    }
+}

@@ -1,0 +1,192 @@
+//! Energy accounting for the 3D memory stack.
+//!
+//! The dynamic data layout's companion claim (the authors' ARC 2015
+//! paper, ref [6]) is that cutting row activations cuts *energy*, not
+//! just latency. This module prices a [`Stats`] delta: every activation
+//! charges the row-open energy, every byte charges DRAM array access
+//! plus TSV transfer energy, and elapsed time charges per-vault
+//! background power.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Picos, Stats};
+
+/// Energy coefficients of the stack, in picojoules.
+///
+/// Defaults are in the band reported for HMC-generation 3D DRAM:
+/// a few nanojoules per row activation, single-digit picojoules per bit
+/// for array access and TSV traversal, and tens of milliwatts of
+/// per-vault background power.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// Energy of one row activation (open + restore), in pJ.
+    pub activate_pj: f64,
+    /// DRAM array access energy per byte moved, in pJ.
+    pub array_pj_per_byte: f64,
+    /// TSV link traversal energy per byte moved, in pJ.
+    pub tsv_pj_per_byte: f64,
+    /// Background (standby + refresh share) power per vault, in mW.
+    pub background_mw_per_vault: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        EnergyParams {
+            activate_pj: 2_000.0,
+            array_pj_per_byte: 32.0, // 4 pJ/bit
+            tsv_pj_per_byte: 16.0,   // 2 pJ/bit
+            background_mw_per_vault: 25.0,
+        }
+    }
+}
+
+/// An itemized energy bill for one measured interval.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyReport {
+    /// Row-activation energy, pJ.
+    pub activation_pj: f64,
+    /// DRAM array access energy, pJ.
+    pub array_pj: f64,
+    /// TSV transfer energy, pJ.
+    pub tsv_pj: f64,
+    /// Background energy over the interval, pJ.
+    pub background_pj: f64,
+}
+
+impl EnergyReport {
+    /// Prices a statistics delta over a wall-clock interval on a device
+    /// with `vaults` vaults.
+    pub fn from_stats(
+        stats: &Stats,
+        duration: Picos,
+        vaults: usize,
+        params: &EnergyParams,
+    ) -> Self {
+        let bytes = stats.bytes_total() as f64;
+        EnergyReport {
+            activation_pj: stats.activations as f64 * params.activate_pj,
+            array_pj: bytes * params.array_pj_per_byte,
+            tsv_pj: bytes * params.tsv_pj_per_byte,
+            // mW × ps = pJ × 1e-3 ... 1 mW = 1e-3 J/s = 1e-3 pJ/ps.
+            background_pj: params.background_mw_per_vault
+                * vaults as f64
+                * duration.as_ps() as f64
+                * 1e-3,
+        }
+    }
+
+    /// Total energy in pJ.
+    pub fn total_pj(&self) -> f64 {
+        self.activation_pj + self.array_pj + self.tsv_pj + self.background_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// Share of the total spent on row activations, in `[0, 1]`.
+    pub fn activation_share(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            self.activation_pj / t
+        }
+    }
+
+    /// Energy per byte moved, in pJ/B. Returns 0 for an empty interval.
+    pub fn pj_per_byte(&self, stats: &Stats) -> f64 {
+        let bytes = stats.bytes_total();
+        if bytes == 0 {
+            0.0
+        } else {
+            self.total_pj() / bytes as f64
+        }
+    }
+
+    /// Sums two reports (e.g. the two application phases).
+    pub fn merged(&self, other: &EnergyReport) -> EnergyReport {
+        EnergyReport {
+            activation_pj: self.activation_pj + other.activation_pj,
+            array_pj: self.array_pj + other.array_pj,
+            tsv_pj: self.tsv_pj + other.tsv_pj,
+            background_pj: self.background_pj + other.background_pj,
+        }
+    }
+}
+
+impl std::fmt::Display for EnergyReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{:.1} uJ (act {:.1}%, array {:.1}%, tsv {:.1}%, bg {:.1}%)",
+            self.total_uj(),
+            self.activation_pj / self.total_pj().max(f64::MIN_POSITIVE) * 100.0,
+            self.array_pj / self.total_pj().max(f64::MIN_POSITIVE) * 100.0,
+            self.tsv_pj / self.total_pj().max(f64::MIN_POSITIVE) * 100.0,
+            self.background_pj / self.total_pj().max(f64::MIN_POSITIVE) * 100.0,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(activations: u64, bytes: u64) -> Stats {
+        Stats {
+            activations,
+            bytes_read: bytes,
+            row_misses: activations,
+            requests: 1,
+            ..Stats::default()
+        }
+    }
+
+    #[test]
+    fn itemization_adds_up() {
+        let p = EnergyParams::default();
+        let s = stats(10, 1_000);
+        let r = EnergyReport::from_stats(&s, Picos::from_ns(100), 16, &p);
+        assert!((r.activation_pj - 20_000.0).abs() < 1e-9);
+        assert!((r.array_pj - 32_000.0).abs() < 1e-9);
+        assert!((r.tsv_pj - 16_000.0).abs() < 1e-9);
+        // 25 mW × 16 vaults × 100 ns = 400 mW·ns = 40,000 pJ.
+        assert!((r.background_pj - 40_000.0).abs() < 1e-6);
+        assert!((r.total_pj() - 108_000.0).abs() < 1e-6);
+        assert!((r.total_uj() - 0.108).abs() < 1e-9);
+    }
+
+    #[test]
+    fn activation_share_tracks_activations() {
+        let p = EnergyParams::default();
+        let few = EnergyReport::from_stats(&stats(1, 8192), Picos::ZERO, 16, &p);
+        let many = EnergyReport::from_stats(&stats(1024, 8192), Picos::ZERO, 16, &p);
+        assert!(many.activation_share() > few.activation_share());
+        assert!(
+            many.activation_share() > 0.8,
+            "per-element activation dominates"
+        );
+    }
+
+    #[test]
+    fn per_byte_and_merge() {
+        let p = EnergyParams::default();
+        let a = EnergyReport::from_stats(&stats(1, 100), Picos::ZERO, 1, &p);
+        let b = EnergyReport::from_stats(&stats(2, 200), Picos::ZERO, 1, &p);
+        let m = a.merged(&b);
+        assert!((m.total_pj() - (a.total_pj() + b.total_pj())).abs() < 1e-9);
+        assert!(a.pj_per_byte(&stats(1, 100)) > 0.0);
+        assert_eq!(EnergyReport::default().pj_per_byte(&Stats::default()), 0.0);
+        assert_eq!(EnergyReport::default().activation_share(), 0.0);
+    }
+
+    #[test]
+    fn display_is_itemized() {
+        let p = EnergyParams::default();
+        let r = EnergyReport::from_stats(&stats(5, 500), Picos::from_ns(10), 4, &p);
+        let s = r.to_string();
+        assert!(s.contains("uJ") && s.contains("act"));
+    }
+}

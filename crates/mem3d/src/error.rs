@@ -1,0 +1,68 @@
+//! Error types for the memory simulator.
+
+use std::fmt;
+
+/// Convenience alias for results produced by this crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors reported by the 3D-memory simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// A geometry parameter was zero, not a power of two where required,
+    /// or otherwise inconsistent.
+    InvalidGeometry(String),
+    /// A timing parameter violated the model's documented ordering.
+    InvalidTiming(String),
+    /// An address or location fell outside the device capacity.
+    OutOfRange {
+        /// The offending flat byte address.
+        addr: u64,
+        /// Total device capacity in bytes.
+        capacity: u64,
+    },
+    /// A request was malformed (zero length, crosses a row boundary, ...).
+    BadRequest(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidGeometry(msg) => write!(f, "invalid geometry: {msg}"),
+            Error::InvalidTiming(msg) => write!(f, "invalid timing parameters: {msg}"),
+            Error::OutOfRange { addr, capacity } => {
+                write!(
+                    f,
+                    "address {addr:#x} out of range (capacity {capacity} bytes)"
+                )
+            }
+            Error::BadRequest(msg) => write!(f, "bad request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = Error::OutOfRange {
+            addr: 0x10,
+            capacity: 8,
+        };
+        assert!(e.to_string().contains("0x10"));
+        assert!(e.to_string().contains("capacity 8"));
+        assert!(Error::InvalidGeometry("x".into()).to_string().contains("x"));
+        assert!(Error::InvalidTiming("y".into()).to_string().contains("y"));
+        assert!(Error::BadRequest("z".into()).to_string().contains("z"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Error>();
+    }
+}

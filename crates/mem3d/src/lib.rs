@@ -1,0 +1,71 @@
+//! Cycle-level simulator of a 3D-stacked (HMC-like) memory device.
+//!
+//! This crate models the memory side of the *3D Memory Integrated FPGA*
+//! (3D MI-FPGA) architecture from "Optimal Dynamic Data Layouts for 2D FFT
+//! on 3D Memory Integrated FPGA" (Chen, Singapura, Prasanna, 2015):
+//!
+//! * a stack of memory **layers**, each partitioned into **banks**;
+//! * **vaults**: vertical groups of banks (one per layer) sharing a set of
+//!   through-silicon vias (TSVs) and served by a dedicated per-vault
+//!   **memory controller**;
+//! * DRAM-style **rows** with an open-row (row-buffer) policy;
+//! * the paper's four timing parameters ([`TimingParams`]):
+//!   `t_in_row`, `t_diff_row`, `t_diff_bank` and `t_in_vault`.
+//!
+//! Vaults are fully independent (the paper defines no `t_diff_vault`), so
+//! the device's peak bandwidth is the sum of the per-vault TSV link
+//! bandwidths. Within a vault, activations to banks on *different layers*
+//! pipeline with the short `t_in_vault` gap, activations to different banks
+//! on the *same layer* pay `t_diff_bank`, and re-activating the *same bank*
+//! pays the full `t_diff_row`.
+//!
+//! The simulator is event-driven per request rather than ticked per cycle:
+//! each controller keeps per-bank and per-bus availability times and
+//! resolves every request to an absolute completion time in picoseconds.
+//! This makes simulating multi-gigabyte traces cheap while enforcing
+//! exactly the same constraints a ticked model would.
+//!
+//! # Example
+//!
+//! ```
+//! use mem3d::{Geometry, MemorySystem, Request, TimingParams};
+//!
+//! let geom = Geometry::default();
+//! let mut mem = MemorySystem::new(geom, TimingParams::default());
+//!
+//! // Stream 1 KiB sequentially through vault 0: row-buffer friendly.
+//! for i in 0..128u64 {
+//!     let loc = mem.geometry().location_of(i * 8).unwrap();
+//!     mem.service(Request::read(loc, 8));
+//! }
+//! let stats = mem.stats();
+//! assert_eq!(stats.bytes_read, 1024);
+//! assert!(stats.row_hits > stats.row_misses);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod address;
+mod bank;
+mod controller;
+mod energy;
+mod error;
+mod geometry;
+mod request;
+mod stats;
+mod system;
+mod timing;
+mod trace;
+
+pub use address::{AddressMap, AddressMapKind};
+pub use bank::BankState;
+pub use controller::VaultController;
+pub use energy::{EnergyParams, EnergyReport};
+pub use error::{Error, Result};
+pub use geometry::{Geometry, Location};
+pub use request::{Direction, Request, RequestOutcome};
+pub use stats::{BandwidthReport, Stats};
+pub use system::MemorySystem;
+pub use timing::{Picos, TimingParams};
+pub use trace::{AccessTrace, TraceOp, TraceStats};

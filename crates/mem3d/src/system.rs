@@ -1,0 +1,367 @@
+//! The complete memory device: all vaults behind one façade.
+
+use crate::{
+    AddressMap, AddressMapKind, BandwidthReport, Direction, Error, Geometry, Picos, Request,
+    RequestOutcome, Result, Stats, TimingParams, VaultController,
+};
+
+/// The complete 3D memory device: one [`VaultController`] per vault, all
+/// sharing a [`Geometry`] and [`TimingParams`].
+///
+/// Vaults are fully independent; the system routes each request to its
+/// vault's controller and aggregates statistics. Requests that cross a
+/// row boundary are split transparently.
+#[derive(Debug, Clone)]
+pub struct MemorySystem {
+    geom: Geometry,
+    timing: TimingParams,
+    controllers: Vec<VaultController>,
+}
+
+impl MemorySystem {
+    /// Builds an idle device.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `geom` or `timing` fail validation; use
+    /// [`MemorySystem::try_new`] for fallible construction.
+    pub fn new(geom: Geometry, timing: TimingParams) -> Self {
+        Self::try_new(geom, timing).expect("invalid memory configuration")
+    }
+
+    /// Fallible counterpart of [`MemorySystem::new`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the first geometry or timing validation error.
+    pub fn try_new(geom: Geometry, timing: TimingParams) -> Result<Self> {
+        geom.validate()?;
+        timing.validate()?;
+        let controllers = (0..geom.vaults)
+            .map(|v| VaultController::new(v, geom, timing))
+            .collect();
+        Ok(MemorySystem {
+            geom,
+            timing,
+            controllers,
+        })
+    }
+
+    /// The device geometry.
+    pub fn geometry(&self) -> &Geometry {
+        &self.geom
+    }
+
+    /// The timing parameters.
+    pub fn timing(&self) -> &TimingParams {
+        &self.timing
+    }
+
+    /// Device peak bandwidth in GB/s (`vaults × per-vault TSV rate`).
+    pub fn peak_bandwidth_gbps(&self) -> f64 {
+        self.geom.vaults as f64 * self.timing.vault_peak_gbps()
+    }
+
+    /// Access to one vault's controller (e.g. to inspect bank state).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vault` is out of range.
+    pub fn controller(&self, vault: usize) -> &VaultController {
+        &self.controllers[vault]
+    }
+
+    /// Serves one request, splitting it at row boundaries if needed.
+    ///
+    /// Returns the outcome of the final fragment; `data_start` is taken
+    /// from the first fragment so latency measurements span the whole
+    /// request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the request's location is outside the geometry or its
+    /// length is zero.
+    pub fn service(&mut self, req: Request) -> RequestOutcome {
+        assert!(
+            self.geom.contains(req.loc),
+            "location {} out of range",
+            req.loc
+        );
+        assert!(req.bytes > 0, "zero-length request");
+        let row_bytes = self.geom.row_bytes;
+        let mut remaining = req.bytes as usize;
+        let mut loc = req.loc;
+        let mut first_start: Option<Picos> = None;
+        let mut out;
+        loop {
+            let in_row = row_bytes - loc.col as usize;
+            let take = remaining.min(in_row);
+            let frag = Request {
+                loc,
+                bytes: take as u32,
+                ..req
+            };
+            out = self.controllers[loc.vault].service(frag);
+            first_start.get_or_insert(out.data_start);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+            // Continue in the next row of the same bank (the controller
+            // treats this as a row conflict, as real hardware would).
+            loc = crate::Location {
+                row: (loc.row + 1) % self.geom.rows_per_bank,
+                col: 0,
+                ..loc
+            };
+        }
+        RequestOutcome {
+            data_start: first_start.unwrap(),
+            ..out
+        }
+    }
+
+    /// Serves a request addressed by flat byte address through `map_kind`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] when the address (plus length) falls
+    /// outside the device.
+    pub fn service_addr(
+        &mut self,
+        map_kind: AddressMapKind,
+        addr: u64,
+        bytes: u32,
+        dir: Direction,
+        at: Picos,
+    ) -> Result<RequestOutcome> {
+        if bytes == 0 {
+            return Err(Error::BadRequest("zero-length request".into()));
+        }
+        let map = AddressMap::new(map_kind, self.geom);
+        let end = addr + bytes as u64 - 1;
+        if end >= self.geom.capacity_bytes() {
+            return Err(Error::OutOfRange {
+                addr: end,
+                capacity: self.geom.capacity_bytes(),
+            });
+        }
+        // Split at row boundaries so each fragment decodes contiguously.
+        let row_bytes = self.geom.row_bytes as u64;
+        let mut cur = addr;
+        let mut remaining = bytes as u64;
+        let mut first_start: Option<Picos> = None;
+        let mut out = RequestOutcome {
+            data_start: Picos::ZERO,
+            done: Picos::ZERO,
+            row_hit: false,
+        };
+        while remaining > 0 {
+            let in_row = row_bytes - cur % row_bytes;
+            let take = remaining.min(in_row);
+            let loc = map.decode(cur)?;
+            out = self.controllers[loc.vault].service(Request {
+                loc,
+                bytes: take as u32,
+                dir,
+                at,
+            });
+            first_start.get_or_insert(out.data_start);
+            cur += take;
+            remaining -= take;
+        }
+        Ok(RequestOutcome {
+            data_start: first_start.unwrap(),
+            ..out
+        })
+    }
+
+    /// Aggregated statistics across all vaults.
+    pub fn stats(&self) -> Stats {
+        let mut total = Stats::default();
+        for c in &self.controllers {
+            total.merge(c.stats());
+        }
+        total
+    }
+
+    /// Achieved bandwidth vs device peak for the current statistics.
+    pub fn bandwidth_report(&self) -> BandwidthReport {
+        BandwidthReport {
+            achieved_gbps: self.stats().bandwidth_gbps(),
+            peak_gbps: self.peak_bandwidth_gbps(),
+        }
+    }
+
+    /// Clears statistics on every controller, keeping row-buffer state.
+    pub fn reset_stats(&mut self) {
+        for c in &mut self.controllers {
+            c.reset_stats();
+        }
+    }
+
+    /// Returns the device to its power-on state.
+    pub fn reset(&mut self) {
+        for c in &mut self.controllers {
+            c.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Location;
+
+    fn sys() -> MemorySystem {
+        MemorySystem::new(Geometry::default(), TimingParams::default())
+    }
+
+    #[test]
+    fn peak_bandwidth_is_vault_sum() {
+        let m = sys();
+        assert!((m.peak_bandwidth_gbps() - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn try_new_rejects_bad_config() {
+        let bad_geom = Geometry {
+            vaults: 0,
+            ..Geometry::default()
+        };
+        assert!(MemorySystem::try_new(bad_geom, TimingParams::default()).is_err());
+        let bad_timing = TimingParams {
+            tsv_ps_per_byte: Picos::ZERO,
+            ..TimingParams::default()
+        };
+        assert!(MemorySystem::try_new(Geometry::default(), bad_timing).is_err());
+    }
+
+    #[test]
+    fn vault_accesses_run_in_parallel() {
+        let mut m = sys();
+        // Row misses in 16 different vaults: all finish at the same time
+        // because vaults are independent.
+        let mut dones = Vec::new();
+        for v in 0..16 {
+            let loc = Location {
+                vault: v,
+                ..Location::ZERO
+            };
+            dones.push(m.service(Request::read(loc, 8)).done);
+        }
+        assert!(dones.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn same_vault_accesses_serialize_on_tsvs() {
+        let mut m = sys();
+        let a = m.service(Request::read(Location::ZERO, 512));
+        let b = m.service(Request::read(
+            Location {
+                col: 512,
+                ..Location::ZERO
+            },
+            512,
+        ));
+        assert!(b.done > a.done);
+    }
+
+    #[test]
+    fn row_boundary_split_touches_next_row() {
+        let mut m = sys();
+        let row_bytes = m.geometry().row_bytes;
+        let loc = Location {
+            col: (row_bytes - 8) as u32,
+            ..Location::ZERO
+        };
+        let out = m.service(Request::read(loc, 16));
+        // The split forced a second activate in row 1.
+        assert_eq!(m.stats().activations, 2);
+        assert!(out.done > Picos::ZERO);
+        assert_eq!(m.stats().bytes_read, 16);
+    }
+
+    #[test]
+    fn service_addr_round_trips_stats() {
+        let mut m = sys();
+        let out = m
+            .service_addr(
+                AddressMapKind::VaultInterleaved,
+                0,
+                64,
+                Direction::Write,
+                Picos::ZERO,
+            )
+            .unwrap();
+        assert!(out.done > Picos::ZERO);
+        assert_eq!(m.stats().bytes_written, 64);
+    }
+
+    #[test]
+    fn service_addr_rejects_overflow() {
+        let mut m = sys();
+        let cap = m.geometry().capacity_bytes();
+        assert!(m
+            .service_addr(
+                AddressMapKind::Chunked,
+                cap - 4,
+                8,
+                Direction::Read,
+                Picos::ZERO
+            )
+            .is_err());
+        assert!(m
+            .service_addr(AddressMapKind::Chunked, 0, 0, Direction::Read, Picos::ZERO)
+            .is_err());
+    }
+
+    #[test]
+    fn sequential_stream_beats_strided_stream() {
+        // The fundamental effect the paper exploits: unit-stride access is
+        // far faster than N-strided access under the Chunked map.
+        let mut m = sys();
+        let n = 1024u64;
+        for i in 0..n {
+            m.service_addr(
+                AddressMapKind::Chunked,
+                i * 8,
+                8,
+                Direction::Read,
+                Picos::ZERO,
+            )
+            .unwrap();
+        }
+        let seq = m.stats().bandwidth_gbps();
+        m.reset();
+        let stride = 1024 * 8;
+        for i in 0..n {
+            m.service_addr(
+                AddressMapKind::Chunked,
+                i * stride,
+                8,
+                Direction::Read,
+                Picos::ZERO,
+            )
+            .unwrap();
+        }
+        let strided = m.stats().bandwidth_gbps();
+        assert!(
+            seq > strided * 10.0,
+            "sequential {seq} GB/s should dwarf strided {strided} GB/s"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn service_panics_on_foreign_location() {
+        let mut m = sys();
+        m.service(Request::read(
+            Location {
+                vault: 99,
+                ..Location::ZERO
+            },
+            8,
+        ));
+    }
+}

@@ -1,0 +1,323 @@
+//! A Beneš rearrangeable permutation network.
+//!
+//! A single `p × p` crossbar costs O(p²) multiplexer area; the paper's
+//! permutation-network lineage (the authors' bitonic-network FPGA work)
+//! uses multistage networks instead. A Beneš network on `p = 2^k` ports
+//! realises *any* permutation with `2k − 1` stages of `p/2` two-input
+//! switches — O(p log p) area — at the cost of a routing computation,
+//! performed here by the classic looping algorithm.
+//!
+//! [`BenesNetwork::route`] returns the switch settings for a requested
+//! permutation; [`BenesNetwork::apply`] pushes data through the switched
+//! datapath, which is how the tests prove the routing correct.
+
+use crate::{Permutation, PermutationError};
+
+/// Switch settings for one Beneš network instance: `settings[stage][i]`
+/// tells switch `i` of `stage` whether to cross its two inputs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenesProgram {
+    ports: usize,
+    /// `settings[stage][switch]`: `true` = crossed, `false` = straight.
+    settings: Vec<Vec<bool>>,
+}
+
+impl BenesProgram {
+    /// Number of data ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Number of switching stages (`2·log2(p) − 1`).
+    pub fn stages(&self) -> usize {
+        self.settings.len()
+    }
+
+    /// Total 2×2 switches in the program.
+    pub fn switch_count(&self) -> usize {
+        self.settings.iter().map(Vec::len).sum()
+    }
+
+    /// How many switches are set to *cross* (a proxy for switching
+    /// activity / dynamic energy).
+    pub fn crossed_count(&self) -> usize {
+        self.settings
+            .iter()
+            .flat_map(|s| s.iter())
+            .filter(|&&c| c)
+            .count()
+    }
+}
+
+/// A Beneš network over `p = 2^k` ports.
+///
+/// # Example
+///
+/// ```
+/// use permute::{BenesNetwork, Permutation};
+///
+/// let net = BenesNetwork::new(8).unwrap();
+/// let perm = Permutation::bit_reversal(8).unwrap();
+/// let program = net.route(&perm).unwrap();
+/// let out = net.apply(&program, &[0, 1, 2, 3, 4, 5, 6, 7]);
+/// assert_eq!(out, perm.apply(&[0, 1, 2, 3, 4, 5, 6, 7]));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BenesNetwork {
+    ports: usize,
+}
+
+impl BenesNetwork {
+    /// Creates a network with `ports` ports.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::NotPowerOfTwo`] unless `ports` is a
+    /// power of two ≥ 2.
+    pub fn new(ports: usize) -> Result<Self, PermutationError> {
+        if ports < 2 || !ports.is_power_of_two() {
+            return Err(PermutationError::NotPowerOfTwo { n: ports });
+        }
+        Ok(BenesNetwork { ports })
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.ports
+    }
+
+    /// Switching stages of this network.
+    pub fn stages(&self) -> usize {
+        2 * (self.ports.trailing_zeros() as usize) - 1
+    }
+
+    /// Computes switch settings realising `perm` (destination map: the
+    /// value entering port `i` leaves on port `perm.dest(i)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::NotBijective`] if `perm` has the
+    /// wrong size.
+    pub fn route(&self, perm: &Permutation) -> Result<BenesProgram, PermutationError> {
+        if perm.len() != self.ports {
+            return Err(PermutationError::NotBijective {
+                len: perm.len(),
+                value: self.ports,
+            });
+        }
+        let mut settings = Vec::new();
+        route_rec(perm, &mut settings);
+        // route_rec produces stages outer-first; assemble recursive
+        // sub-network programs into flat stage-major form.
+        Ok(BenesProgram {
+            ports: self.ports,
+            settings,
+        })
+    }
+
+    /// Pushes one cycle of data through a routed program.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program or the input width does not match the
+    /// network.
+    pub fn apply<T: Clone>(&self, program: &BenesProgram, inputs: &[T]) -> Vec<T> {
+        assert_eq!(program.ports, self.ports, "program/network mismatch");
+        assert_eq!(inputs.len(), self.ports, "input width mismatch");
+        let mut data: Vec<T> = inputs.to_vec();
+        let k = self.ports.trailing_zeros() as usize;
+        // Stage s pairs ports that differ in one bit; the outer stages
+        // pair adjacent ports on bit positions k-1, k-2, …, 0, …, k-1
+        // following the recursive butterfly structure.
+        for (stage, bits) in stage_bits(k).into_iter().enumerate() {
+            let stride = 1usize << bits;
+            let switches = &program.settings[stage];
+            let mut si = 0usize;
+            let mut visited = vec![false; self.ports];
+            for i in 0..self.ports {
+                if visited[i] {
+                    continue;
+                }
+                let j = i ^ stride;
+                visited[i] = true;
+                visited[j] = true;
+                if switches[si] {
+                    data.swap(i, j);
+                }
+                si += 1;
+            }
+        }
+        data
+    }
+}
+
+/// Bit distances of each stage's switch pairing: k−1, k−2, …, 1, 0,
+/// 1, …, k−1 (the recursive Beneš butterfly).
+fn stage_bits(k: usize) -> Vec<usize> {
+    let mut v: Vec<usize> = (0..k).rev().collect();
+    v.extend(1..k);
+    v
+}
+
+/// Recursive looping router. Decomposes `perm` on `n` ports into an
+/// outer stage pair plus two half-size sub-permutations, emitting stage
+/// settings in network order.
+fn route_rec(perm: &Permutation, settings: &mut Vec<Vec<bool>>) {
+    let n = perm.len();
+    let k = n.trailing_zeros() as usize;
+    // Allocate the flat stage vector on the first call.
+    if settings.is_empty() {
+        settings.resize(2 * k - 1, Vec::new());
+    }
+    fill(perm, 0, 0, settings);
+}
+
+/// Routes `perm` into stages `[depth, 2k-1-depth)` of `settings`, where
+/// the sub-network's ports are offset within each stage by `offset`
+/// switches.
+fn fill(perm: &Permutation, depth: usize, offset: usize, settings: &mut Vec<Vec<bool>>) {
+    let n = perm.len();
+    if n == 2 {
+        // A single switch: cross iff the permutation swaps.
+        let mid = settings.len() / 2;
+        set_switch(&mut settings[mid], offset, perm.dest(0) == 1);
+        return;
+    }
+    let half = n / 2;
+    // Looping algorithm: 2-color the constraint graph so that the two
+    // elements of every input pair and every output pair land in
+    // different halves.
+    let inv = perm.inverse();
+    let mut in_color: Vec<Option<bool>> = vec![None; n];
+    for start in 0..n {
+        if in_color[start].is_some() {
+            continue;
+        }
+        // Follow the alternating chain: fix `start` to the top half,
+        // then its input partner goes bottom, that partner's output
+        // partner's input pair propagates, and so on around the loop.
+        let mut i = start;
+        let mut color = false;
+        loop {
+            in_color[i] = Some(color);
+            let partner_in = i ^ (n - half); // i ± half: same input switch
+            if in_color[partner_in].is_some() {
+                break;
+            }
+            in_color[partner_in] = Some(!color);
+            // The output position of partner_in shares an output switch
+            // with another output; its source must take the remaining
+            // color.
+            let out = perm.dest(partner_in);
+            let partner_out = out ^ (n - half);
+            let next = inv.dest(partner_out);
+            if in_color[next].is_some() {
+                break;
+            }
+            color = !in_color[partner_in].unwrap();
+            i = next;
+            in_color[i] = None; // will be set at loop top
+        }
+    }
+
+    // Outer input stage: input pair (i, i+half) goes through switch i;
+    // crossed iff the top input (i) is colored to the bottom half.
+    let first = depth;
+    let last = settings.len() - 1 - depth;
+    let mut top_perm = vec![0usize; half];
+    let mut bot_perm = vec![0usize; half];
+    for i in 0..half {
+        let top_colored_bottom = in_color[i] == Some(true);
+        set_switch(&mut settings[first], offset + i, top_colored_bottom);
+        // After the input stage, sub-network port i of the chosen half
+        // carries element (i or i+half).
+        let (to_top, to_bot) = if top_colored_bottom {
+            (i + half, i)
+        } else {
+            (i, i + half)
+        };
+        // Output stage: element x must leave the whole network at
+        // perm.dest(x); it exits the sub-network at dest mod half and
+        // the output switch either keeps or crosses it.
+        let dt = perm.dest(to_top);
+        let db = perm.dest(to_bot);
+        top_perm[i] = dt % half;
+        bot_perm[i] = db % half;
+        // Output switch j combines sub-outputs j (top) and j (bottom);
+        // crossed iff the top sub-network's element is bound for the
+        // bottom half.
+        set_switch(&mut settings[last], offset + dt % half, dt >= half);
+        if last != first {
+            set_switch(&mut settings[last], offset + db % half, db < half);
+        }
+    }
+
+    let top = Permutation::from_map(top_perm).expect("looping keeps halves bijective");
+    let bot = Permutation::from_map(bot_perm).expect("looping keeps halves bijective");
+    fill(&top, depth + 1, offset, settings);
+    fill(&bot, depth + 1, offset + half / 2, settings);
+}
+
+fn set_switch(stage: &mut Vec<bool>, idx: usize, crossed: bool) {
+    if stage.len() <= idx {
+        stage.resize(idx + 1, false);
+    }
+    stage[idx] = crossed;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructor_validates() {
+        assert!(BenesNetwork::new(0).is_err());
+        assert!(BenesNetwork::new(3).is_err());
+        let net = BenesNetwork::new(8).unwrap();
+        assert_eq!(net.ports(), 8);
+        assert_eq!(net.stages(), 5);
+    }
+
+    #[test]
+    fn identity_routes_straight() {
+        let net = BenesNetwork::new(4).unwrap();
+        let prog = net.route(&Permutation::identity(4)).unwrap();
+        let out = net.apply(&prog, &[10, 11, 12, 13]);
+        assert_eq!(out, vec![10, 11, 12, 13]);
+    }
+
+    #[test]
+    fn route_rejects_size_mismatch() {
+        let net = BenesNetwork::new(4).unwrap();
+        assert!(net.route(&Permutation::identity(8)).is_err());
+    }
+
+    #[test]
+    fn switch_counts_are_p_log_p() {
+        let net = BenesNetwork::new(16).unwrap();
+        let prog = net.route(&Permutation::bit_reversal(16).unwrap()).unwrap();
+        // 7 stages × 8 switches.
+        assert_eq!(prog.stages(), 7);
+        assert_eq!(prog.switch_count(), 7 * 8);
+        assert!(prog.crossed_count() <= prog.switch_count());
+        assert_eq!(prog.ports(), 16);
+    }
+
+    proptest! {
+        #[test]
+        fn routes_arbitrary_permutations(kexp in 1usize..6, seed in any::<u64>()) {
+            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+            let p = 1usize << kexp;
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut map: Vec<usize> = (0..p).collect();
+            map.shuffle(&mut rng);
+            let perm = Permutation::from_map(map).unwrap();
+            let net = BenesNetwork::new(p).unwrap();
+            let prog = net.route(&perm).unwrap();
+            let input: Vec<usize> = (100..100 + p).collect();
+            let out = net.apply(&prog, &input);
+            prop_assert_eq!(out, perm.apply(&input));
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! The controlling unit: maps a permutation onto banked buffers and
+//! crossbar programs, and quantifies bank conflicts.
+//!
+//! The paper's controlling unit (CU) "is responsible for reconfiguring
+//! the permutation network to achieve the dynamic data layout". This
+//! module captures the scheduling half of that job: given a frame
+//! permutation and a stream width `p`, it derives, for every output
+//! cycle, which buffer bank each lane must read — and therefore whether
+//! the access is conflict-free (single-cycle) or must stall.
+
+use crate::Permutation;
+
+/// How element `j` of a frame is assigned to one of `p` buffer banks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BankSkew {
+    /// Naive lane-order storage: bank `j mod p`.
+    None,
+    /// Diagonal skew: bank `(j mod p + ⌊j/p⌋) mod p`, the classic
+    /// conflict-free arrangement for transpositions.
+    Diagonal,
+}
+
+impl BankSkew {
+    /// Bank storing element `j` of the frame under this skew.
+    pub fn bank_of(self, j: usize, p: usize) -> usize {
+        match self {
+            BankSkew::None => j % p,
+            BankSkew::Diagonal => (j % p + j / p) % p,
+        }
+    }
+}
+
+/// One output cycle of a [`Schedule`]: the banks each lane reads and the
+/// resulting conflict degree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CycleAccess {
+    /// `banks[i]` = bank feeding output lane `i` this cycle.
+    pub banks: Vec<usize>,
+    /// Extra cycles this access needs beyond one (0 when conflict-free):
+    /// the maximum number of lanes sharing one bank, minus one.
+    pub stalls: usize,
+}
+
+/// A full per-cycle read schedule for one frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schedule {
+    /// One entry per output cycle (`frame_len / width` of them).
+    pub cycles: Vec<CycleAccess>,
+}
+
+impl Schedule {
+    /// Total stall cycles across the frame.
+    pub fn total_stalls(&self) -> usize {
+        self.cycles.iter().map(|c| c.stalls).sum()
+    }
+
+    /// Cycles to emit one frame including stalls.
+    pub fn cycles_with_stalls(&self) -> usize {
+        self.cycles.len() + self.total_stalls()
+    }
+
+    /// `true` when every access is single-cycle.
+    pub fn is_conflict_free(&self) -> bool {
+        self.total_stalls() == 0
+    }
+}
+
+/// Derives bank schedules and crossbar programs for one permutation at
+/// one stream width.
+///
+/// # Example
+///
+/// ```
+/// use permute::{BankSkew, ControlUnit, Permutation};
+///
+/// // Transposing a 4×4 tile on a 4-wide datapath.
+/// let cu = ControlUnit::new(Permutation::transpose(4, 4).unwrap(), 4).unwrap();
+/// assert!(!cu.read_schedule(BankSkew::None).is_conflict_free());
+/// assert!(cu.read_schedule(BankSkew::Diagonal).is_conflict_free());
+/// ```
+#[derive(Debug, Clone)]
+pub struct ControlUnit {
+    perm: Permutation,
+    inverse: Permutation,
+    width: usize,
+}
+
+impl ControlUnit {
+    /// Creates a control unit for `perm` on a `width`-wide datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::StreamError::BadWidth`] unless `width` divides
+    /// the frame size.
+    pub fn new(perm: Permutation, width: usize) -> Result<Self, crate::StreamError> {
+        if width == 0 || !perm.len().is_multiple_of(width) {
+            return Err(crate::StreamError::BadWidth {
+                n: perm.len(),
+                width,
+            });
+        }
+        let inverse = perm.inverse();
+        Ok(ControlUnit {
+            perm,
+            inverse,
+            width,
+        })
+    }
+
+    /// The permutation being scheduled.
+    pub fn permutation(&self) -> &Permutation {
+        &self.perm
+    }
+
+    /// Stream width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Source frame index feeding output position `q`.
+    pub fn source_of(&self, q: usize) -> usize {
+        self.inverse.dest(q)
+    }
+
+    /// The per-cycle bank read schedule under `skew`.
+    pub fn read_schedule(&self, skew: BankSkew) -> Schedule {
+        let p = self.width;
+        let n = self.perm.len();
+        let mut cycles = Vec::with_capacity(n / p);
+        for t in 0..n / p {
+            let banks: Vec<usize> = (0..p)
+                .map(|i| skew.bank_of(self.source_of(t * p + i), p))
+                .collect();
+            let mut counts = vec![0usize; p];
+            for &b in &banks {
+                counts[b] += 1;
+            }
+            let stalls = counts.iter().copied().max().unwrap_or(1).saturating_sub(1);
+            cycles.push(CycleAccess { banks, stalls });
+        }
+        Schedule { cycles }
+    }
+
+    /// Per-cycle crossbar programs (output lane → bank) for a
+    /// conflict-free schedule.
+    ///
+    /// Returns `None` if the schedule under `skew` has conflicts: a
+    /// single `p × p` crossbar cannot realise a many-from-one-bank cycle.
+    pub fn crossbar_program(&self, skew: BankSkew) -> Option<Vec<Vec<usize>>> {
+        let sched = self.read_schedule(skew);
+        if !sched.is_conflict_free() {
+            return None;
+        }
+        Some(sched.cycles.into_iter().map(|c| c.banks).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn identity_is_always_conflict_free() {
+        let cu = ControlUnit::new(Permutation::identity(16), 4).unwrap();
+        assert!(cu.read_schedule(BankSkew::None).is_conflict_free());
+        assert!(cu.read_schedule(BankSkew::Diagonal).is_conflict_free());
+        assert_eq!(cu.read_schedule(BankSkew::None).cycles_with_stalls(), 4);
+    }
+
+    #[test]
+    fn transpose_conflicts_without_skew() {
+        let cu = ControlUnit::new(Permutation::transpose(4, 4).unwrap(), 4).unwrap();
+        let naive = cu.read_schedule(BankSkew::None);
+        // Every cycle gathers a column stored across one bank: worst case.
+        assert_eq!(naive.total_stalls(), 4 * 3);
+        let skewed = cu.read_schedule(BankSkew::Diagonal);
+        assert!(skewed.is_conflict_free());
+        assert!(cu.crossbar_program(BankSkew::None).is_none());
+        let program = cu.crossbar_program(BankSkew::Diagonal).unwrap();
+        assert_eq!(program.len(), 4);
+    }
+
+    #[test]
+    fn source_of_inverts_the_permutation() {
+        let p = Permutation::stride(8, 2).unwrap();
+        let cu = ControlUnit::new(p.clone(), 2).unwrap();
+        for j in 0..8 {
+            assert_eq!(cu.source_of(p.dest(j)), j);
+        }
+        assert_eq!(cu.permutation(), &p);
+        assert_eq!(cu.width(), 2);
+    }
+
+    #[test]
+    fn constructor_validates_width() {
+        assert!(ControlUnit::new(Permutation::identity(8), 3).is_err());
+        assert!(ControlUnit::new(Permutation::identity(8), 0).is_err());
+    }
+
+    proptest! {
+        #[test]
+        fn schedule_reads_each_bank_slot_once(
+            k in 2usize..7,
+            wexp in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+            let n = 1usize << k;
+            let p = 1usize << wexp.min(k);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut map: Vec<usize> = (0..n).collect();
+            map.shuffle(&mut rng);
+            let cu = ControlUnit::new(Permutation::from_map(map).unwrap(), p).unwrap();
+            for skew in [BankSkew::None, BankSkew::Diagonal] {
+                let sched = cu.read_schedule(skew);
+                // Across the whole frame each bank is read exactly n/p times.
+                let mut totals = vec![0usize; p];
+                for c in &sched.cycles {
+                    for &b in &c.banks {
+                        totals[b] += 1;
+                    }
+                }
+                prop_assert!(totals.iter().all(|&t| t == n / p));
+            }
+        }
+
+        #[test]
+        fn diagonal_skew_never_worse_on_strides(k in 2usize..7, sexp in 0usize..7) {
+            let n = 1usize << k;
+            let s = 1usize << (sexp % (k + 1));
+            let p = 1usize << (k / 2).clamp(1, 3);
+            let cu = ControlUnit::new(Permutation::stride(n, s).unwrap(), p).unwrap();
+            let naive = cu.read_schedule(BankSkew::None).total_stalls();
+            let skewed = cu.read_schedule(BankSkew::Diagonal).total_stalls();
+            prop_assert!(skewed <= naive);
+        }
+    }
+}

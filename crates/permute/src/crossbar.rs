@@ -1,0 +1,159 @@
+//! A reconfigurable crossbar switch, the building block of the paper's
+//! permutation network and of the DPP units' multiplexer stages.
+
+use crate::{Permutation, PermutationError};
+
+/// A `p × p` crossbar: each output port selects one input port, with all
+/// selections distinct (the switch realises a permutation each cycle).
+///
+/// The controlling unit reconfigures the crossbar between (or during)
+/// phases; [`reconfigurations`](Crossbar::reconfigurations) counts how
+/// often, since switching activity is what the paper's energy
+/// optimizations target.
+///
+/// # Example
+///
+/// ```
+/// use permute::{Crossbar, Permutation};
+///
+/// let mut xbar = Crossbar::new(4);
+/// xbar.configure(&Permutation::stride(4, 2).unwrap());
+/// assert_eq!(xbar.route(&[10, 11, 12, 13]), vec![10, 12, 11, 13]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Crossbar {
+    /// `select[o]` = input feeding output `o`.
+    select: Vec<usize>,
+    reconfigurations: u64,
+}
+
+impl Crossbar {
+    /// A crossbar of `ports` ports, initially configured as the identity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ports` is zero.
+    pub fn new(ports: usize) -> Self {
+        assert!(ports > 0, "crossbar needs at least one port");
+        Crossbar {
+            select: (0..ports).collect(),
+            reconfigurations: 0,
+        }
+    }
+
+    /// Number of ports.
+    pub fn ports(&self) -> usize {
+        self.select.len()
+    }
+
+    /// Programs the switch so that routing realises `perm`
+    /// (output `perm.dest(i)` is fed by input `i`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `perm.len() != self.ports()`.
+    pub fn configure(&mut self, perm: &Permutation) {
+        assert_eq!(perm.len(), self.ports(), "permutation size mismatch");
+        let inv = perm.inverse();
+        let new: Vec<usize> = (0..self.ports()).map(|o| inv.dest(o)).collect();
+        if new != self.select {
+            self.reconfigurations += 1;
+            self.select = new;
+        }
+    }
+
+    /// Programs the switch from raw output→input selections.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PermutationError::NotBijective`] if two outputs select
+    /// the same input.
+    pub fn configure_raw(&mut self, select: &[usize]) -> Result<(), PermutationError> {
+        let perm = Permutation::from_map(select.to_vec())?;
+        // `select` is output→input; `Permutation::from_map` merely checks
+        // bijectivity here.
+        let _ = perm;
+        if select != self.select.as_slice() {
+            self.reconfigurations += 1;
+            self.select = select.to_vec();
+        }
+        Ok(())
+    }
+
+    /// Routes one cycle's worth of data through the switch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `inputs.len() != self.ports()`.
+    pub fn route<T: Clone>(&self, inputs: &[T]) -> Vec<T> {
+        assert_eq!(inputs.len(), self.ports(), "input width mismatch");
+        self.select.iter().map(|&i| inputs[i].clone()).collect()
+    }
+
+    /// The permutation currently realised by the switch.
+    pub fn current(&self) -> Permutation {
+        Permutation::from_map(self.select.clone())
+            .expect("crossbar selection is always a bijection")
+            .inverse()
+    }
+
+    /// How many times the configuration actually changed.
+    pub fn reconfigurations(&self) -> u64 {
+        self.reconfigurations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_by_default() {
+        let xbar = Crossbar::new(4);
+        assert_eq!(xbar.route(&[1, 2, 3, 4]), vec![1, 2, 3, 4]);
+        assert!(xbar.current().is_identity());
+        assert_eq!(xbar.reconfigurations(), 0);
+    }
+
+    #[test]
+    fn configure_realises_permutation() {
+        let mut xbar = Crossbar::new(8);
+        let p = Permutation::bit_reversal(8).unwrap();
+        xbar.configure(&p);
+        let x: Vec<u32> = (0..8).collect();
+        assert_eq!(xbar.route(&x), p.apply(&x));
+        assert_eq!(xbar.current(), p);
+    }
+
+    #[test]
+    fn reconfiguration_counter_ignores_no_ops() {
+        let mut xbar = Crossbar::new(4);
+        let p = Permutation::stride(4, 2).unwrap();
+        xbar.configure(&p);
+        xbar.configure(&p);
+        assert_eq!(xbar.reconfigurations(), 1);
+        xbar.configure(&Permutation::identity(4));
+        assert_eq!(xbar.reconfigurations(), 2);
+    }
+
+    #[test]
+    fn configure_raw_validates() {
+        let mut xbar = Crossbar::new(3);
+        assert!(xbar.configure_raw(&[2, 0, 1]).is_ok());
+        assert_eq!(xbar.route(&['a', 'b', 'c']), vec!['c', 'a', 'b']);
+        assert!(xbar.configure_raw(&[0, 0, 1]).is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one port")]
+    fn zero_ports_rejected() {
+        let _ = Crossbar::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn route_checks_width() {
+        let xbar = Crossbar::new(4);
+        let _ = xbar.route(&[1, 2, 3]);
+    }
+}

@@ -1,0 +1,48 @@
+//! Permutation machinery for streaming FFT datapaths.
+//!
+//! The optimized 2D FFT architecture of "Optimal Dynamic Data Layouts for
+//! 2D FFT on 3D Memory Integrated FPGA" relies on an on-chip permutation
+//! network — crossbar switches plus data buffers, steered by a
+//! controlling unit — to (a) shuffle data between butterfly stages inside
+//! the 1D FFT kernel and (b) reshape row-FFT results into the block
+//! dynamic data layout before they are written back to the 3D memory.
+//!
+//! This crate provides those pieces as reusable, well-tested components:
+//!
+//! * [`Permutation`] — finite permutations with the FFT-relevant families
+//!   (stride `L^n_s`, bit reversal, block transposition);
+//! * [`Crossbar`] — a reconfigurable `p × p` switch;
+//! * [`SkewedTile`] / [`TileTransposer`] — diagonally-skewed multi-bank
+//!   buffers giving conflict-free row-write/column-read transposition;
+//! * [`StreamingPermuter`] — sustained `p`-per-cycle permutation of a
+//!   data stream with double-buffered frames;
+//! * [`ControlUnit`] — derives per-cycle bank schedules and crossbar
+//!   programs, and quantifies bank conflicts/stalls.
+//!
+//! # Example
+//!
+//! ```
+//! use permute::{BankSkew, ControlUnit, Permutation};
+//!
+//! // A 16-element transpose on an 4-lane datapath is conflict-free
+//! // only with diagonal skewing.
+//! let cu = ControlUnit::new(Permutation::transpose(4, 4).unwrap(), 4).unwrap();
+//! assert!(cu.read_schedule(BankSkew::Diagonal).is_conflict_free());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod benes;
+mod control;
+mod crossbar;
+mod perm;
+mod skewed;
+mod streaming;
+
+pub use benes::{BenesNetwork, BenesProgram};
+pub use control::{BankSkew, ControlUnit, CycleAccess, Schedule};
+pub use crossbar::Crossbar;
+pub use perm::{Permutation, PermutationError};
+pub use skewed::{SkewError, SkewedTile, TileTransposer};
+pub use streaming::{StreamError, StreamingPermuter};

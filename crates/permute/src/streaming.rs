@@ -1,0 +1,292 @@
+//! A streaming permutation engine over fixed-size frames.
+//!
+//! Realises an arbitrary permutation of an `n`-element frame on a `p`-wide
+//! streaming datapath using two ping-ponged `n`-element buffers: while one
+//! buffer drains in permuted order, the other fills with the next frame.
+//! Throughput is a sustained `p` elements/cycle; latency is the `n/p`
+//! cycles needed to fill a frame.
+//!
+//! The paper's DPP units achieve the same permutations with smaller
+//! buffers sized per butterfly stage (their ref [4]); the double buffer
+//! here trades SRAM for simplicity without changing throughput — the
+//! resource model in `fpga-model` accounts for both sizings.
+
+use crate::Permutation;
+
+/// Streaming permuter over frames of `perm.len()` elements, `width`
+/// elements per cycle.
+///
+/// # Example
+///
+/// ```
+/// use permute::{Permutation, StreamingPermuter};
+///
+/// let perm = Permutation::bit_reversal(8).unwrap();
+/// let mut sp = StreamingPermuter::new(perm.clone(), 4).unwrap();
+/// let mut out = Vec::new();
+/// for chunk in [[0, 1, 2, 3], [4, 5, 6, 7]] {
+///     out.extend(sp.push(&chunk).unwrap());
+/// }
+/// out.extend(sp.flush());
+/// assert_eq!(out, perm.apply(&[0, 1, 2, 3, 4, 5, 6, 7]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct StreamingPermuter<T> {
+    perm: Permutation,
+    width: usize,
+    /// Frame being filled.
+    fill: Vec<Option<T>>,
+    fill_count: usize,
+    /// Frame being drained (already permuted), as a FIFO of chunks.
+    drain: Vec<T>,
+    drain_pos: usize,
+    cycles: u64,
+}
+
+/// Errors from [`StreamingPermuter`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StreamError {
+    /// `width` must be non-zero and divide the frame size.
+    BadWidth {
+        /// Frame size.
+        n: usize,
+        /// Offending width.
+        width: usize,
+    },
+    /// A pushed chunk did not match the configured width.
+    ChunkWidth {
+        /// Supplied chunk length.
+        got: usize,
+        /// Configured width.
+        width: usize,
+    },
+}
+
+impl std::fmt::Display for StreamError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StreamError::BadWidth { n, width } => {
+                write!(
+                    f,
+                    "width {width} must be non-zero and divide frame size {n}"
+                )
+            }
+            StreamError::ChunkWidth { got, width } => {
+                write!(f, "chunk of {got} elements on a {width}-wide stream")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StreamError {}
+
+impl<T: Clone> StreamingPermuter<T> {
+    /// Creates an engine for `perm` with `width` elements per cycle.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::BadWidth`] unless `width` divides the frame
+    /// size and is non-zero.
+    pub fn new(perm: Permutation, width: usize) -> Result<Self, StreamError> {
+        let n = perm.len();
+        if width == 0 || n == 0 || !n.is_multiple_of(width) {
+            return Err(StreamError::BadWidth { n, width });
+        }
+        Ok(StreamingPermuter {
+            perm,
+            width,
+            fill: vec![None; n],
+            fill_count: 0,
+            drain: Vec::new(),
+            drain_pos: 0,
+            cycles: 0,
+        })
+    }
+
+    /// Frame size in elements.
+    pub fn frame_len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// Stream width in elements per cycle.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Fill latency in cycles (first output appears after this many
+    /// pushes).
+    pub fn latency_cycles(&self) -> u64 {
+        (self.frame_len() / self.width) as u64
+    }
+
+    /// Words of on-chip buffering this engine requires (two frames).
+    pub fn buffer_words(&self) -> usize {
+        2 * self.frame_len()
+    }
+
+    /// Cycles elapsed (one per push).
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Pushes one cycle's `width` elements; returns the `width` elements
+    /// leaving the engine this cycle (empty while the pipeline fills).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StreamError::ChunkWidth`] if `chunk` has the wrong
+    /// length.
+    pub fn push(&mut self, chunk: &[T]) -> Result<Vec<T>, StreamError> {
+        if chunk.len() != self.width {
+            return Err(StreamError::ChunkWidth {
+                got: chunk.len(),
+                width: self.width,
+            });
+        }
+        self.cycles += 1;
+        for v in chunk {
+            let idx = self.fill_count;
+            self.fill[self.perm.dest(idx)] = Some(v.clone());
+            self.fill_count += 1;
+        }
+        if self.fill_count == self.frame_len() {
+            // Frame complete: swap it to the drain side.
+            debug_assert!(
+                self.drain_pos == self.drain.len(),
+                "previous frame fully drained before the next completes"
+            );
+            self.drain = self
+                .fill
+                .iter_mut()
+                .map(|slot| slot.take().expect("complete frame has no holes"))
+                .collect();
+            self.drain_pos = 0;
+            self.fill_count = 0;
+        }
+        Ok(self.pop_chunk())
+    }
+
+    /// Drains any buffered output after the input stream ends.
+    pub fn flush(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        while self.drain_pos < self.drain.len() {
+            self.cycles += 1;
+            out.extend(self.pop_chunk());
+        }
+        out
+    }
+
+    fn pop_chunk(&mut self) -> Vec<T> {
+        if self.drain_pos >= self.drain.len() {
+            return Vec::new();
+        }
+        let end = (self.drain_pos + self.width).min(self.drain.len());
+        let chunk = self.drain[self.drain_pos..end].to_vec();
+        self.drain_pos = end;
+        chunk
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn run_frames<T: Clone>(perm: &Permutation, width: usize, data: &[T]) -> Vec<T> {
+        let mut sp = StreamingPermuter::new(perm.clone(), width).unwrap();
+        let mut out = Vec::new();
+        for chunk in data.chunks(width) {
+            out.extend(sp.push(chunk).unwrap());
+        }
+        out.extend(sp.flush());
+        out
+    }
+
+    #[test]
+    fn single_frame_round_trip() {
+        let perm = Permutation::stride(8, 2).unwrap();
+        let data: Vec<u32> = (0..8).collect();
+        assert_eq!(run_frames(&perm, 4, &data), perm.apply(&data));
+    }
+
+    #[test]
+    fn output_is_delayed_one_frame() {
+        let perm = Permutation::identity(8);
+        let mut sp = StreamingPermuter::new(perm, 4).unwrap();
+        assert!(sp.push(&[0, 1, 2, 3]).unwrap().is_empty());
+        // Frame completes on the second push and drains immediately.
+        assert_eq!(sp.push(&[4, 5, 6, 7]).unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(sp.latency_cycles(), 2);
+    }
+
+    #[test]
+    fn back_to_back_frames_sustain_full_rate() {
+        let perm = Permutation::bit_reversal(16).unwrap();
+        let frames = 5;
+        let data: Vec<u32> = (0..16 * frames).collect();
+        let out = run_frames(&perm, 8, &data);
+        let mut expected = Vec::new();
+        for f in 0..frames {
+            expected.extend(perm.apply(&data[f as usize * 16..(f as usize + 1) * 16]));
+        }
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn cycle_accounting() {
+        let perm = Permutation::identity(8);
+        let mut sp = StreamingPermuter::new(perm, 2).unwrap();
+        for chunk in [[0, 1], [2, 3], [4, 5], [6, 7]] {
+            sp.push(&chunk).unwrap();
+        }
+        let flushed = sp.flush();
+        assert_eq!(flushed.len(), 6, "two elements left with the last push");
+        // 4 input pushes + 3 flush cycles.
+        assert_eq!(sp.cycles(), 7);
+        assert_eq!(sp.buffer_words(), 16);
+    }
+
+    #[test]
+    fn constructor_validates_width() {
+        let perm = Permutation::identity(8);
+        assert!(matches!(
+            StreamingPermuter::<u32>::new(perm.clone(), 3),
+            Err(StreamError::BadWidth { n: 8, width: 3 })
+        ));
+        assert!(StreamingPermuter::<u32>::new(perm.clone(), 0).is_err());
+        let mut sp = StreamingPermuter::<u32>::new(perm, 4).unwrap();
+        assert!(matches!(
+            sp.push(&[1, 2]),
+            Err(StreamError::ChunkWidth { got: 2, width: 4 })
+        ));
+        assert!(StreamError::BadWidth { n: 8, width: 3 }
+            .to_string()
+            .contains("divide"));
+    }
+
+    proptest! {
+        #[test]
+        fn streaming_equals_batch(
+            k in 1usize..6,
+            wexp in 0usize..4,
+            frames in 1usize..4,
+            seed in any::<u64>(),
+        ) {
+            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+            let n = 1usize << k;
+            let width = 1usize << wexp.min(k);
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut map: Vec<usize> = (0..n).collect();
+            map.shuffle(&mut rng);
+            let perm = Permutation::from_map(map).unwrap();
+            let data: Vec<u64> = (0..(n * frames) as u64).collect();
+            let out = run_frames(&perm, width, &data);
+            let mut expected = Vec::new();
+            for f in 0..frames {
+                expected.extend(perm.apply(&data[f * n..(f + 1) * n]));
+            }
+            prop_assert_eq!(out, expected);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! FFT-based 2D convolution — the classic signal-processing workload a
+//! 2D FFT accelerator exists for. Convolves a synthetic radar-style
+//! image with a small point-spread kernel two ways:
+//!
+//! 1. directly in the spatial domain (O(n²·k²)), and
+//! 2. via the convolution theorem, with **both** the forward and inverse
+//!    transforms running through the simulated architecture
+//!    (`functional_2dfft_dir`),
+//!
+//! and checks they agree.
+//!
+//! Run with: `cargo run --release --example convolution`
+
+use fft2d::{Architecture, System};
+use fft_kernel::{max_abs_diff, Cplx, FftDirection};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Circular spatial-domain convolution (reference).
+fn convolve_direct(img: &[Cplx], kernel: &[Cplx], n: usize) -> Vec<Cplx> {
+    let mut out = vec![Cplx::ZERO; n * n];
+    for r in 0..n {
+        for c in 0..n {
+            let mut acc = Cplx::ZERO;
+            for kr in 0..n {
+                for kc in 0..n {
+                    let k = kernel[kr * n + kc];
+                    if k.abs() == 0.0 {
+                        continue;
+                    }
+                    let sr = (r + n - kr) % n;
+                    let sc = (c + n - kc) % n;
+                    acc += img[sr * n + sc] * k;
+                }
+            }
+            out[r * n + c] = acc;
+        }
+    }
+    out
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(3);
+    let img: Vec<Cplx> = (0..n * n)
+        .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), 0.0))
+        .collect();
+
+    // A 3x3 sharpening kernel embedded in an n x n zero field.
+    let mut kernel = vec![Cplx::ZERO; n * n];
+    let taps = [
+        (0usize, 0usize, 5.0),
+        (0, 1, -1.0),
+        (1, 0, -1.0),
+        (0, n - 1, -1.0),
+        (n - 1, 0, -1.0),
+    ];
+    for (r, c, v) in taps {
+        kernel[r * n + c] = Cplx::new(v, 0.0);
+    }
+
+    let sys = System::default();
+    let arch = Architecture::Optimized;
+
+    // Convolution theorem through the simulated accelerator.
+    let fi = sys.functional_2dfft(arch, n, &img)?;
+    let fk = sys.functional_2dfft(arch, n, &kernel)?;
+    let product: Vec<Cplx> = fi.iter().zip(&fk).map(|(a, b)| *a * *b).collect();
+    let via_fft = sys.functional_2dfft_dir(arch, n, &product, FftDirection::Inverse)?;
+
+    // Direct spatial reference.
+    let direct = convolve_direct(&img, &kernel, n);
+
+    let err = max_abs_diff(&via_fft, &direct);
+    println!("2D circular convolution, {n}x{n} image, 5-tap sharpening kernel");
+    println!("max |FFT-based - direct| = {err:.3e}");
+    assert!(
+        err < 1e-8,
+        "convolution theorem must hold through the architecture"
+    );
+    println!("the simulated accelerator's forward+inverse transforms convolve correctly.");
+    Ok(())
+}
