@@ -1,18 +1,18 @@
-//! Criterion bench: the Table 2 experiment (entire 2D FFT application)
-//! plus the value-level functional simulation.
+//! Bench: the Table 2 experiment (entire 2D FFT application) plus the
+//! value-level functional simulation. JSON-line output via
+//! `sim_util::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fft2d::{Architecture, System};
 use fft_kernel::Cplx;
+use sim_util::BenchGroup;
 
-fn bench_app(c: &mut Criterion) {
-    let mut g = c.benchmark_group("app_2dfft");
-    g.sample_size(10);
+fn main() {
+    let mut g = BenchGroup::new("app_2dfft");
     let sys = System::default();
     for n in [512usize] {
         for arch in [Architecture::Baseline, Architecture::Optimized] {
-            g.bench_with_input(BenchmarkId::new(arch.name(), n), &n, |b, &n| {
-                b.iter(|| sys.run_app(arch, n).unwrap())
+            g.bench(&format!("{}/{n}", arch.name()), || {
+                sys.run_app(arch, n).unwrap()
             });
         }
     }
@@ -20,14 +20,9 @@ fn bench_app(c: &mut Criterion) {
     let data: Vec<Cplx> = (0..n * n)
         .map(|i| Cplx::new((i % 13) as f64, (i % 7) as f64))
         .collect();
-    g.bench_function("functional-64", |b| {
-        b.iter(|| {
-            sys.functional_2dfft(Architecture::Optimized, n, &data)
-                .unwrap()
-        })
+    g.bench("functional-64", || {
+        sys.functional_2dfft(Architecture::Optimized, n, &data)
+            .unwrap()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_app);
-criterion_main!(benches);

@@ -1,26 +1,24 @@
-//! Criterion bench: the Table 1 experiment (column-wise FFT phase) as a
+//! Bench: the Table 1 experiment (column-wise FFT phase) as a
 //! repeatable measurement — baseline vs dynamic data layout at each
-//! paper size. Criterion reports host time; each iteration simulates the
-//! complete phase, and the simulated GB/s figures are printed by
+//! paper size. The harness reports host time; each iteration simulates
+//! the complete phase, and the simulated GB/s figures are printed by
 //! `cargo run -p bench --bin table1`.
+//!
+//! Results are emitted as JSON lines on stdout (see `sim_util::bench`).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use fft2d::{Architecture, System};
+use sim_util::BenchGroup;
 
-fn bench_column_phase(c: &mut Criterion) {
-    let mut g = c.benchmark_group("col_fft");
-    g.sample_size(10);
+fn main() {
+    let mut g = BenchGroup::new("col_fft");
     let sys = System::default();
     for n in [512usize, 1024] {
-        g.bench_with_input(BenchmarkId::new("baseline", n), &n, |b, &n| {
-            b.iter(|| sys.column_phase(Architecture::Baseline, n).unwrap())
+        g.bench(&format!("baseline/{n}"), || {
+            sys.column_phase(Architecture::Baseline, n).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("optimized", n), &n, |b, &n| {
-            b.iter(|| sys.column_phase(Architecture::Optimized, n).unwrap())
+        g.bench(&format!("optimized/{n}"), || {
+            sys.column_phase(Architecture::Optimized, n).unwrap()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_column_phase);
-criterion_main!(benches);

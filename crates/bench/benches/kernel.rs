@@ -1,8 +1,8 @@
-//! Criterion bench: the streaming FFT kernel against the iterative
-//! reference, across sizes and radices.
+//! Bench: the streaming FFT kernel against the iterative reference,
+//! across sizes and radices. JSON-line output via `sim_util::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use fft_kernel::{fft, Cplx, FftDirection, KernelConfig, Radix, StreamingFft};
+use sim_util::BenchGroup;
 
 fn signal(n: usize) -> Vec<Cplx> {
     (0..n)
@@ -10,43 +10,36 @@ fn signal(n: usize) -> Vec<Cplx> {
         .collect()
 }
 
-fn bench_kernel(c: &mut Criterion) {
-    let mut g = c.benchmark_group("fft");
+fn main() {
+    let mut g = BenchGroup::new("fft");
     for n in [256usize, 1024, 4096] {
         let x = signal(n);
-        g.throughput(Throughput::Elements(n as u64));
-        g.bench_with_input(BenchmarkId::new("reference", n), &x, |b, x| {
-            b.iter(|| fft(x, FftDirection::Forward).unwrap())
+        g.throughput_elems(n as u64);
+        g.bench(&format!("reference/{n}"), || {
+            fft(&x, FftDirection::Forward).unwrap()
         });
-        g.bench_with_input(BenchmarkId::new("streaming-r2", n), &x, |b, x| {
-            b.iter(|| {
+        g.bench(&format!("streaming-r2/{n}"), || {
+            let mut k = StreamingFft::new(KernelConfig {
+                n,
+                width: 8,
+                radix: Radix::R2,
+                direction: FftDirection::Forward,
+            })
+            .unwrap();
+            k.transform(&x).unwrap()
+        });
+        if Radix::R4.supports(n) {
+            g.bench(&format!("streaming-r4/{n}"), || {
                 let mut k = StreamingFft::new(KernelConfig {
                     n,
                     width: 8,
-                    radix: Radix::R2,
+                    radix: Radix::R4,
                     direction: FftDirection::Forward,
                 })
                 .unwrap();
-                k.transform(x).unwrap()
-            })
-        });
-        if Radix::R4.supports(n) {
-            g.bench_with_input(BenchmarkId::new("streaming-r4", n), &x, |b, x| {
-                b.iter(|| {
-                    let mut k = StreamingFft::new(KernelConfig {
-                        n,
-                        width: 8,
-                        radix: Radix::R4,
-                        direction: FftDirection::Forward,
-                    })
-                    .unwrap();
-                    k.transform(x).unwrap()
-                })
+                k.transform(&x).unwrap()
             });
         }
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_kernel);
-criterion_main!(benches);

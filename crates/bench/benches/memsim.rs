@@ -1,13 +1,13 @@
-//! Criterion bench: raw simulator performance of the 3D memory model
-//! under the access patterns the application generates. This measures
-//! the *simulator* (host ops/sec), complementing the table binaries that
-//! report *simulated* bandwidth.
+//! Bench: raw simulator performance of the 3D memory model under the
+//! access patterns the application generates. This measures the
+//! *simulator* (host ops/sec), complementing the table binaries that
+//! report *simulated* bandwidth. JSON-line output via `sim_util::bench`.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mem3d::{AccessTrace, AddressMapKind, Geometry, MemorySystem, TimingParams};
+use sim_util::BenchGroup;
 
-fn bench_patterns(c: &mut Criterion) {
-    let mut g = c.benchmark_group("memsim");
+fn main() {
+    let mut g = BenchGroup::new("memsim");
     let geom = Geometry::default();
     let timing = TimingParams::default();
     let count = 8192usize;
@@ -29,16 +29,11 @@ fn bench_patterns(c: &mut Criterion) {
             AddressMapKind::VaultInterleaved,
         ),
     ] {
-        g.throughput(Throughput::Elements(trace.len() as u64));
-        g.bench_with_input(BenchmarkId::new("replay", name), &trace, |b, t| {
-            b.iter(|| {
-                let mut mem = MemorySystem::new(geom, timing);
-                t.replay(&mut mem, map, None).unwrap()
-            })
+        g.throughput_elems(trace.len() as u64);
+        g.bench(&format!("replay/{name}"), || {
+            let mut mem = MemorySystem::new(geom, timing);
+            trace.replay(&mut mem, map, None).unwrap()
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_patterns);
-criterion_main!(benches);

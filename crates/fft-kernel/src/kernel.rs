@@ -454,14 +454,10 @@ pub fn digit_reversal(n: usize, r: usize) -> Result<Permutation, KernelError> {
 mod tests {
     use super::*;
     use crate::{fft, max_abs_diff, naive_dft};
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use sim_util::{prop_assert, prop_check, SimRng};
 
     fn random_signal(n: usize, seed: u64) -> Vec<Cplx> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-            .collect()
+        SimRng::seed_from_u64(seed).gen_complex_vec(n, -1.0..1.0, Cplx::new)
     }
 
     #[test]
@@ -622,21 +618,22 @@ mod tests {
         assert!(k.transform(&[Cplx::ZERO; 5]).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn kernel_equals_reference(
-            kexp in 1usize..9,
-            wexp in 0usize..4,
-            seed in any::<u64>(),
-        ) {
+    #[test]
+    fn kernel_equals_reference() {
+        prop_check!(|rng| {
+            let kexp = rng.gen_range(1usize..9);
+            let wexp = rng.gen_range(0usize..4);
             let n = 1usize << kexp;
             let width = 1usize << wexp.min(kexp);
             let cfg = KernelConfig::forward(n, width);
             let mut k = StreamingFft::new(cfg).unwrap();
-            let x = random_signal(n, seed);
+            let x: Vec<Cplx> = rng.gen_complex_vec(n, -1.0..1.0, Cplx::new);
             let out = k.transform(&x).unwrap();
             let expect = fft(&x, FftDirection::Forward).unwrap();
-            prop_assert!(max_abs_diff(&out, &expect) < 1e-8);
-        }
+            prop_assert!(
+                max_abs_diff(&out, &expect) < 1e-8,
+                "n = {n}, width = {width}"
+            );
+        });
     }
 }

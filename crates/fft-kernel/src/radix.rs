@@ -103,7 +103,7 @@ impl Radix4Block {
 mod tests {
     use super::*;
     use crate::{max_abs_diff, naive_dft, FftDirection};
-    use proptest::prelude::*;
+    use sim_util::{prop_assert, prop_check};
 
     #[test]
     fn radix_metadata() {
@@ -135,17 +135,13 @@ mod tests {
         assert!(max_abs_diff(&[s, d], &dft) < 1e-12);
     }
 
-    proptest! {
-        #[test]
-        fn radix4_butterfly_is_a_4point_dft(
-            re in proptest::collection::vec(-10.0f64..10.0, 4),
-            im in proptest::collection::vec(-10.0f64..10.0, 4),
-        ) {
-            let x: Vec<Cplx> =
-                re.iter().zip(&im).map(|(&r, &i)| Cplx::new(r, i)).collect();
+    #[test]
+    fn radix4_butterfly_is_a_4point_dft() {
+        prop_check!(|rng| {
+            let x: Vec<Cplx> = rng.gen_complex_vec(4, -10.0..10.0, Cplx::new);
             let out = Radix4Block::butterfly(x[0], x[1], x[2], x[3]);
             let dft = naive_dft(&x, FftDirection::Forward);
-            prop_assert!(max_abs_diff(&out, &dft) < 1e-10);
-        }
+            prop_assert!(max_abs_diff(&out, &dft) < 1e-10, "x = {x:?}");
+        });
     }
 }

@@ -162,14 +162,10 @@ pub fn fft_2d(data: &[Cplx], n: usize, dir: FftDirection) -> Result<Vec<Cplx>, K
 mod tests {
     use super::*;
     use crate::max_abs_diff;
-    use proptest::prelude::*;
-    use rand::{rngs::StdRng, Rng, SeedableRng};
+    use sim_util::{prop_assert, prop_check, SimRng};
 
     fn random_signal(n: usize, seed: u64) -> Vec<Cplx> {
-        let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-            .collect()
+        SimRng::seed_from_u64(seed).gen_complex_vec(n, -1.0..1.0, Cplx::new)
     }
 
     #[test]
@@ -268,37 +264,45 @@ mod tests {
         assert!(fft_2d(&[Cplx::ZERO; 9], 3, FftDirection::Forward).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn parseval_energy_is_preserved(seed in any::<u64>(), k in 1usize..9) {
+    #[test]
+    fn parseval_energy_is_preserved() {
+        prop_check!(|rng| {
+            let k = rng.gen_range(1usize..9);
             let n = 1usize << k;
-            let x = random_signal(n, seed);
+            let x: Vec<Cplx> = rng.gen_complex_vec(n, -1.0..1.0, Cplx::new);
             let y = fft(&x, FftDirection::Forward).unwrap();
             let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
             let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
-            prop_assert!((ex - ey).abs() < 1e-8 * ex.max(1.0));
-        }
+            prop_assert!(
+                (ex - ey).abs() < 1e-8 * ex.max(1.0),
+                "n = {n}: {ex} vs {ey}"
+            );
+        });
+    }
 
-        #[test]
-        fn fft_is_linear(seed in any::<u64>()) {
+    #[test]
+    fn fft_is_linear() {
+        prop_check!(|rng| {
             let n = 64;
-            let a = random_signal(n, seed);
-            let b = random_signal(n, seed.wrapping_add(1));
+            let a: Vec<Cplx> = rng.gen_complex_vec(n, -1.0..1.0, Cplx::new);
+            let b: Vec<Cplx> = rng.gen_complex_vec(n, -1.0..1.0, Cplx::new);
             let sum: Vec<Cplx> = a.iter().zip(&b).map(|(x, y)| *x + *y).collect();
             let fa = fft(&a, FftDirection::Forward).unwrap();
             let fb = fft(&b, FftDirection::Forward).unwrap();
             let fsum = fft(&sum, FftDirection::Forward).unwrap();
             let expect: Vec<Cplx> = fa.iter().zip(&fb).map(|(x, y)| *x + *y).collect();
             prop_assert!(max_abs_diff(&fsum, &expect) < 1e-9);
-        }
+        });
+    }
 
-        #[test]
-        fn fft_2d_round_trips(seed in any::<u64>()) {
+    #[test]
+    fn fft_2d_round_trips() {
+        prop_check!(|rng| {
             let n = 8;
-            let x = random_signal(n * n, seed);
+            let x: Vec<Cplx> = rng.gen_complex_vec(n * n, -1.0..1.0, Cplx::new);
             let y = fft_2d(&x, n, FftDirection::Forward).unwrap();
             let back = fft_2d(&y, n, FftDirection::Inverse).unwrap();
             prop_assert!(max_abs_diff(&x, &back) < 1e-9);
-        }
+        });
     }
 }

@@ -5,12 +5,10 @@
 //! in the band published for 28 nm (Virtex-7-class) devices; as with the
 //! area model, the experiments depend on ratios, not absolutes.
 
-use serde::{Deserialize, Serialize};
-
 use crate::Resources;
 
 /// Per-operation and per-resource energy coefficients.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct OpEnergies {
     /// Single-precision FP add/sub, pJ per operation.
     pub fp_add_pj: f64,
@@ -95,6 +93,20 @@ pub fn static_power_mw(r: &Resources, e: &OpEnergies) -> f64 {
     r.luts as f64 / 1000.0 * e.static_mw_per_klut
         + r.bram36 as f64 * e.static_mw_per_bram
         + r.dsp48 as f64 * e.static_mw_per_dsp
+}
+
+impl OpEnergies {
+    /// Serializes the coefficients as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_f64("fp_add_pj", self.fp_add_pj);
+        o.field_f64("fp_mul_pj", self.fp_mul_pj);
+        o.field_f64("buffer_pj_per_byte", self.buffer_pj_per_byte);
+        o.field_f64("static_mw_per_klut", self.static_mw_per_klut);
+        o.field_f64("static_mw_per_bram", self.static_mw_per_bram);
+        o.field_f64("static_mw_per_dsp", self.static_mw_per_dsp);
+        o.finish()
+    }
 }
 
 #[cfg(test)]

@@ -1,11 +1,9 @@
 //! Assembly of the full 2D FFT processor (Fig. 3) and its clock model.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{costs, Resources};
 
 /// Inputs describing one processor instantiation.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ProcessorSpec {
     /// Vaults the design connects to (one controller each).
     pub vaults: usize,
@@ -26,7 +24,7 @@ pub struct ProcessorSpec {
 }
 
 /// The fully-costed processor.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Processor {
     /// Total resource consumption.
     pub resources: Resources,
@@ -79,6 +77,32 @@ impl Processor {
     /// Clock period in picoseconds.
     pub fn clock_period_ps(&self) -> u64 {
         (1e6 / self.clock_mhz).round() as u64
+    }
+}
+
+impl ProcessorSpec {
+    /// Serializes the instantiation inputs as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("vaults", self.vaults as u64);
+        o.field_u64("lanes", self.lanes as u64);
+        o.field_u64("stages", self.stages as u64);
+        o.field_u64("complex_adders", self.complex_adders as u64);
+        o.field_u64("complex_multipliers", self.complex_multipliers as u64);
+        o.field_u64("rom_bytes", self.rom_bytes);
+        o.field_u64("kernel_buffer_bytes", self.kernel_buffer_bytes);
+        o.field_u64("reorg_buffer_bytes", self.reorg_buffer_bytes);
+        o.finish()
+    }
+}
+
+impl Processor {
+    /// Serializes the costed processor as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_raw("resources", &self.resources.to_json());
+        o.field_f64("clock_mhz", self.clock_mhz);
+        o.finish()
     }
 }
 

@@ -3,11 +3,9 @@
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Mul};
 
-use serde::{Deserialize, Serialize};
-
 /// A bundle of FPGA resources: lookup tables, flip-flops, 36 Kb block
 /// RAMs and DSP48 slices.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Resources {
     /// 6-input lookup tables.
     pub luts: u64,
@@ -124,6 +122,18 @@ pub mod devices {
 
     /// Xilinx Virtex-7 XC7VX485T, a mid-size member of the family.
     pub const VIRTEX7_485T: Resources = Resources::new(303_600, 607_200, 1_030, 2_800);
+}
+
+impl Resources {
+    /// Serializes the bundle as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("luts", self.luts);
+        o.field_u64("ffs", self.ffs);
+        o.field_u64("bram36", self.bram36);
+        o.field_u64("dsp48", self.dsp48);
+        o.finish()
+    }
 }
 
 #[cfg(test)]

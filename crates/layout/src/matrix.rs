@@ -337,7 +337,7 @@ impl MatrixLayout for BlockDynamic {
 mod tests {
     use super::*;
     use mem3d::{Geometry, TimingParams};
-    use proptest::prelude::*;
+    use sim_util::{prop_assert, prop_assert_eq, prop_check};
     use std::collections::HashSet;
 
     fn params(n: usize) -> LayoutParams {
@@ -464,18 +464,21 @@ mod tests {
         }
     }
 
-    proptest! {
-        #[test]
-        fn addresses_stay_in_matrix_footprint(
-            r in 0usize..128,
-            c in 0usize..128,
-            which in 0usize..4,
-        ) {
+    #[test]
+    fn addresses_stay_in_matrix_footprint() {
+        prop_check!(|rng| {
+            let r = rng.gen_range(0usize..128);
+            let c = rng.gen_range(0usize..128);
+            let which = rng.gen_range(0usize..4);
             let layouts = all_layouts(128);
             let l = &layouts[which];
             let a = l.addr(r, c);
-            prop_assert!(a < (128 * 128 * 8) as u64);
-            prop_assert_eq!(a % 8, 0);
-        }
+            prop_assert!(
+                a < (128 * 128 * 8) as u64,
+                "{} at ({r}, {c}): {a}",
+                l.name()
+            );
+            prop_assert_eq!(a % 8, 0, "{} at ({}, {})", l.name(), r, c);
+        });
     }
 }

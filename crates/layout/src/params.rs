@@ -1,7 +1,6 @@
 //! The parameter bundle of the paper's Eq. (1).
 
 use mem3d::{Geometry, TimingParams};
-use serde::{Deserialize, Serialize};
 
 /// Everything the dynamic-data-layout optimizer needs to know about the
 /// memory device and the workload, in the paper's notation:
@@ -11,7 +10,7 @@ use serde::{Deserialize, Serialize};
 /// * `n_v` — vaults accessed in parallel;
 /// * the timing ratios `t_diff_row / t_in_row` etc. from
 ///   [`TimingParams`].
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LayoutParams {
     /// Matrix dimension `N` (the 2D FFT is `N × N`).
     pub n: usize,
@@ -80,6 +79,20 @@ impl LayoutParams {
             h *= 2;
         }
         hs
+    }
+}
+
+impl LayoutParams {
+    /// Serializes the parameters as a JSON object (timing nested).
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("n", self.n as u64);
+        o.field_u64("elem_bytes", self.elem_bytes as u64);
+        o.field_u64("s", self.s as u64);
+        o.field_u64("b", self.b as u64);
+        o.field_u64("n_v", self.n_v as u64);
+        o.field_raw("timing", &self.timing.to_json());
+        o.finish()
     }
 }
 

@@ -8,13 +8,12 @@
 //! accounting (its criticism of the earlier DDL work [12]).
 
 use mem3d::Picos;
-use serde::{Deserialize, Serialize};
 
 use crate::LayoutParams;
 
 /// Reorganization overhead of a block dynamic layout with height `h` on
 /// a `width`-lane datapath at a given clock.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ReorgCost {
     /// On-chip buffer the permutation network needs, in bytes
     /// (double-buffered band of `h` matrix rows).
@@ -53,6 +52,17 @@ impl ReorgCost {
     pub fn bram36(&self) -> u64 {
         let bram_bytes = 36 * 1024 / 8;
         self.buffer_bytes.div_ceil(bram_bytes)
+    }
+}
+
+impl ReorgCost {
+    /// Serializes the overhead report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("buffer_bytes", self.buffer_bytes);
+        o.field_u64("fill_latency_ps", self.fill_latency.as_ps());
+        o.field_u64("reconfigurations", self.reconfigurations);
+        o.finish()
     }
 }
 

@@ -5,12 +5,10 @@
 //! stream can exploit. The layouts in the `layout` crate are expressed on
 //! top of these maps.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Geometry, Location, Result};
 
 /// Interleaving policy for decoding flat byte addresses.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 #[non_exhaustive]
 pub enum AddressMapKind {
     /// Fully contiguous: a bank is filled row by row before moving to the
@@ -162,10 +160,27 @@ impl AddressMap {
     }
 }
 
+impl AddressMapKind {
+    /// A stable lower-case name (used in reports and JSON output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            AddressMapKind::Chunked => "chunked",
+            AddressMapKind::RowInterleaved => "row-interleaved",
+            AddressMapKind::VaultInterleaved => "vault-interleaved",
+        }
+    }
+}
+
+impl std::fmt::Display for AddressMapKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_util::{prop_assert, prop_assert_eq, prop_check};
 
     const KINDS: [AddressMapKind; 3] = [
         AddressMapKind::Chunked,
@@ -231,35 +246,36 @@ mod tests {
         assert!(map.encode(bad).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn decode_encode_round_trip(
-            addr in 0u64..small_geom().capacity_bytes(),
-            kind_idx in 0usize..3,
-        ) {
-            let map = AddressMap::new(KINDS[kind_idx], small_geom());
+    #[test]
+    fn decode_encode_round_trip() {
+        prop_check!(|rng| {
+            let addr = rng.gen_range(0u64..small_geom().capacity_bytes());
+            let kind = KINDS[rng.gen_range(0usize..3)];
+            let map = AddressMap::new(kind, small_geom());
             let loc = map.decode(addr).unwrap();
-            prop_assert!(small_geom().contains(loc));
-            prop_assert_eq!(map.encode(loc).unwrap(), addr);
-        }
+            prop_assert!(small_geom().contains(loc), "{kind:?} at {addr}: {loc}");
+            prop_assert_eq!(map.encode(loc).unwrap(), addr, "{:?}", kind);
+        });
+    }
 
-        #[test]
-        fn decode_is_injective_on_rows(
-            a in 0u64..small_geom().capacity_bytes() / 64,
-            b in 0u64..small_geom().capacity_bytes() / 64,
-            kind_idx in 0usize..3,
-        ) {
+    #[test]
+    fn decode_is_injective_on_rows() {
+        prop_check!(|rng| {
             // Distinct memory-row indexes decode to distinct (vault, layer,
             // bank, row) tuples.
             let g = small_geom();
-            let map = AddressMap::new(KINDS[kind_idx], g);
+            let rows = g.capacity_bytes() / 64;
+            let a = rng.gen_range(0u64..rows);
+            let b = rng.gen_range(0u64..rows);
+            let kind = KINDS[rng.gen_range(0usize..3)];
+            let map = AddressMap::new(kind, g);
             let la = map.decode(a * g.row_bytes as u64).unwrap();
             let lb = map.decode(b * g.row_bytes as u64).unwrap();
             if a != b {
-                prop_assert!(!la.same_row(&lb));
+                prop_assert!(!la.same_row(&lb), "{kind:?}: rows {a} and {b} collide");
             } else {
-                prop_assert_eq!(la, lb);
+                prop_assert_eq!(la, lb, "{:?}: row {}", kind, a);
             }
-        }
+        });
     }
 }

@@ -7,8 +7,6 @@
 //! plus TSV transfer energy, and elapsed time charges per-vault
 //! background power.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Picos, Stats};
 
 /// Energy coefficients of the stack, in picojoules.
@@ -17,7 +15,7 @@ use crate::{Picos, Stats};
 /// a few nanojoules per row activation, single-digit picojoules per bit
 /// for array access and TSV traversal, and tens of milliwatts of
 /// per-vault background power.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct EnergyParams {
     /// Energy of one row activation (open + restore), in pJ.
     pub activate_pj: f64,
@@ -41,7 +39,7 @@ impl Default for EnergyParams {
 }
 
 /// An itemized energy bill for one measured interval.
-#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct EnergyReport {
     /// Row-activation energy, pJ.
     pub activation_pj: f64,
@@ -127,6 +125,31 @@ impl std::fmt::Display for EnergyReport {
             self.tsv_pj / self.total_pj().max(f64::MIN_POSITIVE) * 100.0,
             self.background_pj / self.total_pj().max(f64::MIN_POSITIVE) * 100.0,
         )
+    }
+}
+
+impl EnergyParams {
+    /// Serializes the coefficients as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_f64("activate_pj", self.activate_pj);
+        o.field_f64("array_pj_per_byte", self.array_pj_per_byte);
+        o.field_f64("tsv_pj_per_byte", self.tsv_pj_per_byte);
+        o.field_f64("background_mw_per_vault", self.background_mw_per_vault);
+        o.finish()
+    }
+}
+
+impl EnergyReport {
+    /// Serializes the itemized bill as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_f64("activation_pj", self.activation_pj);
+        o.field_f64("array_pj", self.array_pj);
+        o.field_f64("tsv_pj", self.tsv_pj);
+        o.field_f64("background_pj", self.background_pj);
+        o.field_f64("total_pj", self.total_pj());
+        o.finish()
     }
 }
 

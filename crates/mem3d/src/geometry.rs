@@ -1,7 +1,5 @@
 //! Physical organization of the 3D memory stack.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Error, Result};
 
 /// Physical organization of the stack: how many vaults, layers, banks and
@@ -17,7 +15,7 @@ use crate::{Error, Result};
 /// `layers * banks_per_layer`, matching the paper's statement that the
 /// banks of one layer belonging to a vault are "analogous to the banks in
 /// a chip in the 2D memory".
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Geometry {
     /// Number of independent vaults (each with its own controller + TSVs).
     pub vaults: usize,
@@ -120,7 +118,7 @@ impl Default for Geometry {
 /// `bank` is the bank index *within one layer* of the vault; together with
 /// `layer` it names one physical bank. `col` is the byte offset within the
 /// row.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct Location {
     /// Vault index.
     pub vault: usize,
@@ -169,6 +167,34 @@ impl std::fmt::Display for Location {
             "v{}/l{}/b{}/r{}+{}",
             self.vault, self.layer, self.bank, self.row, self.col
         )
+    }
+}
+
+impl Geometry {
+    /// Serializes the geometry as a JSON object (the hand-rolled
+    /// replacement for the former `serde` derive; see `sim_util::json`).
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("vaults", self.vaults as u64);
+        o.field_u64("layers", self.layers as u64);
+        o.field_u64("banks_per_layer", self.banks_per_layer as u64);
+        o.field_u64("rows_per_bank", self.rows_per_bank as u64);
+        o.field_u64("row_bytes", self.row_bytes as u64);
+        o.field_u64("capacity_bytes", self.capacity_bytes());
+        o.finish()
+    }
+}
+
+impl Location {
+    /// Serializes the location as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("vault", self.vault as u64);
+        o.field_u64("layer", self.layer as u64);
+        o.field_u64("bank", self.bank as u64);
+        o.field_u64("row", self.row as u64);
+        o.field_u64("col", u64::from(self.col));
+        o.finish()
     }
 }
 

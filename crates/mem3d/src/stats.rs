@@ -1,11 +1,9 @@
 //! Access statistics and bandwidth reporting.
 
-use serde::{Deserialize, Serialize};
-
 use crate::{Picos, Request, RequestOutcome};
 
 /// Counters accumulated by a controller or an entire memory system.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct Stats {
     /// Number of requests served.
     pub requests: u64,
@@ -105,7 +103,7 @@ impl Stats {
 }
 
 /// A bandwidth figure paired with the peak it is measured against.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct BandwidthReport {
     /// Achieved bandwidth in GB/s.
     pub achieved_gbps: f64,
@@ -133,6 +131,39 @@ impl std::fmt::Display for BandwidthReport {
             self.utilization() * 100.0,
             self.peak_gbps
         )
+    }
+}
+
+impl Stats {
+    /// Serializes the counters as a JSON object (timestamps in ps).
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("requests", self.requests);
+        o.field_u64("bytes_read", self.bytes_read);
+        o.field_u64("bytes_written", self.bytes_written);
+        o.field_u64("activations", self.activations);
+        o.field_u64("row_hits", self.row_hits);
+        o.field_u64("row_misses", self.row_misses);
+        o.field_f64("row_hit_rate", self.row_hit_rate());
+        o.field_u64("latency_mean_ps", self.latency_mean().as_ps());
+        o.field_u64("latency_max_ps", self.latency_max.as_ps());
+        match self.first_beat {
+            Some(t) => o.field_u64("first_beat_ps", t.as_ps()),
+            None => o.field_raw("first_beat_ps", "null"),
+        };
+        o.field_u64("last_beat_ps", self.last_beat.as_ps());
+        o.finish()
+    }
+}
+
+impl BandwidthReport {
+    /// Serializes the report as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_f64("achieved_gbps", self.achieved_gbps);
+        o.field_f64("peak_gbps", self.peak_gbps);
+        o.field_f64("utilization", self.utilization());
+        o.finish()
     }
 }
 

@@ -4,16 +4,12 @@ use std::fmt;
 use std::iter::Sum;
 use std::ops::{Add, AddAssign, Div, Mul, Sub};
 
-use serde::{Deserialize, Serialize};
-
 /// A duration or absolute point in time, in picoseconds.
 ///
 /// Every timestamp in the simulator is a `Picos`. Picosecond resolution is
 /// fine enough to express sub-nanosecond TSV transfer slots exactly while
 /// a `u64` still spans ~213 days of simulated time.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
 pub struct Picos(pub u64);
 
 impl Picos {
@@ -134,7 +130,7 @@ impl fmt::Display for Picos {
 ///
 /// Accesses to different vaults have no mutual constraint (the paper
 /// explicitly defines no `t_diff_vault`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TimingParams {
     /// Same-bank, same-open-row column access separation.
     pub t_in_row: Picos,
@@ -249,6 +245,24 @@ impl Default for TimingParams {
             t_refi: Picos::ZERO,
             t_rfc: Picos::ZERO,
         }
+    }
+}
+
+impl TimingParams {
+    /// Serializes the timing parameters as a JSON object; every field is
+    /// expressed in integer picoseconds.
+    pub fn to_json(&self) -> String {
+        let mut o = sim_util::json::JsonObject::new();
+        o.field_u64("t_in_row_ps", self.t_in_row.as_ps());
+        o.field_u64("t_diff_row_ps", self.t_diff_row.as_ps());
+        o.field_u64("t_diff_bank_ps", self.t_diff_bank.as_ps());
+        o.field_u64("t_in_vault_ps", self.t_in_vault.as_ps());
+        o.field_u64("t_activate_ps", self.t_activate.as_ps());
+        o.field_u64("t_column_ps", self.t_column.as_ps());
+        o.field_u64("tsv_ps_per_byte", self.tsv_ps_per_byte.as_ps());
+        o.field_u64("t_refi_ps", self.t_refi.as_ps());
+        o.field_u64("t_rfc_ps", self.t_rfc.as_ps());
+        o.finish()
     }
 }
 

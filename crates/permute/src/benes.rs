@@ -268,7 +268,7 @@ fn set_switch(stage: &mut Vec<bool>, idx: usize, crossed: bool) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_util::{prop_assert_eq, prop_check};
 
     #[test]
     fn constructor_validates() {
@@ -304,20 +304,17 @@ mod tests {
         assert_eq!(prog.ports(), 16);
     }
 
-    proptest! {
-        #[test]
-        fn routes_arbitrary_permutations(kexp in 1usize..6, seed in any::<u64>()) {
-            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+    #[test]
+    fn routes_arbitrary_permutations() {
+        prop_check!(|rng| {
+            let kexp = rng.gen_range(1usize..6);
             let p = 1usize << kexp;
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut map: Vec<usize> = (0..p).collect();
-            map.shuffle(&mut rng);
-            let perm = Permutation::from_map(map).unwrap();
+            let perm = Permutation::from_map(rng.permutation_map(p)).unwrap();
             let net = BenesNetwork::new(p).unwrap();
             let prog = net.route(&perm).unwrap();
             let input: Vec<usize> = (100..100 + p).collect();
             let out = net.apply(&prog, &input);
-            prop_assert_eq!(out, perm.apply(&input));
-        }
+            prop_assert_eq!(out, perm.apply(&input), "perm = {}", perm);
+        });
     }
 }

@@ -159,7 +159,7 @@ impl ControlUnit {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_util::{prop_assert, prop_check};
 
     #[test]
     fn identity_is_always_conflict_free() {
@@ -199,20 +199,15 @@ mod tests {
         assert!(ControlUnit::new(Permutation::identity(8), 0).is_err());
     }
 
-    proptest! {
-        #[test]
-        fn schedule_reads_each_bank_slot_once(
-            k in 2usize..7,
-            wexp in 1usize..4,
-            seed in any::<u64>(),
-        ) {
-            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+    #[test]
+    fn schedule_reads_each_bank_slot_once() {
+        prop_check!(|rng| {
+            let k = rng.gen_range(2usize..7);
+            let wexp = rng.gen_range(1usize..4);
             let n = 1usize << k;
             let p = 1usize << wexp.min(k);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut map: Vec<usize> = (0..n).collect();
-            map.shuffle(&mut rng);
-            let cu = ControlUnit::new(Permutation::from_map(map).unwrap(), p).unwrap();
+            let cu = ControlUnit::new(Permutation::from_map(rng.permutation_map(n)).unwrap(), p)
+                .unwrap();
             for skew in [BankSkew::None, BankSkew::Diagonal] {
                 let sched = cu.read_schedule(skew);
                 // Across the whole frame each bank is read exactly n/p times.
@@ -222,19 +217,26 @@ mod tests {
                         totals[b] += 1;
                     }
                 }
-                prop_assert!(totals.iter().all(|&t| t == n / p));
+                prop_assert!(
+                    totals.iter().all(|&t| t == n / p),
+                    "n = {n}, p = {p}, skew = {skew:?}, totals = {totals:?}"
+                );
             }
-        }
+        });
+    }
 
-        #[test]
-        fn diagonal_skew_never_worse_on_strides(k in 2usize..7, sexp in 0usize..7) {
+    #[test]
+    fn diagonal_skew_never_worse_on_strides() {
+        prop_check!(|rng| {
+            let k = rng.gen_range(2usize..7);
+            let sexp = rng.gen_range(0usize..7);
             let n = 1usize << k;
             let s = 1usize << (sexp % (k + 1));
             let p = 1usize << (k / 2).clamp(1, 3);
             let cu = ControlUnit::new(Permutation::stride(n, s).unwrap(), p).unwrap();
             let naive = cu.read_schedule(BankSkew::None).total_stalls();
             let skewed = cu.read_schedule(BankSkew::Diagonal).total_stalls();
-            prop_assert!(skewed <= naive);
-        }
+            prop_assert!(skewed <= naive, "n = {n}, s = {s}: {skewed} > {naive}");
+        });
     }
 }

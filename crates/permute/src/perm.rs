@@ -292,7 +292,7 @@ impl std::error::Error for PermutationError {}
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_util::{prop_assert, prop_assert_eq, prop_check, SimRng};
 
     #[test]
     fn identity_properties() {
@@ -379,60 +379,63 @@ mod tests {
         let _ = Permutation::identity(4).then(&Permutation::identity(8));
     }
 
-    fn arb_perm(max: usize) -> impl Strategy<Value = Permutation> {
-        (1..=max).prop_flat_map(|n| {
-            Just((0..n).collect::<Vec<_>>())
-                .prop_shuffle()
-                .prop_map(|map| {
-                    Permutation::from_map(map).expect("shuffled identity is a bijection")
-                })
-        })
+    fn arb_perm(rng: &mut SimRng, max: usize) -> Permutation {
+        let n = rng.gen_range(1usize..=max);
+        Permutation::from_map(rng.permutation_map(n)).expect("shuffled identity is a bijection")
     }
 
-    proptest! {
-        #[test]
-        fn inverse_composes_to_identity(p in arb_perm(64)) {
-            prop_assert!(p.then(&p.inverse()).is_identity());
-            prop_assert!(p.inverse().then(&p).is_identity());
-        }
+    #[test]
+    fn inverse_composes_to_identity() {
+        prop_check!(|rng| {
+            let p = arb_perm(rng, 64);
+            prop_assert!(p.then(&p.inverse()).is_identity(), "p = {p}");
+            prop_assert!(p.inverse().then(&p).is_identity(), "p = {p}");
+        });
+    }
 
-        #[test]
-        fn apply_in_place_matches_apply(p in arb_perm(64)) {
+    #[test]
+    fn apply_in_place_matches_apply() {
+        prop_check!(|rng| {
+            let p = arb_perm(rng, 64);
             let x: Vec<usize> = (100..100 + p.len()).collect();
             let expected = p.apply(&x);
             let mut y = x.clone();
             p.apply_in_place(&mut y);
-            prop_assert_eq!(y, expected);
-        }
+            prop_assert_eq!(y, expected, "p = {}", p);
+        });
+    }
 
-        #[test]
-        fn apply_preserves_multiset(p in arb_perm(64)) {
+    #[test]
+    fn apply_preserves_multiset() {
+        prop_check!(|rng| {
+            let p = arb_perm(rng, 64);
             let x: Vec<usize> = (0..p.len()).collect();
             let mut y = p.apply(&x);
             y.sort_unstable();
-            prop_assert_eq!(y, x);
-        }
+            prop_assert_eq!(y, x, "p = {}", p);
+        });
+    }
 
-        #[test]
-        fn composition_is_associative(n in 1usize..32, seed in any::<u64>()) {
-            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mk = |rng: &mut StdRng| {
-                let mut m: Vec<usize> = (0..n).collect();
-                m.shuffle(rng);
-                Permutation::from_map(m).unwrap()
-            };
-            let (a, b, c) = (mk(&mut rng), mk(&mut rng), mk(&mut rng));
+    #[test]
+    fn composition_is_associative() {
+        prop_check!(|rng| {
+            let n = rng.gen_range(1usize..32);
+            let mk = |rng: &mut SimRng| Permutation::from_map(rng.permutation_map(n)).unwrap();
+            let (a, b, c) = (mk(rng), mk(rng), mk(rng));
             prop_assert_eq!(a.then(&b).then(&c), a.then(&b.then(&c)));
-        }
+        });
+    }
 
-        #[test]
-        fn stride_inverse_is_co_stride(k in 1usize..7, j in 0usize..7) {
+    #[test]
+    fn stride_inverse_is_co_stride() {
+        prop_check!(|rng| {
+            let k = rng.gen_range(1usize..7);
+            let j = rng.gen_range(0usize..7);
             let n = 1usize << k;
             let s = 1usize << (j % (k + 1));
             let l = Permutation::stride(n, s).unwrap();
             let co = Permutation::stride(n, n / s).unwrap();
-            prop_assert_eq!(l.inverse(), co);
-        }
+            prop_assert_eq!(l.inverse(), co, "n = {}, s = {}", n, s);
+        });
     }
 }

@@ -232,7 +232,7 @@ impl<T: Clone> TileTransposer<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_util::{prop_assert_eq, prop_check};
 
     #[test]
     fn write_rows_read_cols_transposes() {
@@ -284,26 +284,29 @@ mod tests {
         assert_eq!(out2, vec![vec![5, 7], vec![6, 8]]);
     }
 
-    proptest! {
-        #[test]
-        fn accesses_are_conflict_free(p in 1usize..33) {
+    #[test]
+    fn accesses_are_conflict_free() {
+        prop_check!(|rng| {
+            let p = rng.gen_range(1usize..33);
             let t = SkewedTile::<u8>::new(p);
             for i in 0..p {
                 let mut row = t.banks_for_row(i);
                 row.sort_unstable();
-                prop_assert_eq!(row, (0..p).collect::<Vec<_>>());
+                prop_assert_eq!(row, (0..p).collect::<Vec<_>>(), "p = {}, row {}", p, i);
                 let mut col = t.banks_for_col(i);
                 col.sort_unstable();
-                prop_assert_eq!(col, (0..p).collect::<Vec<_>>());
+                prop_assert_eq!(col, (0..p).collect::<Vec<_>>(), "p = {}, col {}", p, i);
             }
-        }
+        });
+    }
 
-        #[test]
-        fn transpose_matches_reference(p in 1usize..9, seed in any::<u64>()) {
-            use rand::{rngs::StdRng, Rng, SeedableRng};
-            let mut rng = StdRng::seed_from_u64(seed);
-            let data: Vec<Vec<u32>> =
-                (0..p).map(|_| (0..p).map(|_| rng.gen()).collect()).collect();
+    #[test]
+    fn transpose_matches_reference() {
+        prop_check!(|rng| {
+            let p = rng.gen_range(1usize..9);
+            let data: Vec<Vec<u32>> = (0..p)
+                .map(|_| (0..p).map(|_| rng.next_u32()).collect())
+                .collect();
             let mut tr = TileTransposer::new(p);
             let mut out = None;
             for row in &data {
@@ -312,9 +315,9 @@ mod tests {
             let out = out.expect("tile complete after p rows");
             for (r, row) in out.iter().enumerate() {
                 for (c, v) in row.iter().enumerate() {
-                    prop_assert_eq!(*v, data[c][r]);
+                    prop_assert_eq!(*v, data[c][r], "p = {}, ({}, {})", p, r, c);
                 }
             }
-        }
+        });
     }
 }

@@ -191,7 +191,7 @@ impl<T: Clone> StreamingPermuter<T> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sim_util::{prop_assert_eq, prop_check};
 
     fn run_frames<T: Clone>(perm: &Permutation, width: usize, data: &[T]) -> Vec<T> {
         let mut sp = StreamingPermuter::new(perm.clone(), width).unwrap();
@@ -265,28 +265,22 @@ mod tests {
             .contains("divide"));
     }
 
-    proptest! {
-        #[test]
-        fn streaming_equals_batch(
-            k in 1usize..6,
-            wexp in 0usize..4,
-            frames in 1usize..4,
-            seed in any::<u64>(),
-        ) {
-            use rand::{rngs::StdRng, seq::SliceRandom, SeedableRng};
+    #[test]
+    fn streaming_equals_batch() {
+        prop_check!(|rng| {
+            let k = rng.gen_range(1usize..6);
+            let wexp = rng.gen_range(0usize..4);
+            let frames = rng.gen_range(1usize..4);
             let n = 1usize << k;
             let width = 1usize << wexp.min(k);
-            let mut rng = StdRng::seed_from_u64(seed);
-            let mut map: Vec<usize> = (0..n).collect();
-            map.shuffle(&mut rng);
-            let perm = Permutation::from_map(map).unwrap();
+            let perm = Permutation::from_map(rng.permutation_map(n)).unwrap();
             let data: Vec<u64> = (0..(n * frames) as u64).collect();
             let out = run_frames(&perm, width, &data);
             let mut expected = Vec::new();
             for f in 0..frames {
                 expected.extend(perm.apply(&data[f * n..(f + 1) * n]));
             }
-            prop_assert_eq!(out, expected);
-        }
+            prop_assert_eq!(out, expected, "perm = {}, width = {}", perm, width);
+        });
     }
 }

@@ -1,0 +1,142 @@
+//! A small wall-clock benchmark harness.
+//!
+//! Replaces `criterion` for this workspace's `benches/*` binaries
+//! (`harness = false`). Protocol per benchmark:
+//!
+//! 1. calibrate: time single calls until the batch size is large enough
+//!    that one sample takes at least ~2 ms (amortizes timer overhead);
+//! 2. warm up for a fixed number of samples (untimed);
+//! 3. take K timed samples and report the **median** (robust against
+//!    scheduler noise), plus min/max for spread.
+//!
+//! Each result is emitted as one JSON line on stdout, so runs can be
+//! collected with `cargo bench -p bench 2>/dev/null | grep '^{'` and
+//! diffed across commits.
+//!
+//! Environment knobs:
+//! * `SIM_BENCH_SAMPLES` — timed samples per benchmark (default 11);
+//! * `SIM_BENCH_FAST=1` — 3 samples, no warmup (smoke-test mode; this is
+//!   also what `cargo test --benches` effectively wants).
+
+use crate::json::JsonObject;
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Minimum duration of one timed sample.
+const TARGET_SAMPLE: Duration = Duration::from_millis(2);
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    samples: u32,
+    warmup: u32,
+    throughput_elems: Option<u64>,
+}
+
+impl BenchGroup {
+    /// Creates a group; `name` prefixes every benchmark id in the output.
+    pub fn new(name: &str) -> Self {
+        let fast = std::env::var("SIM_BENCH_FAST").is_ok_and(|v| v != "0");
+        let samples = std::env::var("SIM_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if fast { 3 } else { 11 })
+            .max(1);
+        BenchGroup {
+            name: name.to_string(),
+            samples,
+            warmup: if fast { 0 } else { 3 },
+            throughput_elems: None,
+        }
+    }
+
+    /// Overrides the number of timed samples (median-of-K).
+    pub fn samples(mut self, k: u32) -> Self {
+        self.samples = k.max(1);
+        self
+    }
+
+    /// Declares that each iteration of subsequent benchmarks processes
+    /// `n` elements; the output then includes an elements/second rate.
+    pub fn throughput_elems(&mut self, n: u64) {
+        self.throughput_elems = Some(n);
+    }
+
+    /// Runs one benchmark and prints its JSON line.
+    ///
+    /// `f` is the unit of work; its return value is black-boxed so the
+    /// optimizer cannot delete the computation.
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) {
+        // Calibrate the batch size.
+        let mut iters: u64 = 1;
+        loop {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = t.elapsed();
+            if elapsed >= TARGET_SAMPLE || iters >= 1 << 20 {
+                break;
+            }
+            // Aim directly at the target with one growth step of slack.
+            let scale = (TARGET_SAMPLE.as_nanos() as u64)
+                .checked_div(elapsed.as_nanos().max(1) as u64)
+                .unwrap_or(u64::MAX);
+            iters = iters.saturating_mul(scale.clamp(2, 100)).min(1 << 20);
+        }
+
+        for _ in 0..self.warmup {
+            let t = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            black_box(t.elapsed());
+        }
+
+        let mut per_iter_ns: Vec<f64> = (0..self.samples)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..iters {
+                    black_box(f());
+                }
+                t.elapsed().as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        per_iter_ns.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter_ns[per_iter_ns.len() / 2];
+
+        let mut obj = JsonObject::new();
+        obj.field_str("group", &self.name);
+        obj.field_str("id", id);
+        obj.field_f64("median_ns", median);
+        obj.field_f64("min_ns", per_iter_ns[0]);
+        obj.field_f64("max_ns", *per_iter_ns.last().unwrap());
+        obj.field_u64("samples", u64::from(self.samples));
+        obj.field_u64("iters_per_sample", iters);
+        if let Some(n) = self.throughput_elems {
+            obj.field_f64("elems_per_sec", n as f64 * 1e9 / median.max(1e-9));
+        }
+        println!("{}", obj.finish());
+        eprintln!(
+            "{}/{id}: median {} ({} samples x {iters} iters)",
+            self.name,
+            fmt_ns(median),
+            self.samples,
+        );
+    }
+
+    /// Ends the group (kept for call-site symmetry with criterion).
+    pub fn finish(self) {}
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}

@@ -1,0 +1,114 @@
+//! A minimal JSON emitter.
+//!
+//! Replaces the `serde` derives this workspace used to carry: report
+//! structs in `mem3d`, `layout` and `fpga-model` hand-roll `to_json()`
+//! with this builder instead. Emission only — nothing in the workspace
+//! ever parsed JSON, so there is deliberately no parser here.
+//!
+//! ```
+//! use sim_util::json::JsonObject;
+//!
+//! let mut o = JsonObject::new();
+//! o.field_str("name", "vault");
+//! o.field_u64("banks", 8);
+//! assert_eq!(o.finish(), r#"{"name":"vault","banks":8}"#);
+//! ```
+
+/// Escapes `s` for use inside a JSON string literal (without quotes).
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Formats an `f64` as a JSON value (`null` for NaN/infinities, which
+/// JSON cannot represent).
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        // `{:?}` is the shortest representation that round-trips.
+        format!("{v:?}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// An incremental `{...}` builder.
+#[derive(Debug, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject { buf: String::new() }
+    }
+
+    fn key(&mut self, k: &str) {
+        if !self.buf.is_empty() {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        self.buf.push_str(&escape(k));
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push('"');
+        self.buf.push_str(&escape(v));
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, k: &str, v: u64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&v.to_string());
+        self
+    }
+
+    /// Adds a float field (`null` if not finite).
+    pub fn field_f64(&mut self, k: &str, v: f64) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(&fmt_f64(v));
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, k: &str, v: bool) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(if v { "true" } else { "false" });
+        self
+    }
+
+    /// Adds a field whose value is already-serialized JSON (for nesting
+    /// objects or arrays built elsewhere).
+    pub fn field_raw(&mut self, k: &str, v: &str) -> &mut Self {
+        self.key(k);
+        self.buf.push_str(v);
+        self
+    }
+
+    /// Closes the object and returns the JSON text.
+    pub fn finish(self) -> String {
+        format!("{{{}}}", self.buf)
+    }
+}
+
+/// Serializes an iterator of already-serialized JSON values as an array.
+pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
+    let inner: Vec<String> = items.into_iter().collect();
+    format!("[{}]", inner.join(","))
+}

@@ -1,0 +1,188 @@
+//! A seeded, shrink-free property-testing harness.
+//!
+//! [`prop_check!`](crate::prop_check) runs a closure over N random cases,
+//! each driven by a [`SimRng`] whose seed derives deterministically from
+//! a base seed and the case index. On failure the harness reports the
+//! property name, the failing case index, the case seed and the failure
+//! message — enough to replay the exact counterexample with
+//! [`replay`] (no shrinking; keep generated inputs small instead).
+//!
+//! ```
+//! use sim_util::{prop_check, prop_assert};
+//!
+//! prop_check!(|rng| {
+//!     let n = rng.gen_range(1usize..100);
+//!     prop_assert!(n.wrapping_add(1) > n, "overflow at n = {n}");
+//! });
+//! ```
+//!
+//! Environment knobs (both optional):
+//! * `SIM_PROP_CASES` — override the case count for every property;
+//! * `SIM_PROP_SEED` — override the base seed (for CI soak runs).
+
+use crate::rng::{splitmix64, SimRng};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+
+/// Default number of cases per property.
+pub const DEFAULT_CASES: u64 = 64;
+
+/// Default base seed. Arbitrary but fixed: reproducibility beats novelty.
+pub const DEFAULT_SEED: u64 = 0x2D_FF7_5EED;
+
+/// The seed driving case `index` of a property with base seed `base`.
+#[inline]
+pub fn case_seed(base: u64, index: u64) -> u64 {
+    let mut s = base ^ index.wrapping_mul(0xA076_1D64_78BD_642F);
+    splitmix64(&mut s)
+}
+
+fn env_u64(name: &str) -> Option<u64> {
+    std::env::var(name).ok()?.trim().parse().ok()
+}
+
+/// Runs `f` once with an rng seeded exactly as the failing case was —
+/// paste the reported seed here to replay a counterexample.
+pub fn replay<F>(seed: u64, f: F)
+where
+    F: Fn(&mut SimRng) -> Result<(), String>,
+{
+    let mut rng = SimRng::seed_from_u64(seed);
+    if let Err(msg) = f(&mut rng) {
+        panic!("replay(seed = {seed:#x}) failed: {msg}");
+    }
+}
+
+/// Runs `cases` random cases of property `name`. Prefer the
+/// [`prop_check!`](crate::prop_check) macro, which fills in the name and
+/// defaults.
+///
+/// Panics (failing the enclosing `#[test]`) on the first case that
+/// returns `Err` or panics, reporting the case seed.
+pub fn check<F>(name: &str, cases: u64, f: F)
+where
+    F: Fn(&mut SimRng) -> Result<(), String>,
+{
+    let cases = env_u64("SIM_PROP_CASES").unwrap_or(cases).max(1);
+    let base = env_u64("SIM_PROP_SEED").unwrap_or(DEFAULT_SEED);
+    for i in 0..cases {
+        let seed = case_seed(base, i);
+        let mut rng = SimRng::seed_from_u64(seed);
+        match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+            Ok(Ok(())) => {}
+            Ok(Err(msg)) => panic!(
+                "property '{name}' failed at case {i}/{cases} \
+                 (seed {seed:#x}): {msg}\n\
+                 replay with sim_util::prop::replay({seed:#x}, ...)"
+            ),
+            Err(payload) => {
+                let msg = panic_message(&payload);
+                eprintln!(
+                    "property '{name}' panicked at case {i}/{cases} \
+                     (seed {seed:#x}): {msg}"
+                );
+                resume_unwind(payload);
+            }
+        }
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs a property over N seeded random cases.
+///
+/// Forms:
+/// * `prop_check!(|rng| { ... })` — [`DEFAULT_CASES`] cases;
+/// * `prop_check!(cases: 16, |rng| { ... })` — explicit case count.
+///
+/// Inside the body, `rng` is a `&mut SimRng`; draw all inputs from it.
+/// Use [`prop_assert!`](crate::prop_assert) /
+/// [`prop_assert_eq!`](crate::prop_assert_eq) so failures carry the
+/// generated inputs, and [`prop_assume!`](crate::prop_assume) to skip
+/// cases that don't satisfy a precondition.
+#[macro_export]
+macro_rules! prop_check {
+    (cases: $cases:expr, |$rng:ident| $body:block) => {
+        $crate::prop::check(
+            concat!(module_path!(), ":", line!()),
+            $cases,
+            |$rng: &mut $crate::rng::SimRng| {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            },
+        )
+    };
+    (|$rng:ident| $body:block) => {
+        $crate::prop_check!(cases: $crate::prop::DEFAULT_CASES, |$rng| $body)
+    };
+}
+
+/// `prop_assert!(cond)` / `prop_assert!(cond, "fmt", ...)`: fails the
+/// current property case with a formatted message (include the generated
+/// inputs — there is no shrinker to reconstruct them for you).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !($cond) {
+            return Err(format!("assertion failed: {}", stringify!($cond)));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return Err(format!(
+                "assertion failed: {} — {}",
+                stringify!($cond),
+                format!($($fmt)+)
+            ));
+        }
+    };
+}
+
+/// `prop_assert_eq!(a, b)`: fails the case showing both values.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$a, &$b);
+        if lhs != rhs {
+            return Err(format!(
+                "assertion failed: {} == {} — {}\n  left: {:?}\n right: {:?}",
+                stringify!($a),
+                stringify!($b),
+                format!($($fmt)+),
+                lhs,
+                rhs
+            ));
+        }
+    }};
+}
+
+/// `prop_assume!(cond)`: silently skips the current case when a
+/// precondition doesn't hold (the case still counts toward N).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return Ok(());
+        }
+    };
+}

@@ -1,0 +1,175 @@
+//! Self-tests for the shim layer: the PRNG is statistically sane and
+//! deterministic, and the property harness really reports failing-case
+//! inputs.
+
+use sim_util::json::{self, JsonObject};
+use sim_util::{prop_assert, prop_assert_eq, prop_assume, prop_check, SimRng};
+
+#[test]
+fn same_seed_same_stream() {
+    let mut a = SimRng::seed_from_u64(0xDEAD_BEEF);
+    let mut b = SimRng::seed_from_u64(0xDEAD_BEEF);
+    for _ in 0..1000 {
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
+
+#[test]
+fn distinct_seeds_give_distinct_streams() {
+    // Adjacent seeds must decorrelate immediately (SplitMix64 expansion).
+    for s in 0..32u64 {
+        let mut a = SimRng::seed_from_u64(s);
+        let mut b = SimRng::seed_from_u64(s + 1);
+        let xa: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let xb: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xa, xb, "seeds {s} and {} collide", s + 1);
+        let agreeing = xa.iter().zip(&xb).filter(|(x, y)| x == y).count();
+        assert_eq!(agreeing, 0, "seeds {s}/{} share outputs", s + 1);
+    }
+}
+
+#[test]
+fn gen_f64_mean_and_variance_bands() {
+    // Uniform [0,1): mean 1/2, variance 1/12. With n = 100_000 the
+    // sample mean's std error is ~0.0009; a ±0.01 band is ~11 sigma.
+    let mut rng = SimRng::seed_from_u64(7);
+    let n = 100_000;
+    let xs: Vec<f64> = (0..n).map(|_| rng.gen_f64()).collect();
+    assert!(xs.iter().all(|x| (0.0..1.0).contains(x)));
+    let mean = xs.iter().sum::<f64>() / n as f64;
+    assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+    let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+    assert!((var - 1.0 / 12.0).abs() < 0.005, "variance {var}");
+}
+
+#[test]
+fn next_u64_bits_are_balanced() {
+    // Each of the 64 bit positions should be set ~half the time.
+    let mut rng = SimRng::seed_from_u64(13);
+    let n = 20_000u32;
+    let mut ones = [0u32; 64];
+    for _ in 0..n {
+        let x = rng.next_u64();
+        for (bit, count) in ones.iter_mut().enumerate() {
+            *count += ((x >> bit) & 1) as u32;
+        }
+    }
+    for (bit, &count) in ones.iter().enumerate() {
+        let frac = f64::from(count) / f64::from(n);
+        assert!((frac - 0.5).abs() < 0.02, "bit {bit}: frac {frac}");
+    }
+}
+
+#[test]
+fn gen_range_is_in_bounds_and_covers() {
+    let mut rng = SimRng::seed_from_u64(99);
+    let mut seen = [false; 10];
+    for _ in 0..1000 {
+        let k = rng.gen_range(0usize..10);
+        seen[k] = true;
+    }
+    assert!(seen.iter().all(|&s| s), "1000 draws must cover 0..10");
+    for _ in 0..1000 {
+        let k = rng.gen_range(5usize..=7);
+        assert!((5..=7).contains(&k));
+        let x = rng.gen_range(-2.0..3.0);
+        assert!((-2.0..3.0).contains(&x));
+        let i = rng.gen_range(-5i64..5);
+        assert!((-5..5).contains(&i));
+    }
+}
+
+#[test]
+fn shuffle_is_a_permutation_and_not_identity() {
+    let mut rng = SimRng::seed_from_u64(3);
+    let mut v: Vec<usize> = (0..100).collect();
+    rng.shuffle(&mut v);
+    let mut sorted = v.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    assert_ne!(v, (0..100).collect::<Vec<_>>(), "astronomically unlikely");
+    let map = rng.permutation_map(64);
+    let mut m = map.clone();
+    m.sort_unstable();
+    assert_eq!(m, (0..64).collect::<Vec<_>>());
+}
+
+#[test]
+fn complex_vec_generator_shapes_and_bounds() {
+    let mut rng = SimRng::seed_from_u64(21);
+    let v = rng.gen_complex_vec(256, -1.0..1.0, |re, im| (re, im));
+    assert_eq!(v.len(), 256);
+    assert!(v
+        .iter()
+        .all(|(re, im)| (-1.0..1.0).contains(re) && (-1.0..1.0).contains(im)));
+}
+
+#[test]
+fn prop_check_passes_a_true_property() {
+    prop_check!(cases: 32, |rng| {
+        let mut v: Vec<u32> = (0..rng.gen_range(1usize..50)).map(|i| i as u32).collect();
+        let sum: u32 = v.iter().sum();
+        rng.shuffle(&mut v);
+        prop_assert_eq!(v.iter().sum::<u32>(), sum);
+        prop_assume!(v.len() > 1); // exercise the assume path too
+        prop_assert!(v.len() > 1);
+    });
+}
+
+#[test]
+fn prop_check_reports_the_failing_inputs() {
+    // A property that fails only for one specific drawn value; the
+    // panic message must carry that value (counterexample reporting).
+    let result = std::panic::catch_unwind(|| {
+        sim_util::prop::check("self-test", 64, |rng| {
+            let n = rng.gen_range(0usize..10);
+            prop_assert!(n != 3, "drew n = {n}");
+            Ok(())
+        });
+    });
+    let payload = result.expect_err("property must fail within 64 cases");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("panic carries a String");
+    assert!(msg.contains("drew n = 3"), "message lacks the input: {msg}");
+    assert!(msg.contains("seed 0x"), "message lacks the seed: {msg}");
+    assert!(msg.contains("self-test"), "message lacks the name: {msg}");
+}
+
+#[test]
+fn prop_replay_reproduces_a_case() {
+    // Find a failing case seed, then replay must hit the same input.
+    let mut failing_seed = None;
+    for i in 0..64 {
+        let seed = sim_util::prop::case_seed(sim_util::prop::DEFAULT_SEED, i);
+        let mut rng = SimRng::seed_from_u64(seed);
+        if rng.gen_range(0usize..10) == 3 {
+            failing_seed = Some(seed);
+            break;
+        }
+    }
+    let seed = failing_seed.expect("some case draws a 3");
+    let r = std::panic::catch_unwind(|| {
+        sim_util::prop::replay(seed, |rng| {
+            let n = rng.gen_range(0usize..10);
+            prop_assert!(n != 3, "drew n = {n}");
+            Ok(())
+        });
+    });
+    assert!(r.is_err(), "replay must reproduce the failure");
+}
+
+#[test]
+fn json_emitter_round_trips_structure() {
+    let mut o = JsonObject::new();
+    o.field_str("name", "a\"b\\c\n");
+    o.field_u64("count", 42);
+    o.field_f64("rate", 2.5);
+    o.field_f64("bad", f64::NAN);
+    o.field_bool("ok", true);
+    o.field_raw("inner", &json::array(vec!["1".into(), "2".into()]));
+    assert_eq!(
+        o.finish(),
+        r#"{"name":"a\"b\\c\n","count":42,"rate":2.5,"bad":null,"ok":true,"inner":[1,2]}"#
+    );
+}

@@ -13,7 +13,7 @@
 
 use fft2d::{Architecture, System};
 use fft_kernel::{max_abs_diff, Cplx, FftDirection};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use sim_util::SimRng;
 
 /// Circular spatial-domain convolution (reference).
 fn convolve_direct(img: &[Cplx], kernel: &[Cplx], n: usize) -> Vec<Cplx> {
@@ -40,7 +40,7 @@ fn convolve_direct(img: &[Cplx], kernel: &[Cplx], n: usize) -> Vec<Cplx> {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 64;
-    let mut rng = StdRng::seed_from_u64(3);
+    let mut rng = SimRng::seed_from_u64(3);
     let img: Vec<Cplx> = (0..n * n)
         .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), 0.0))
         .collect();

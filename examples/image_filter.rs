@@ -11,7 +11,7 @@
 
 use fft2d::{Architecture, System};
 use fft_kernel::{fft_2d, Cplx, FftDirection};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use sim_util::SimRng;
 
 fn energy(img: &[Cplx]) -> f64 {
     img.iter().map(|v| v.norm_sqr()).sum()
@@ -19,7 +19,7 @@ fn energy(img: &[Cplx]) -> f64 {
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let n = 128;
-    let mut rng = StdRng::seed_from_u64(7);
+    let mut rng = SimRng::seed_from_u64(7);
 
     // Smooth scene plus additive high-frequency noise.
     let clean: Vec<Cplx> = (0..n * n)

@@ -9,7 +9,7 @@
 
 use fft2d::{improvement, Architecture, System};
 use fft_kernel::{fft_2d, max_abs_diff, Cplx, FftDirection};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use sim_util::SimRng;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let sys = System::default();
@@ -40,7 +40,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 2. Correctness: the simulated dataflow equals the mathematical 2D FFT.
     let m = 64;
-    let mut rng = StdRng::seed_from_u64(1);
+    let mut rng = SimRng::seed_from_u64(1);
     let data: Vec<Cplx> = (0..m * m)
         .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
         .collect();

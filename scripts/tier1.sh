@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Tier-1 gate: the whole workspace must build, test and stay formatted
+# fully offline (zero-external-dependency policy — see DESIGN.md).
+#
+# Note: the workspace root is also a package, so a bare `cargo test`
+# would only run the umbrella crate; always pass --workspace.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --workspace --release --offline
+cargo test --workspace -q --offline
+cargo fmt --all -- --check
+
+echo "tier1: OK"

@@ -8,7 +8,7 @@ use layout::{
 };
 use mem3d::{Direction, Geometry, MemorySystem, Picos, TimingParams};
 use permute::{Permutation, StreamingPermuter, TileTransposer};
-use proptest::prelude::*;
+use sim_util::{prop_assert, prop_assert_eq, prop_assume, prop_check};
 
 fn params(n: usize) -> LayoutParams {
     LayoutParams::for_device(n, &Geometry::default(), &TimingParams::default())
@@ -116,37 +116,36 @@ fn paced_replay_never_beats_open_loop() {
     assert!(open_stats.bandwidth_gbps() >= paced_stats.bandwidth_gbps());
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    #[test]
-    fn block_layout_addresses_are_bijective(hexp in 3usize..8) {
+#[test]
+fn block_layout_addresses_are_bijective() {
+    prop_check!(cases: 16, |rng| {
         let n = 128;
         let p = params(n);
-        let h = 1usize << hexp;
+        let h = 1usize << rng.gen_range(3usize..8);
         prop_assume!(p.valid_block_heights().contains(&h));
         let ddl = BlockDynamic::with_height(&p, h).unwrap();
         let mut seen = std::collections::HashSet::new();
         for r in 0..n {
             for c in 0..n {
-                prop_assert!(seen.insert(ddl.addr(r, c)));
+                prop_assert!(seen.insert(ddl.addr(r, c)), "h = {h}: ({r}, {c}) repeats");
             }
         }
-        prop_assert_eq!(seen.len(), n * n);
-        prop_assert!(seen.iter().all(|a| *a < (n * n * 8) as u64));
-    }
+        prop_assert_eq!(seen.len(), n * n, "h = {}", h);
+        prop_assert!(seen.iter().all(|a| *a < (n * n * 8) as u64), "h = {h}");
+    });
+}
 
-    #[test]
-    fn streamed_kernel_is_deterministic(seed in any::<u64>()) {
-        use rand::{rngs::StdRng, Rng, SeedableRng};
-        let mut rng = StdRng::seed_from_u64(seed);
+#[test]
+fn streamed_kernel_is_deterministic() {
+    prop_check!(cases: 16, |rng| {
         let n = 64;
-        let x: Vec<Cplx> =
-            (0..n).map(|_| Cplx::new(rng.gen_range(-1.0..1.0), 0.0)).collect();
+        let x: Vec<Cplx> = (0..n)
+            .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), 0.0))
+            .collect();
         let mut k1 = StreamingFft::new(KernelConfig::forward(n, 4)).unwrap();
         let mut k2 = StreamingFft::new(KernelConfig::forward(n, 4)).unwrap();
         let a = k1.transform(&x).unwrap();
         let b = k2.transform(&x).unwrap();
         prop_assert_eq!(format!("{a:?}"), format!("{b:?}"));
-    }
+    });
 }

@@ -3,13 +3,10 @@
 
 use fft2d::{Architecture, System};
 use fft_kernel::{fft_2d, max_abs_diff, Cplx, FftDirection};
-use rand::{rngs::StdRng, Rng, SeedableRng};
+use sim_util::SimRng;
 
 fn random_matrix(n: usize, seed: u64) -> Vec<Cplx> {
-    let mut rng = StdRng::seed_from_u64(seed);
-    (0..n * n)
-        .map(|_| Cplx::new(rng.gen_range(-1.0..1.0), rng.gen_range(-1.0..1.0)))
-        .collect()
+    SimRng::seed_from_u64(seed).gen_complex_vec(n * n, -1.0..1.0, Cplx::new)
 }
 
 #[test]

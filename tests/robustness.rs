@@ -14,7 +14,9 @@ fn tiny_matrices_still_work_end_to_end() {
     let sys = System::default();
     let n = 4;
     let data: Vec<Cplx> = (0..16).map(|i| Cplx::new(i as f64, 0.0)).collect();
-    let got = sys.functional_2dfft(Architecture::Optimized, n, &data).unwrap();
+    let got = sys
+        .functional_2dfft(Architecture::Optimized, n, &data)
+        .unwrap();
     let expect = fft_kernel::fft_2d(&data, n, fft_kernel::FftDirection::Forward).unwrap();
     assert!(fft_kernel::max_abs_diff(&got, &expect) < 1e-10);
 }
@@ -40,7 +42,9 @@ fn invalid_problem_sizes_are_rejected_not_panicking() {
     // Non-power-of-two: kernel construction must fail cleanly.
     assert!(sys.column_phase(Architecture::Baseline, 500).is_err());
     assert!(sys.run_app(Architecture::Optimized, 300).is_err());
-    assert!(sys.functional_2dfft(Architecture::Baseline, 100, &[]).is_err());
+    assert!(sys
+        .functional_2dfft(Architecture::Baseline, 100, &[])
+        .is_err());
 }
 
 #[test]
@@ -117,7 +121,13 @@ fn config_changes_propagate_to_results() {
     });
     let base = sys.column_phase(Architecture::Baseline, 512).unwrap();
     let opt = sys.column_phase(Architecture::Optimized, 512).unwrap();
-    assert!((base.throughput_gbps - 0.8).abs() < 0.1, "still activation-bound");
-    assert!(opt.throughput_gbps < 32.0, "now memory-bound below the kernel ceiling");
+    assert!(
+        (base.throughput_gbps - 0.8).abs() < 0.1,
+        "still activation-bound"
+    );
+    assert!(
+        opt.throughput_gbps < 32.0,
+        "now memory-bound below the kernel ceiling"
+    );
     assert!(opt.throughput_gbps > 15.0);
 }
