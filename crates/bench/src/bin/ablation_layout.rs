@@ -4,13 +4,53 @@
 //!
 //! Shows *why* the paper's layout wins: tiling amortizes some
 //! activations, but only DRAM-row-sized blocks with vault rotation reach
-//! the device's parallelism.
+//! the device's parallelism. Every candidate layout is one independent
+//! simulation job on the `sim-exec` pool.
 
-use bench::{gbps, pct, Table};
+use bench::{common, gbps, pct, Table};
 use layout::{
     col_phase_trace, BlockDynamic, ColMajor, LayoutParams, MatrixLayout, RowMajor, Tiled,
 };
 use mem3d::{Direction, Geometry, MemorySystem, TimingParams};
+
+/// One candidate layout, constructible inside a worker from the shared
+/// parameters (layouts themselves are built per-job, not shared).
+#[derive(Debug, Clone, Copy)]
+enum Candidate {
+    RowMajor,
+    RowMajorInterleaved,
+    ColMajor,
+    Tiled,
+    BlockDdl { h: usize },
+}
+
+impl Candidate {
+    fn build(self, params: &LayoutParams) -> (Box<dyn MatrixLayout>, usize, String) {
+        match self {
+            Candidate::RowMajor => (
+                Box::new(RowMajor::new(params)),
+                1,
+                "row-major (baseline)".into(),
+            ),
+            Candidate::RowMajorInterleaved => (
+                Box::new(RowMajor::interleaved(params)),
+                1,
+                "row-major interleaved".into(),
+            ),
+            Candidate::ColMajor => (Box::new(ColMajor::new(params)), 1, "col-major".into()),
+            Candidate::Tiled => (
+                Box::new(Tiled::row_buffer_sized(params).expect("tiled layout")),
+                1,
+                "tiled (Akin et al.)".into(),
+            ),
+            Candidate::BlockDdl { h } => {
+                let ddl = BlockDynamic::with_height(params, h).expect("feasible height");
+                let (w, group) = (ddl.w, ddl.w);
+                (Box::new(ddl), group, format!("block-ddl h={h:4} w={w:4}"))
+            }
+        }
+    }
+}
 
 fn measure(
     layout: &dyn MatrixLayout,
@@ -29,31 +69,35 @@ fn measure(
 fn main() {
     let geom = Geometry::default();
     let timing = TimingParams::default();
-    let n = 1024;
+    let n = common::parse_n(1024);
     let params = LayoutParams::for_device(n, &geom, &timing);
-    let peak = geom.vaults as f64 * timing.vault_peak_gbps();
+    let peak = common::peak_gbps(&geom, &timing);
+
+    let mut candidates = vec![
+        Candidate::RowMajor,
+        Candidate::RowMajorInterleaved,
+        Candidate::ColMajor,
+        Candidate::Tiled,
+    ];
+    candidates.extend(
+        params
+            .valid_block_heights()
+            .into_iter()
+            .map(|h| Candidate::BlockDdl { h }),
+    );
+
+    let exec = common::exec_config();
+    common::exec_banner(&exec, candidates.len());
+    let results = sim_exec::par_map(&exec, &candidates, |&cand, _ctx| {
+        let (layout, group, label) = cand.build(&params);
+        let (bw, acts) = measure(layout.as_ref(), group, geom, timing);
+        (label, bw, acts)
+    });
+    let labels: Vec<String> = candidates.iter().map(|c| format!("{c:?}")).collect();
+    common::warn_failures(&labels, &results);
 
     let mut table = Table::new(&["layout", "col GB/s", "utilization", "activations"]);
-    let rm = RowMajor::new(&params);
-    let (bw, acts) = measure(&rm, 1, geom, timing);
-    table.row(&[&"row-major (baseline)", &gbps(bw), &pct(bw / peak), &acts]);
-
-    let rmi = RowMajor::interleaved(&params);
-    let (bw, acts) = measure(&rmi, 1, geom, timing);
-    table.row(&[&"row-major interleaved", &gbps(bw), &pct(bw / peak), &acts]);
-
-    let cm = ColMajor::new(&params);
-    let (bw, acts) = measure(&cm, 1, geom, timing);
-    table.row(&[&"col-major", &gbps(bw), &pct(bw / peak), &acts]);
-
-    let tiled = Tiled::row_buffer_sized(&params).expect("tiled layout");
-    let (bw, acts) = measure(&tiled, 1, geom, timing);
-    table.row(&[&"tiled (Akin et al.)", &gbps(bw), &pct(bw / peak), &acts]);
-
-    for h in params.valid_block_heights() {
-        let ddl = BlockDynamic::with_height(&params, h).expect("feasible height");
-        let (bw, acts) = measure(&ddl, ddl.w, geom, timing);
-        let label = format!("block-ddl h={h:4} w={:4}", ddl.w);
+    for (label, bw, acts) in results.into_iter().flatten() {
         table.row(&[&label, &gbps(bw), &pct(bw / peak), &acts]);
     }
     println!("Ablation A: column-phase bandwidth by layout (N = {n}, open loop)");

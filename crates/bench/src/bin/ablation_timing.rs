@@ -4,14 +4,45 @@
 //! The paper's whole premise is that 3D memory *fails to deliver* its
 //! bandwidth when layouts force activations; this sweep quantifies that
 //! premise across memory generations (cheap SRAM-like rows to punishing
-//! DRAM rows).
+//! DRAM rows). Each timing point is one independent simulation job on
+//! the `sim-exec` pool.
 
-use bench::{gbps, Table};
-use fft2d::{improvement, Architecture, System, SystemConfig};
-use mem3d::{Picos, TimingParams};
+use bench::{common, gbps, Table};
+use fft2d::{improvement, Architecture};
+
+const T_DIFF_NS: [u64; 7] = [2, 5, 10, 20, 40, 80, 160];
 
 fn main() {
-    let n = 1024;
+    let n = common::parse_n(1024);
+    let exec = common::exec_config();
+    common::exec_banner(&exec, T_DIFF_NS.len());
+
+    let results = sim_exec::par_map(&exec, &T_DIFF_NS, |&t_diff_ns, _ctx| {
+        let timing = common::timing_with_row_penalty_ns(t_diff_ns);
+        let sys = common::system_with_timing(timing);
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline");
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized");
+        [
+            t_diff_ns.to_string(),
+            format!(
+                "{:.0}",
+                timing.t_diff_row.as_ps() as f64 / timing.t_in_row.as_ps() as f64
+            ),
+            gbps(b.throughput_gbps),
+            gbps(o.throughput_gbps),
+            format!(
+                "{:.1}%",
+                improvement(b.throughput_gbps, o.throughput_gbps) * 100.0
+            ),
+        ]
+    });
+    let labels: Vec<String> = T_DIFF_NS.iter().map(|t| format!("t_diff={t}ns")).collect();
+    common::warn_failures(&labels, &results);
+
     let mut table = Table::new(&[
         "t_diff_row (ns)",
         "ratio",
@@ -19,36 +50,10 @@ fn main() {
         "optimized GB/s",
         "improvement",
     ]);
-    for t_diff_ns in [2u64, 5, 10, 20, 40, 80, 160] {
-        let timing = TimingParams {
-            t_diff_row: Picos::from_ns(t_diff_ns),
-            t_diff_bank: Picos::from_ns_f64((t_diff_ns as f64 / 4.0).max(1.0)),
-            t_in_vault: Picos::from_ns_f64((t_diff_ns as f64 / 8.0).max(0.8)),
-            ..TimingParams::default()
-        };
-        let sys = System::new(SystemConfig {
-            timing,
-            ..SystemConfig::default()
-        });
-        let b = sys
-            .column_phase(Architecture::Baseline, n)
-            .expect("baseline");
-        let o = sys
-            .column_phase(Architecture::Optimized, n)
-            .expect("optimized");
-        table.row(&[
-            &t_diff_ns,
-            &format!(
-                "{:.0}",
-                timing.t_diff_row.as_ps() as f64 / timing.t_in_row.as_ps() as f64
-            ),
-            &gbps(b.throughput_gbps),
-            &gbps(o.throughput_gbps),
-            &format!(
-                "{:.1}%",
-                improvement(b.throughput_gbps, o.throughput_gbps) * 100.0
-            ),
-        ]);
+    for row in results.into_iter().flatten() {
+        let cells: Vec<&dyn std::fmt::Display> =
+            row.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&cells);
     }
     println!("Ablation B: column-phase sensitivity to row-activation cost (N = {n})");
     println!("{}", table.render());

@@ -4,14 +4,40 @@
 //! Sweeps the vault count at constant total capacity; the block DDL's
 //! bandwidth scales with vaults until the FPGA kernel becomes the
 //! bottleneck, while the baseline is indifferent (it serializes on one
-//! bank regardless).
+//! bank regardless). Each vault count is one independent simulation job
+//! on the `sim-exec` pool.
 
-use bench::{gbps, pct, Table};
-use fft2d::{Architecture, System, SystemConfig};
-use mem3d::Geometry;
+use bench::{common, gbps, pct, Table};
+use fft2d::Architecture;
+
+const VAULTS: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 fn main() {
-    let n = 1024;
+    let n = common::parse_n(1024);
+    let exec = common::exec_config();
+    common::exec_banner(&exec, VAULTS.len());
+
+    let results = sim_exec::par_map(&exec, &VAULTS, |&vaults, _ctx| {
+        let geometry = common::geometry_with_vaults(vaults);
+        let sys = common::system_with_geometry(geometry);
+        let peak = common::peak_gbps(&geometry, &sys.config().timing);
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline");
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized");
+        [
+            vaults.to_string(),
+            gbps(peak),
+            gbps(b.throughput_gbps),
+            gbps(o.throughput_gbps),
+            pct(o.utilization()),
+        ]
+    });
+    let labels: Vec<String> = VAULTS.iter().map(|v| format!("vaults={v}")).collect();
+    common::warn_failures(&labels, &results);
+
     let mut table = Table::new(&[
         "vaults",
         "peak GB/s",
@@ -19,31 +45,10 @@ fn main() {
         "optimized GB/s",
         "opt utilization",
     ]);
-    for vaults in [1usize, 2, 4, 8, 16, 32] {
-        let geometry = Geometry {
-            vaults,
-            // Hold total banks/capacity constant-ish by widening layers.
-            banks_per_layer: (128 / (vaults * 4)).max(1),
-            ..Geometry::default()
-        };
-        let sys = System::new(SystemConfig {
-            geometry,
-            ..SystemConfig::default()
-        });
-        let peak = geometry.vaults as f64 * sys.config().timing.vault_peak_gbps();
-        let b = sys
-            .column_phase(Architecture::Baseline, n)
-            .expect("baseline");
-        let o = sys
-            .column_phase(Architecture::Optimized, n)
-            .expect("optimized");
-        table.row(&[
-            &vaults,
-            &gbps(peak),
-            &gbps(b.throughput_gbps),
-            &gbps(o.throughput_gbps),
-            &pct(o.utilization()),
-        ]);
+    for row in results.into_iter().flatten() {
+        let cells: Vec<&dyn std::fmt::Display> =
+            row.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        table.row(&cells);
     }
     println!("Ablation C: vault-count scaling (N = {n}, kernel ceiling 32 GB/s)");
     println!("{}", table.render());

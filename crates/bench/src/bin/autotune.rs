@@ -2,25 +2,32 @@
 //! framework … which enables automatic data layout optimizations".
 //!
 //! Sweeps kernel lane counts and dynamic-layout block heights for one
-//! problem size, simulates each candidate, and prints the
-//! throughput-vs-resources Pareto front on the target device.
+//! problem size on the `sim-exec` pool (`SIM_EXEC_THREADS` controls the
+//! worker count; output is identical at any setting), and prints the
+//! throughput-vs-resources Pareto front on the target device — plus an
+//! account of every candidate that was skipped or failed, so truncated
+//! coverage is visible.
 
-use bench::{gbps, Table};
-use fft2d::{pareto_front, System};
+use bench::{common, gbps, Table};
+use fft2d::pareto_front;
 
 fn main() {
-    let n: usize = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(1024);
-    let sys = System::default();
-    let points = sys.explore(n, &[2, 4, 8, 16, 32]).expect("exploration");
+    let n = common::parse_n(1024);
+    let sys = common::default_system();
+    let exec = common::exec_config();
+    let ex = sys
+        .explore_with(&exec, n, &[2, 4, 8, 16, 32])
+        .expect("exploration");
     println!(
-        "explored {} design points for N = {n} on a Virtex-7 690T",
-        points.len()
+        "explored {} design points for N = {n} on a Virtex-7 690T ({})",
+        ex.points.len(),
+        ex.skipped,
     );
+    for f in &ex.failures {
+        eprintln!("FAILED lanes={} h={}: {}", f.lanes, f.h, f.error);
+    }
 
-    let front = pareto_front(&points);
+    let front = pareto_front(&ex.points);
     let mut table = Table::new(&[
         "lanes",
         "block h",

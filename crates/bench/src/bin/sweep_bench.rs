@@ -1,0 +1,68 @@
+//! **Sweep scaling benchmark** — records the wall-clock cost of the
+//! `sweep_n` workload at 1 thread and at `SIM_EXEC_THREADS` (default:
+//! all cores), verifying the results are identical and emitting the
+//! measurements as JSON lines (the `sim-util` bench-harness protocol).
+//!
+//! `scripts/bench_record.sh` redirects this binary's stdout to
+//! `BENCH_sweep.json`, so the repository carries a perf trajectory for
+//! the parallel executor. `SIM_BENCH_FAST=1` shrinks the sampling for
+//! smoke runs.
+
+use bench::common;
+use fft2d::{Architecture, System};
+use sim_exec::ExecConfig;
+use sim_util::json::JsonObject;
+use sim_util::BenchGroup;
+
+const SIZES: [usize; 4] = [256, 512, 1024, 2048];
+
+/// The unit of work: the full sweep at a given thread count, returning
+/// the throughput series (so the two runs can be compared exactly).
+fn sweep(sys: &System, threads: usize) -> Vec<u64> {
+    let exec = ExecConfig::sequential().with_threads(threads);
+    let results = sim_exec::par_map(&exec, &SIZES, |&n, _ctx| {
+        let b = sys
+            .column_phase(Architecture::Baseline, n)
+            .expect("baseline");
+        let o = sys
+            .column_phase(Architecture::Optimized, n)
+            .expect("optimized");
+        [b.throughput_gbps.to_bits(), o.throughput_gbps.to_bits()]
+    });
+    results
+        .into_iter()
+        .flat_map(|r| r.expect("sweep job"))
+        .collect()
+}
+
+fn main() {
+    let sys = common::default_system();
+    let par_threads = common::exec_config().threads.max(2);
+
+    // Bit-exact equality across thread counts is a precondition for
+    // publishing the speedup at all.
+    let seq = sweep(&sys, 1);
+    let par = sweep(&sys, par_threads);
+    assert_eq!(
+        seq, par,
+        "parallel sweep diverged from the sequential reference"
+    );
+
+    let mut group = BenchGroup::new("sweep");
+    let t1 = group.bench_value("threads_1", || sweep(&sys, 1));
+    let tn = group.bench_value(&format!("threads_{par_threads}"), || {
+        sweep(&sys, par_threads)
+    });
+    group.finish();
+
+    let mut o = JsonObject::new();
+    o.field_str("group", "sweep");
+    o.field_str("id", "speedup");
+    o.field_u64("jobs", SIZES.len() as u64);
+    o.field_u64("threads", par_threads as u64);
+    o.field_f64("seq_median_ns", t1);
+    o.field_f64("par_median_ns", tn);
+    o.field_f64("speedup", t1 / tn.max(1e-9));
+    o.field_bool("identical_output", true);
+    println!("{}", o.finish());
+}

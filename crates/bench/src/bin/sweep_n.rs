@@ -1,12 +1,46 @@
 //! **Figure-style sweep**: throughput of all three architectures across
 //! problem sizes (the series behind Tables 1 and 2, extended beyond the
 //! paper's three points).
+//!
+//! Each problem size is one independent cycle-level simulation job on
+//! the `sim-exec` pool; rows come back in submission order, so stdout is
+//! byte-identical whether `SIM_EXEC_THREADS` is 1 or 64. A size whose
+//! simulation fails is reported on stderr and its row dropped — the
+//! rest of the sweep still completes.
 
-use bench::{gbps, pct, Table};
+use bench::{common, gbps, pct, Table};
 use fft2d::{improvement, Architecture, System};
 
+const SIZES: [usize; 6] = [128, 256, 512, 1024, 2048, 4096];
+
+/// One fully-simulated row: all three architectures at one size.
+fn simulate(sys: &System, n: usize) -> [String; 6] {
+    let b = sys
+        .column_phase(Architecture::Baseline, n)
+        .expect("baseline");
+    let t = sys.column_phase(Architecture::Tiled, n).expect("tiled");
+    let o = sys
+        .column_phase(Architecture::Optimized, n)
+        .expect("optimized");
+    [
+        n.to_string(),
+        gbps(b.throughput_gbps),
+        gbps(t.throughput_gbps),
+        gbps(o.throughput_gbps),
+        pct(o.utilization()),
+        pct(improvement(b.throughput_gbps, o.throughput_gbps)),
+    ]
+}
+
 fn main() {
-    let sys = System::default();
+    let sys = common::default_system();
+    let exec = common::exec_config();
+    common::exec_banner(&exec, SIZES.len());
+
+    let results = sim_exec::par_map(&exec, &SIZES, |&n, _ctx| simulate(&sys, n));
+    let labels: Vec<String> = SIZES.iter().map(|n| format!("N = {n}")).collect();
+    let failed = common::warn_failures(&labels, &results);
+
     let mut col = Table::new(&[
         "N",
         "baseline GB/s",
@@ -15,23 +49,14 @@ fn main() {
         "opt util",
         "improvement",
     ]);
-    for n in [128usize, 256, 512, 1024, 2048, 4096] {
-        let b = sys
-            .column_phase(Architecture::Baseline, n)
-            .expect("baseline");
-        let t = sys.column_phase(Architecture::Tiled, n).expect("tiled");
-        let o = sys
-            .column_phase(Architecture::Optimized, n)
-            .expect("optimized");
-        col.row(&[
-            &n,
-            &gbps(b.throughput_gbps),
-            &gbps(t.throughput_gbps),
-            &gbps(o.throughput_gbps),
-            &pct(o.utilization()),
-            &pct(improvement(b.throughput_gbps, o.throughput_gbps)),
-        ]);
+    for row in results.into_iter().flatten() {
+        let cells: Vec<&dyn std::fmt::Display> =
+            row.iter().map(|c| c as &dyn std::fmt::Display).collect();
+        col.row(&cells);
     }
     println!("Column-wise FFT throughput vs problem size (all architectures)");
     println!("{}", col.render());
+    if failed > 0 {
+        println!("({failed} of {} sizes failed; see stderr)", SIZES.len());
+    }
 }

@@ -1,0 +1,135 @@
+//! Shared experiment setup for the sweep/ablation binaries.
+//!
+//! Every binary in `src/bin/` used to construct its geometry, timing
+//! and `System` by hand, with the same half-dozen lines copy-pasted and
+//! slowly drifting apart. The migrated binaries build their
+//! configurations through this module instead, so a change to the
+//! experimental setup lands in exactly one place — and they all share
+//! one [`ExecConfig`] convention for the `sim-exec` pool
+//! (`SIM_EXEC_THREADS=1` is the sequential reference run; see
+//! DESIGN.md).
+
+use fft2d::{System, SystemConfig};
+use mem3d::{Geometry, Picos, TimingParams};
+use sim_exec::ExecConfig;
+
+/// Parses the problem size from the first CLI argument, falling back to
+/// `default` (the convention every sweep binary follows).
+pub fn parse_n(default: usize) -> usize {
+    std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// The paper's default system (Virtex-7 690T + default 3D memory).
+pub fn default_system() -> System {
+    System::default()
+}
+
+/// A system with the default geometry but custom timing parameters.
+pub fn system_with_timing(timing: TimingParams) -> System {
+    System::new(SystemConfig {
+        timing,
+        ..SystemConfig::default()
+    })
+}
+
+/// A system with the default timing but custom memory geometry.
+pub fn system_with_geometry(geometry: Geometry) -> System {
+    System::new(SystemConfig {
+        geometry,
+        ..SystemConfig::default()
+    })
+}
+
+/// Timing with a scaled row-activation penalty: `t_diff_row` set to
+/// `t_diff_ns`, and the bank/vault crossing costs scaled with it (the
+/// ratios Ablation B sweeps).
+pub fn timing_with_row_penalty_ns(t_diff_ns: u64) -> TimingParams {
+    TimingParams {
+        t_diff_row: Picos::from_ns(t_diff_ns),
+        t_diff_bank: Picos::from_ns_f64((t_diff_ns as f64 / 4.0).max(1.0)),
+        t_in_vault: Picos::from_ns_f64((t_diff_ns as f64 / 8.0).max(0.8)),
+        ..TimingParams::default()
+    }
+}
+
+/// Geometry with `vaults` vaults at roughly constant total capacity
+/// (layers widen as vaults shrink — the setup Ablation C sweeps).
+pub fn geometry_with_vaults(vaults: usize) -> Geometry {
+    Geometry {
+        vaults,
+        banks_per_layer: (128 / (vaults * 4)).max(1),
+        ..Geometry::default()
+    }
+}
+
+/// Aggregate peak bandwidth of a memory configuration in GB/s.
+pub fn peak_gbps(geometry: &Geometry, timing: &TimingParams) -> f64 {
+    geometry.vaults as f64 * timing.vault_peak_gbps()
+}
+
+/// The executor configuration every binary uses: resolved from the
+/// environment (`SIM_EXEC_THREADS`, `SIM_EXEC_TIMEOUT_MS`,
+/// `SIM_EXEC_SEED`).
+pub fn exec_config() -> ExecConfig {
+    ExecConfig::from_env()
+}
+
+/// One-line run description for stderr (stdout belongs to the tables /
+/// JSON protocol, and must stay identical across thread counts).
+pub fn exec_banner(exec: &ExecConfig, jobs: usize) {
+    eprintln!(
+        "sim-exec: {jobs} jobs on {} thread{}",
+        exec.threads,
+        if exec.threads == 1 { "" } else { "s" }
+    );
+}
+
+/// Reports failed jobs to stderr, one line each; returns how many
+/// failed. Sweeps keep going when a design point diverges — but the
+/// failure must be visible, never silently dropped.
+pub fn warn_failures<T>(labels: &[String], results: &[sim_exec::JobResult<T>]) -> usize {
+    let mut failed = 0;
+    for (i, r) in results.iter().enumerate() {
+        if let Err(e) = r {
+            failed += 1;
+            eprintln!("FAILED {}: {e}", labels.get(i).map_or("<job>", |l| l));
+        }
+    }
+    failed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_penalty_scales_with_floor() {
+        let t = timing_with_row_penalty_ns(80);
+        assert_eq!(t.t_diff_row, Picos::from_ns(80));
+        assert_eq!(t.t_diff_bank, Picos::from_ns(20));
+        // Small penalties clamp to the floors.
+        let s = timing_with_row_penalty_ns(2);
+        assert_eq!(s.t_diff_bank, Picos::from_ns(1));
+    }
+
+    #[test]
+    fn vault_geometry_holds_capacity_roughly_constant() {
+        for vaults in [1usize, 2, 4, 8, 16, 32] {
+            let g = geometry_with_vaults(vaults);
+            assert_eq!(g.vaults, vaults);
+            assert!(g.banks_per_layer >= 1);
+        }
+        assert_eq!(geometry_with_vaults(32).banks_per_layer, 1);
+    }
+
+    #[test]
+    fn warn_failures_counts_errors() {
+        let labels = vec!["a".to_string(), "b".to_string()];
+        let results: Vec<sim_exec::JobResult<u32>> =
+            vec![Ok(1), Err(sim_exec::JobError::Cancelled { index: 1 })];
+        assert_eq!(warn_failures(&labels, &results), 1);
+    }
+}

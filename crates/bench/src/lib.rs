@@ -8,6 +8,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod common;
+
 use std::fmt::Display;
 
 /// The problem sizes the paper evaluates.

@@ -2,14 +2,30 @@
 //! framework targeted at throughput-oriented signal processing kernels,
 //! which enables automatic data layout optimizations".
 //!
-//! [`explore`] sweeps kernel lane counts and block heights for a problem
-//! size, simulates each candidate's column phase, costs it on the FPGA,
-//! and returns the candidates with their throughput/resource trade-off.
-//! [`pareto_front`] filters them to the throughput-vs-DSP Pareto set.
+//! [`explore`](System::explore) sweeps kernel lane counts and block
+//! heights for a problem size, simulates each candidate's column phase
+//! **in parallel** on the `sim-exec` work-stealing pool, costs it on the
+//! FPGA, and returns the candidates with their throughput/resource
+//! trade-off. [`pareto_front`] filters them to the throughput-vs-DSP
+//! Pareto set.
+//!
+//! Three contracts the sweep upholds:
+//!
+//! * **determinism** — candidates are enumerated in a fixed order and
+//!   results reassembled by submission index, so the output (including
+//!   its JSON serialization) is byte-identical whether the pool runs 1
+//!   thread or 64 (`SIM_EXEC_THREADS=1` is the sequential reference);
+//! * **no silent truncation** — infeasible candidates are counted per
+//!   reason in [`SkipCounts`] instead of being dropped without record;
+//! * **fault isolation** — a candidate whose simulation errors or
+//!   panics becomes an [`ExploreFailure`] entry for *that* design point
+//!   while every other point completes.
 
 use fpga_model::Resources;
 use layout::{BlockDynamic, LayoutParams, MatrixLayout};
 use mem3d::{Direction, MemorySystem, Picos};
+use sim_exec::ExecConfig;
+use sim_util::json::{self, JsonObject};
 
 use crate::{run_phase, DriverConfig, Fft2dError, ProcessorModel, System};
 
@@ -30,52 +46,226 @@ pub struct DesignPoint {
     pub fits: bool,
 }
 
+impl DesignPoint {
+    /// Serializes the point as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("lanes", self.lanes as u64);
+        o.field_u64("h", self.h as u64);
+        o.field_f64("throughput_gbps", self.throughput_gbps);
+        o.field_f64("clock_mhz", self.clock_mhz);
+        o.field_bool("fits", self.fits);
+        o.field_raw("resources", &self.resources.to_json());
+        o.finish()
+    }
+}
+
+/// Why candidates were excluded from a sweep, per reason — returned
+/// alongside the design points so truncated coverage is visible instead
+/// of silently dropped.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SkipCounts {
+    /// Lane *values* rejected up front (zero, not a power of two, or
+    /// larger than the problem size); each bad value counts once.
+    pub invalid_lanes: usize,
+    /// `(lanes, h)` candidates whose block layout is infeasible.
+    pub infeasible_layout: usize,
+    /// `(lanes, h)` candidates whose processor cannot be constructed.
+    pub infeasible_processor: usize,
+}
+
+impl SkipCounts {
+    /// Total skipped entries across all reasons.
+    pub fn total(&self) -> usize {
+        self.invalid_lanes + self.infeasible_layout + self.infeasible_processor
+    }
+
+    /// Serializes the counters as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("invalid_lanes", self.invalid_lanes as u64);
+        o.field_u64("infeasible_layout", self.infeasible_layout as u64);
+        o.field_u64("infeasible_processor", self.infeasible_processor as u64);
+        o.finish()
+    }
+}
+
+impl std::fmt::Display for SkipCounts {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} skipped ({} invalid lane values, {} infeasible layouts, \
+             {} infeasible processors)",
+            self.total(),
+            self.invalid_lanes,
+            self.infeasible_layout,
+            self.infeasible_processor
+        )
+    }
+}
+
+/// A design point whose evaluation failed (simulation error, panic,
+/// timeout or cancellation) without killing the rest of the sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExploreFailure {
+    /// Kernel lanes of the failed candidate.
+    pub lanes: usize,
+    /// Block height of the failed candidate.
+    pub h: usize,
+    /// What went wrong, stringified.
+    pub error: String,
+}
+
+impl ExploreFailure {
+    /// Serializes the failure as a JSON object.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("lanes", self.lanes as u64);
+        o.field_u64("h", self.h as u64);
+        o.field_str("error", &self.error);
+        o.finish()
+    }
+}
+
+/// The full outcome of a design-space sweep: every evaluated point,
+/// plus an account of everything that was *not* evaluated.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exploration {
+    /// Evaluated design points, in candidate-enumeration order.
+    pub points: Vec<DesignPoint>,
+    /// Candidates excluded before simulation, per reason.
+    pub skipped: SkipCounts,
+    /// Candidates whose simulation failed (isolated, not fatal).
+    pub failures: Vec<ExploreFailure>,
+}
+
+impl Exploration {
+    /// Serializes the whole sweep outcome as one JSON object —
+    /// deterministic, so parallel and sequential runs can be compared
+    /// byte for byte.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_raw(
+            "points",
+            &json::array(self.points.iter().map(DesignPoint::to_json)),
+        );
+        o.field_raw("skipped", &self.skipped.to_json());
+        o.field_raw(
+            "failures",
+            &json::array(self.failures.iter().map(ExploreFailure::to_json)),
+        );
+        o.finish()
+    }
+}
+
+/// Per-candidate evaluation outcome, before reassembly into an
+/// [`Exploration`].
+enum Eval {
+    Point(DesignPoint),
+    SkipLayout,
+    SkipProcessor,
+    Failed(String),
+}
+
 impl System {
-    /// Sweeps `lanes × h` for size `n` and returns every evaluated
-    /// design point (unsorted).
+    /// Sweeps `lanes × h` for size `n` on the `sim-exec` pool configured
+    /// from the environment (`SIM_EXEC_THREADS` etc.; see
+    /// [`ExecConfig::from_env`]) and returns every evaluated design
+    /// point plus skip/failure accounting.
     ///
     /// # Errors
     ///
-    /// Propagates simulation errors; infeasible layout/lane combinations
-    /// are skipped rather than reported.
-    pub fn explore(
+    /// Reserved for sweep-level failures; per-candidate simulation
+    /// errors are isolated into [`Exploration::failures`] instead.
+    pub fn explore(&self, n: usize, lane_options: &[usize]) -> Result<Exploration, Fft2dError> {
+        self.explore_with(&ExecConfig::from_env(), n, lane_options)
+    }
+
+    /// [`explore`](Self::explore) with an explicit executor
+    /// configuration (thread count, seed, timeout, cancellation token).
+    ///
+    /// # Errors
+    ///
+    /// Reserved for sweep-level failures; per-candidate simulation
+    /// errors are isolated into [`Exploration::failures`] instead.
+    pub fn explore_with(
         &self,
+        exec: &ExecConfig,
         n: usize,
         lane_options: &[usize],
-    ) -> Result<Vec<DesignPoint>, Fft2dError> {
+    ) -> Result<Exploration, Fft2dError> {
         let params = self.layout_params_pub(n);
-        let mut out = Vec::new();
+        let mut skipped = SkipCounts::default();
+        let mut candidates: Vec<(usize, usize)> = Vec::new();
         for &lanes in lane_options {
             if lanes == 0 || !lanes.is_power_of_two() || lanes > n {
+                skipped.invalid_lanes += 1;
                 continue;
             }
             for h in params.valid_block_heights() {
-                let Ok(layout) = BlockDynamic::with_height(&params, h) else {
-                    continue;
-                };
-                let Ok(proc) = ProcessorModel::new(&params, lanes, h, &self.config().budget) else {
-                    continue;
-                };
-                let mut mem = MemorySystem::try_new(self.config().geometry, self.config().timing)?;
-                let reads = layout::col_phase_trace(&layout, Direction::Read, layout.w);
-                let cfg = DriverConfig {
-                    ps_per_byte: proc.ps_per_byte(),
-                    window_bytes: self.config().window_bytes,
-                    write_delay: Picos::ZERO,
-                    latency_probe_bytes: 0,
-                };
-                let rep = run_phase(&mut mem, &cfg, &reads, layout.map_kind(), None, Picos::ZERO)?;
-                out.push(DesignPoint {
-                    lanes,
-                    h,
-                    throughput_gbps: rep.read_bandwidth_gbps(),
-                    resources: proc.fpga().resources,
-                    clock_mhz: proc.fpga().clock_mhz,
-                    fits: proc.fpga().resources.fits(&self.config().budget),
-                });
+                candidates.push((lanes, h));
             }
         }
-        Ok(out)
+
+        let results = sim_exec::par_map(exec, &candidates, |&(lanes, h), _ctx| {
+            self.evaluate(&params, lanes, h)
+        });
+
+        let mut points = Vec::new();
+        let mut failures = Vec::new();
+        for ((lanes, h), result) in candidates.into_iter().zip(results) {
+            match result {
+                Ok(Eval::Point(p)) => points.push(p),
+                Ok(Eval::SkipLayout) => skipped.infeasible_layout += 1,
+                Ok(Eval::SkipProcessor) => skipped.infeasible_processor += 1,
+                Ok(Eval::Failed(error)) => failures.push(ExploreFailure { lanes, h, error }),
+                Err(job_error) => failures.push(ExploreFailure {
+                    lanes,
+                    h,
+                    error: job_error.to_string(),
+                }),
+            }
+        }
+        Ok(Exploration {
+            points,
+            skipped,
+            failures,
+        })
+    }
+
+    /// Evaluates one `(lanes, h)` candidate: closed-loop column-phase
+    /// simulation plus FPGA costing. Pure per-candidate — no shared
+    /// mutable state — which is what makes the parallel sweep
+    /// deterministic.
+    fn evaluate(&self, params: &LayoutParams, lanes: usize, h: usize) -> Eval {
+        let Ok(layout) = BlockDynamic::with_height(params, h) else {
+            return Eval::SkipLayout;
+        };
+        let Ok(proc) = ProcessorModel::new(params, lanes, h, &self.config().budget) else {
+            return Eval::SkipProcessor;
+        };
+        let mut mem = match MemorySystem::try_new(self.config().geometry, self.config().timing) {
+            Ok(mem) => mem,
+            Err(e) => return Eval::Failed(e.to_string()),
+        };
+        let reads = layout::col_phase_trace(&layout, Direction::Read, layout.w);
+        let cfg = DriverConfig {
+            ps_per_byte: proc.ps_per_byte(),
+            window_bytes: self.config().window_bytes,
+            write_delay: Picos::ZERO,
+            latency_probe_bytes: 0,
+        };
+        match run_phase(&mut mem, &cfg, &reads, layout.map_kind(), None, Picos::ZERO) {
+            Ok(rep) => Eval::Point(DesignPoint {
+                lanes,
+                h,
+                throughput_gbps: rep.read_bandwidth_gbps(),
+                resources: proc.fpga().resources,
+                clock_mhz: proc.fpga().clock_mhz,
+                fits: proc.fpga().resources.fits(&self.config().budget),
+            }),
+            Err(e) => Eval::Failed(e.to_string()),
+        }
     }
 
     /// Internal accessor used by the explorer (kept private elsewhere).
@@ -117,17 +307,20 @@ mod tests {
     #[test]
     fn explore_finds_the_paper_configuration() {
         let sys = System::default();
-        let points = sys.explore(512, &[4, 8]).unwrap();
-        assert!(!points.is_empty());
+        let ex = sys.explore(512, &[4, 8]).unwrap();
+        assert!(!ex.points.is_empty());
+        assert!(ex.failures.is_empty(), "failures: {:?}", ex.failures);
         // The 8-lane points must include one near the 32 GB/s ceiling.
-        let best8 = points
+        let best8 = ex
+            .points
             .iter()
             .filter(|p| p.lanes == 8)
             .map(|p| p.throughput_gbps)
             .fold(0.0, f64::max);
         assert!(best8 > 28.0, "got {best8}");
         // 4-lane designs cap at ~16 GB/s.
-        let best4 = points
+        let best4 = ex
+            .points
             .iter()
             .filter(|p| p.lanes == 4)
             .map(|p| p.throughput_gbps)
@@ -138,8 +331,8 @@ mod tests {
     #[test]
     fn pareto_front_is_monotone() {
         let sys = System::default();
-        let points = sys.explore(512, &[2, 4, 8]).unwrap();
-        let front = pareto_front(&points);
+        let ex = sys.explore(512, &[2, 4, 8]).unwrap();
+        let front = pareto_front(&ex.points);
         assert!(!front.is_empty());
         for w in front.windows(2) {
             assert!(w[0].resources.dsp48 <= w[1].resources.dsp48);
@@ -148,9 +341,31 @@ mod tests {
     }
 
     #[test]
-    fn explore_skips_nonsense_lanes() {
+    fn explore_counts_skipped_lanes_instead_of_dropping_them() {
         let sys = System::default();
-        let points = sys.explore(512, &[0, 3, 1024]).unwrap();
-        assert!(points.is_empty());
+        let ex = sys.explore(512, &[0, 3, 1024]).unwrap();
+        assert!(ex.points.is_empty());
+        assert_eq!(ex.skipped.invalid_lanes, 3);
+        assert_eq!(ex.skipped.total(), 3);
+        let text = ex.skipped.to_string();
+        assert!(text.contains("3 invalid lane values"), "got: {text}");
+    }
+
+    #[test]
+    fn parallel_and_sequential_explorations_are_byte_identical() {
+        let sys = System::default();
+        let seq = sys
+            .explore_with(&ExecConfig::sequential(), 256, &[2, 4, 8, 3])
+            .unwrap();
+        let par = sys
+            .explore_with(
+                &ExecConfig::sequential().with_threads(4),
+                256,
+                &[2, 4, 8, 3],
+            )
+            .unwrap();
+        assert_eq!(seq, par);
+        assert_eq!(seq.to_json(), par.to_json());
+        assert_eq!(seq.skipped.invalid_lanes, 1); // the `3`
     }
 }

@@ -49,7 +49,7 @@ pub use app::{
 };
 pub use energy::{AppEnergyReport, PlatformEnergy};
 pub use error::Fft2dError;
-pub use explore::{pareto_front, DesignPoint};
+pub use explore::{pareto_front, DesignPoint, Exploration, ExploreFailure, SkipCounts};
 pub use image::MemoryImage;
 pub use phases::{run_phase, DriverConfig, PhaseReport};
 pub use processor::ProcessorModel;

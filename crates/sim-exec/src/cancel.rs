@@ -1,0 +1,75 @@
+//! Cooperative cancellation.
+//!
+//! A [`CancelToken`] is a cheap, cloneable flag shared between an
+//! executor, its workers and any external party (a signal handler, a
+//! "stop after first failure" policy, a watchdog). Cancellation is
+//! *cooperative*: setting the token never preempts running code — jobs
+//! observe it at their next [`JobCtx::checkpoint`](crate::JobCtx::checkpoint)
+//! or [`JobCtx::is_cancelled`](crate::JobCtx::is_cancelled) poll, and
+//! jobs that have not started yet are never started at all.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+/// A shared cancellation flag.
+///
+/// Clones observe the same flag; once cancelled, a token stays
+/// cancelled forever (there is deliberately no reset — reuse a fresh
+/// token per run instead, so a late observer can never miss a
+/// cancellation).
+///
+/// ```
+/// use sim_exec::CancelToken;
+///
+/// let t = CancelToken::new();
+/// let observer = t.clone();
+/// assert!(!observer.is_cancelled());
+/// t.cancel();
+/// assert!(observer.is_cancelled());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct CancelToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelToken {
+    /// A fresh, un-cancelled token.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Sets the flag. Idempotent; never blocks.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether [`cancel`](Self::cancel) has been called on any clone.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clones_share_the_flag() {
+        let a = CancelToken::new();
+        let b = a.clone();
+        assert!(!a.is_cancelled() && !b.is_cancelled());
+        b.cancel();
+        assert!(a.is_cancelled() && b.is_cancelled());
+        // Idempotent.
+        a.cancel();
+        assert!(b.is_cancelled());
+    }
+
+    #[test]
+    fn independent_tokens_do_not_interfere() {
+        let a = CancelToken::new();
+        let b = CancelToken::new();
+        a.cancel();
+        assert!(!b.is_cancelled());
+    }
+}

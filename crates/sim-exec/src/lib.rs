@@ -1,0 +1,52 @@
+//! A parallel, fault-isolated experiment-execution engine.
+//!
+//! The paper's future-work "design framework … which enables automatic
+//! data layout optimizations" is realized in this workspace as
+//! `System::explore` plus ten sweep/ablation binaries — each of which
+//! evaluates independent cycle-level simulations. This crate supplies
+//! the execution muscle behind them: a **std-only work-stealing thread
+//! pool** (no registry dependencies, per the workspace's hermetic-build
+//! policy) with the scheduler/fault-isolation/determinism shape a
+//! sweep, autotuner or benchmark harness needs:
+//!
+//! * [`run_jobs`] / [`par_map`] — run N independent jobs on scoped
+//!   worker threads, returning results **in submission order**
+//!   regardless of completion order;
+//! * [`JobError`] — per-job panic isolation via `catch_unwind`: a
+//!   diverging candidate config reports an error for *its* index
+//!   instead of killing the sweep;
+//! * [`CancelToken`] + per-job wall-clock timeouts — cooperative
+//!   cancellation observed at [`JobCtx::checkpoint`] polls;
+//! * [`JobCtx::rng`] — a per-job RNG stream forked from a base seed by
+//!   job index ([`sim_util::SimRng::fork`]), identical across runs and
+//!   thread counts;
+//! * [`sink`] — an ordered JSON-lines result sink and a progress meter
+//!   compatible with [`sim_util::json`].
+//!
+//! `SIM_EXEC_THREADS=1` is the documented sequential fallback (see
+//! [`ExecConfig::from_env`]); for pure-per-index jobs, output is
+//! byte-identical at any thread count.
+//!
+//! # Example
+//!
+//! ```
+//! use sim_exec::{par_map, ExecConfig};
+//!
+//! let cfg = ExecConfig::sequential().with_threads(4);
+//! let squares = par_map(&cfg, &[1u64, 2, 3, 4], |&x, _ctx| x * x);
+//! let ok: Vec<u64> = squares.into_iter().map(|r| r.unwrap()).collect();
+//! assert_eq!(ok, vec![1, 4, 9, 16]); // submission order, not completion order
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cancel;
+mod pool;
+pub mod sink;
+
+pub use cancel::CancelToken;
+pub use pool::{
+    par_map, parse_thread_count, run_jobs, ExecConfig, JobCtx, JobError, JobResult, DEFAULT_SEED,
+};
+pub use sink::{JsonlSink, Progress};

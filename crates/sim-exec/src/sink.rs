@@ -1,0 +1,201 @@
+//! Ordered JSON-lines result sink and progress reporting.
+//!
+//! Sweep binaries emit one JSON object per design point so runs can be
+//! collected (`… | grep '^{'`) and diffed across commits — the same
+//! protocol as `sim_util::bench`. [`JsonlSink`] keeps that protocol
+//! stable under parallel execution: results are pushed **in submission
+//! order** (which [`run_jobs`](crate::run_jobs) guarantees by
+//! construction), successful jobs emit their payload line verbatim, and
+//! failed jobs emit a structured error object in their slot instead of
+//! vanishing — so line `i` of the output always describes job `i`.
+//!
+//! [`Progress`] is a thread-safe completion counter workers can tick
+//! from inside jobs; it writes `k/n` updates to stderr (never stdout,
+//! which belongs to the JSON protocol).
+
+use crate::pool::{JobError, JobResult};
+use sim_util::json::JsonObject;
+use std::io::Write;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+impl JobError {
+    /// Serializes the error as a JSON object (the line a failed job
+    /// contributes to a JSON-lines sweep output).
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_u64("index", self.index() as u64);
+        match self {
+            JobError::Panicked { message, .. } => {
+                o.field_str("error", "panicked");
+                o.field_str("message", message);
+            }
+            JobError::TimedOut { elapsed, .. } => {
+                o.field_str("error", "timed_out");
+                o.field_f64("elapsed_ms", elapsed.as_secs_f64() * 1e3);
+            }
+            JobError::Cancelled { .. } => {
+                o.field_str("error", "cancelled");
+            }
+        }
+        o.finish()
+    }
+}
+
+/// An ordered JSON-lines writer for job results.
+///
+/// ```
+/// use sim_exec::{JobError, JsonlSink};
+///
+/// let mut buf = Vec::new();
+/// let mut sink = JsonlSink::new(&mut buf);
+/// sink.push(&Ok(r#"{"n":512}"#.to_string())).unwrap();
+/// sink.push(&Err(JobError::Cancelled { index: 1 })).unwrap();
+/// assert_eq!(sink.ok(), 1);
+/// assert_eq!(sink.failed(), 1);
+/// let text = String::from_utf8(buf).unwrap();
+/// assert_eq!(text.lines().count(), 2);
+/// assert!(text.lines().nth(1).unwrap().contains("cancelled"));
+/// ```
+#[derive(Debug)]
+pub struct JsonlSink<W: Write> {
+    out: W,
+    ok: usize,
+    failed: usize,
+}
+
+impl<W: Write> JsonlSink<W> {
+    /// Wraps a writer (a `File`, `Stdout` lock, or `Vec<u8>`).
+    pub fn new(out: W) -> Self {
+        JsonlSink {
+            out,
+            ok: 0,
+            failed: 0,
+        }
+    }
+
+    /// Writes one result as one line: the payload for `Ok`, the
+    /// [`JobError::to_json`] object for `Err`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn push(&mut self, result: &JobResult<String>) -> std::io::Result<()> {
+        match result {
+            Ok(line) => {
+                self.ok += 1;
+                writeln!(self.out, "{line}")
+            }
+            Err(e) => {
+                self.failed += 1;
+                writeln!(self.out, "{}", e.to_json())
+            }
+        }
+    }
+
+    /// Writes an ordered slice of results (as returned by
+    /// [`run_jobs`](crate::run_jobs)) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the underlying writer.
+    pub fn push_all(&mut self, results: &[JobResult<String>]) -> std::io::Result<()> {
+        for r in results {
+            self.push(r)?;
+        }
+        self.out.flush()
+    }
+
+    /// Number of successful lines written so far.
+    pub fn ok(&self) -> usize {
+        self.ok
+    }
+
+    /// Number of error lines written so far.
+    pub fn failed(&self) -> usize {
+        self.failed
+    }
+}
+
+/// A thread-safe `k/n` progress meter.
+///
+/// Clones share the counter. [`tick`](Progress::tick) is safe to call
+/// from worker threads; updates go to stderr so they never interleave
+/// with the stdout JSON protocol. Reporting is disabled when `enabled`
+/// is false (the quiet default for tests) or `n == 0`.
+#[derive(Debug, Clone)]
+pub struct Progress {
+    done: Arc<AtomicUsize>,
+    total: usize,
+    enabled: bool,
+}
+
+impl Progress {
+    /// A meter over `total` jobs; `enabled` gates all output.
+    pub fn new(total: usize, enabled: bool) -> Self {
+        Progress {
+            done: Arc::new(AtomicUsize::new(0)),
+            total,
+            enabled,
+        }
+    }
+
+    /// Records one completed job and (if enabled) reports `k/n`.
+    pub fn tick(&self) {
+        let k = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.enabled && self.total > 0 {
+            eprint!("\r[{k}/{}]", self.total);
+            if k >= self.total {
+                eprintln!();
+            }
+        }
+    }
+
+    /// Jobs completed so far.
+    pub fn done(&self) -> usize {
+        self.done.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn sink_keeps_one_line_per_job_in_order() {
+        let results: Vec<JobResult<String>> = vec![
+            Ok(r#"{"i":0}"#.into()),
+            Err(JobError::Panicked {
+                index: 1,
+                message: "division by zero".into(),
+            }),
+            Err(JobError::TimedOut {
+                index: 2,
+                elapsed: Duration::from_millis(7),
+            }),
+            Ok(r#"{"i":3}"#.into()),
+        ];
+        let mut buf = Vec::new();
+        let mut sink = JsonlSink::new(&mut buf);
+        sink.push_all(&results).unwrap();
+        assert_eq!((sink.ok(), sink.failed()), (2, 2));
+        let text = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert_eq!(lines[0], r#"{"i":0}"#);
+        assert!(lines[1].contains(r#""error":"panicked""#));
+        assert!(lines[1].contains("division by zero"));
+        assert!(lines[2].contains(r#""error":"timed_out""#));
+        assert_eq!(lines[3], r#"{"i":3}"#);
+    }
+
+    #[test]
+    fn progress_counts_across_clones() {
+        let p = Progress::new(3, false);
+        let q = p.clone();
+        p.tick();
+        q.tick();
+        assert_eq!(p.done(), 2);
+    }
+}

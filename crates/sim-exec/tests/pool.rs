@@ -1,0 +1,127 @@
+//! Integration tests for the executor's determinism / fault-isolation /
+//! cancellation contract.
+
+use sim_exec::{par_map, run_jobs, CancelToken, ExecConfig, JobError, JobResult};
+use std::time::Duration;
+
+fn cfg(threads: usize) -> ExecConfig {
+    ExecConfig::sequential().with_threads(threads)
+}
+
+#[test]
+fn results_come_back_in_submission_order_under_adversarial_durations() {
+    // Early jobs sleep longest, so completion order is roughly the
+    // reverse of submission order — reassembly must undo that.
+    const JOBS: usize = 24;
+    let out = run_jobs(&cfg(6), JOBS, |ctx| {
+        let i = ctx.index();
+        std::thread::sleep(Duration::from_millis((JOBS - i) as u64));
+        i * 10
+    });
+    let values: Vec<usize> = out.into_iter().map(|r| r.unwrap()).collect();
+    let expected: Vec<usize> = (0..JOBS).map(|i| i * 10).collect();
+    assert_eq!(values, expected);
+}
+
+#[test]
+fn one_panicking_job_is_isolated_and_the_rest_succeed() {
+    const JOBS: usize = 16;
+    const BAD: usize = 7;
+    let out = run_jobs(&cfg(4), JOBS, |ctx| {
+        assert!(ctx.index() != BAD, "design point {BAD} diverged");
+        ctx.index()
+    });
+    assert_eq!(out.len(), JOBS);
+    for (i, r) in out.iter().enumerate() {
+        if i == BAD {
+            match r {
+                Err(JobError::Panicked { index, message }) => {
+                    assert_eq!(*index, BAD);
+                    assert!(message.contains("diverged"), "got: {message}");
+                }
+                other => panic!("job {BAD}: expected Panicked, got {other:?}"),
+            }
+        } else {
+            assert_eq!(*r.as_ref().unwrap(), i);
+        }
+    }
+}
+
+#[test]
+fn timeout_fires_on_a_job_that_checkpoints() {
+    let c = cfg(2).with_job_timeout(Duration::from_millis(20));
+    let out = run_jobs(&c, 4, |ctx| {
+        if ctx.index() == 2 {
+            // Spin past the deadline, polling cooperatively.
+            loop {
+                ctx.checkpoint();
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        ctx.index()
+    });
+    match &out[2] {
+        Err(JobError::TimedOut { index: 2, elapsed }) => {
+            assert!(*elapsed >= Duration::from_millis(20));
+        }
+        other => panic!("expected TimedOut, got {other:?}"),
+    }
+    for i in [0usize, 1, 3] {
+        assert_eq!(*out[i].as_ref().unwrap(), i);
+    }
+}
+
+#[test]
+fn cancellation_skips_unstarted_jobs() {
+    let mut c = cfg(1); // sequential: order of execution is the index order
+    c.token = CancelToken::new();
+    let out = run_jobs(&c, 8, |ctx| {
+        if ctx.index() == 2 {
+            ctx.cancel_all();
+        }
+        ctx.checkpoint(); // jobs after the trigger unwind here
+        ctx.index()
+    });
+    assert_eq!(*out[0].as_ref().unwrap(), 0);
+    assert_eq!(*out[1].as_ref().unwrap(), 1);
+    // Job 2 cancelled itself at its own checkpoint; 3.. never started.
+    for (i, r) in out.iter().enumerate().skip(2) {
+        assert_eq!(*r, Err(JobError::Cancelled { index: i }), "job {i}");
+    }
+}
+
+#[test]
+fn rng_streams_are_identical_across_thread_counts() {
+    let draws = |threads: usize| -> Vec<Vec<u64>> {
+        run_jobs(&cfg(threads).with_seed(42), 12, |ctx| {
+            (0..8).map(|_| ctx.rng().next_u64()).collect::<Vec<u64>>()
+        })
+        .into_iter()
+        .map(|r| r.unwrap())
+        .collect()
+    };
+    let seq = draws(1);
+    for threads in [2usize, 4, 8] {
+        assert_eq!(draws(threads), seq, "thread count {threads} diverged");
+    }
+    // And distinct jobs see distinct streams.
+    assert_ne!(seq[0], seq[1]);
+}
+
+#[test]
+fn par_map_pairs_items_with_their_results() {
+    let items: Vec<u64> = (0..50).collect();
+    let out = par_map(&cfg(4), &items, |&x, _ctx| x * x);
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(*r.as_ref().unwrap(), (i as u64) * (i as u64));
+    }
+}
+
+#[test]
+fn more_threads_than_jobs_is_fine() {
+    let out: Vec<JobResult<usize>> = run_jobs(&cfg(16), 3, |ctx| ctx.index());
+    assert_eq!(out.len(), 3);
+    for (i, r) in out.iter().enumerate() {
+        assert_eq!(*r.as_ref().unwrap(), i);
+    }
+}

@@ -66,7 +66,14 @@ impl BenchGroup {
     ///
     /// `f` is the unit of work; its return value is black-boxed so the
     /// optimizer cannot delete the computation.
-    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) {
+    pub fn bench<T, F: FnMut() -> T>(&mut self, id: &str, f: F) {
+        self.bench_value(id, f);
+    }
+
+    /// Like [`bench`](Self::bench), but also returns the median
+    /// nanoseconds per iteration — for callers that post-process
+    /// measurements (speedup ratios, regression gates).
+    pub fn bench_value<T, F: FnMut() -> T>(&mut self, id: &str, mut f: F) -> f64 {
         // Calibrate the batch size.
         let mut iters: u64 = 1;
         loop {
@@ -123,6 +130,7 @@ impl BenchGroup {
             fmt_ns(median),
             self.samples,
         );
+        median
     }
 
     /// Ends the group (kept for call-site symmetry with criterion).

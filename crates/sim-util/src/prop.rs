@@ -16,18 +16,22 @@
 //! });
 //! ```
 //!
-//! Environment knobs (both optional):
+//! Environment knobs (all optional):
 //! * `SIM_PROP_CASES` — override the case count for every property;
-//! * `SIM_PROP_SEED` — override the base seed (for CI soak runs).
+//! * `SIM_PROP_SEED` — override the base seed (for CI soak runs);
+//! * `SIM_EXEC_THREADS` — worker threads for
+//!   [`par_check!`](crate::par_check) (`1` forces sequential, `0`/`auto`
+//!   or unset uses the machine's available parallelism).
 
 use crate::rng::{splitmix64, SimRng};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
 
 /// Default number of cases per property.
 pub const DEFAULT_CASES: u64 = 64;
 
 /// Default base seed. Arbitrary but fixed: reproducibility beats novelty.
-pub const DEFAULT_SEED: u64 = 0x2D_FF7_5EED;
+pub const DEFAULT_SEED: u64 = 0x0002_DFF7_5EED;
 
 /// The seed driving case `index` of a property with base seed `base`.
 #[inline]
@@ -75,7 +79,9 @@ where
                  replay with sim_util::prop::replay({seed:#x}, ...)"
             ),
             Err(payload) => {
-                let msg = panic_message(&payload);
+                // `&*payload`, not `&payload`: the latter would unsize the
+                // `&Box` itself to `&dyn Any` and the downcasts would miss.
+                let msg = panic_message(&*payload);
                 eprintln!(
                     "property '{name}' panicked at case {i}/{cases} \
                      (seed {seed:#x}): {msg}"
@@ -84,6 +90,100 @@ where
             }
         }
     }
+}
+
+/// Parallel variant of [`check`]: runs the property's cases on scoped
+/// worker threads. Because every case's seed derives from the base seed
+/// and the case *index* (never from execution order), the generated
+/// inputs are identical to a sequential run; on failure the harness
+/// reports the failing case with the **smallest index**, so the
+/// counterexample is deterministic regardless of thread interleaving.
+///
+/// Thread count comes from `SIM_EXEC_THREADS` (the same knob the
+/// `sim-exec` pool honors); `1` is the sequential fallback and simply
+/// delegates to [`check`]. Prefer the [`par_check!`](crate::par_check)
+/// macro, which fills in the name and defaults.
+///
+/// Panics (failing the enclosing `#[test]`) when any case returns `Err`
+/// or panics, reporting the smallest failing case's seed.
+pub fn check_par<F>(name: &str, cases: u64, f: F)
+where
+    F: Fn(&mut SimRng) -> Result<(), String> + Sync,
+{
+    check_par_with_threads(name, cases, env_threads(), f);
+}
+
+/// [`check_par`] with an explicit thread count (`check_par` resolves it
+/// from the environment). `threads <= 1` delegates to the sequential
+/// [`check`].
+pub fn check_par_with_threads<F>(name: &str, cases: u64, threads: usize, f: F)
+where
+    F: Fn(&mut SimRng) -> Result<(), String> + Sync,
+{
+    if threads <= 1 {
+        return check(name, cases, f);
+    }
+    let cases = env_u64("SIM_PROP_CASES").unwrap_or(cases).max(1);
+    let base = env_u64("SIM_PROP_SEED").unwrap_or(DEFAULT_SEED);
+    let threads = threads.min(cases as usize);
+    // Smallest failing (index, seed, message); workers stop early once
+    // any failure below their next index is known.
+    let first_fail: Mutex<Option<(u64, u64, String)>> = Mutex::new(None);
+    std::thread::scope(|s| {
+        for t in 0..threads {
+            let (first_fail, f) = (&first_fail, &f);
+            s.spawn(move || {
+                for i in ((t as u64)..cases).step_by(threads) {
+                    if first_fail
+                        .lock()
+                        .expect("first_fail lock")
+                        .as_ref()
+                        .is_some_and(|(j, _, _)| *j < i)
+                    {
+                        break;
+                    }
+                    let seed = case_seed(base, i);
+                    let mut rng = SimRng::seed_from_u64(seed);
+                    let failure = match catch_unwind(AssertUnwindSafe(|| f(&mut rng))) {
+                        Ok(Ok(())) => None,
+                        Ok(Err(msg)) => Some(msg),
+                        Err(payload) => Some(format!("panicked: {}", panic_message(&*payload))),
+                    };
+                    if let Some(msg) = failure {
+                        let mut slot = first_fail.lock().expect("first_fail lock");
+                        if slot.as_ref().is_none_or(|(j, _, _)| i < *j) {
+                            *slot = Some((i, seed, msg));
+                        }
+                    }
+                }
+            });
+        }
+    });
+    if let Some((i, seed, msg)) = first_fail.into_inner().expect("first_fail lock") {
+        panic!(
+            "property '{name}' failed at case {i}/{cases} \
+             (seed {seed:#x}, {threads} threads): {msg}\n\
+             replay with sim_util::prop::replay({seed:#x}, ...)"
+        );
+    }
+}
+
+/// Worker-thread count for [`check_par`]: `SIM_EXEC_THREADS`, with
+/// `0`/`auto`/unset meaning the machine's available parallelism.
+fn env_threads() -> usize {
+    let explicit = std::env::var("SIM_EXEC_THREADS").ok().and_then(|v| {
+        let v = v.trim().to_ascii_lowercase();
+        if v == "auto" || v == "0" {
+            None
+        } else {
+            v.parse::<usize>().ok().filter(|&n| n > 0)
+        }
+    });
+    explicit.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -122,6 +222,39 @@ macro_rules! prop_check {
     };
     (|$rng:ident| $body:block) => {
         $crate::prop_check!(cases: $crate::prop::DEFAULT_CASES, |$rng| $body)
+    };
+}
+
+/// Parallel [`prop_check!`](crate::prop_check): same forms, same
+/// deterministic per-case seeds, but cases run on `SIM_EXEC_THREADS`
+/// scoped worker threads (see [`prop::check_par`](crate::prop::check_par)
+/// for the determinism contract). Use it for properties whose individual
+/// cases are expensive (e.g. ones that run a cycle-level simulation);
+/// for cheap cases the thread fan-out costs more than it saves.
+///
+/// ```
+/// use sim_util::{par_check, prop_assert};
+///
+/// par_check!(cases: 32, |rng| {
+///     let n = rng.gen_range(1usize..1000);
+///     prop_assert!(n.checked_mul(2).is_some(), "overflow at n = {n}");
+/// });
+/// ```
+#[macro_export]
+macro_rules! par_check {
+    (cases: $cases:expr, |$rng:ident| $body:block) => {
+        $crate::prop::check_par(
+            concat!(module_path!(), ":", line!()),
+            $cases,
+            |$rng: &mut $crate::rng::SimRng| {
+                $body
+                #[allow(unreachable_code)]
+                Ok(())
+            },
+        )
+    };
+    (|$rng:ident| $body:block) => {
+        $crate::par_check!(cases: $crate::prop::DEFAULT_CASES, |$rng| $body)
     };
 }
 

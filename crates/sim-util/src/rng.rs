@@ -49,6 +49,54 @@ impl SimRng {
         SimRng { s }
     }
 
+    /// Forks an independent, reproducible child stream.
+    ///
+    /// The child's 256-bit state is expanded with SplitMix64 from a
+    /// mix of the parent's *current* state and `stream_id`, so:
+    ///
+    /// * the same parent state and the same `stream_id` always yield
+    ///   the same child (reproducibility across runs and thread
+    ///   schedules);
+    /// * distinct `stream_id`s yield statistically independent streams
+    ///   (the SplitMix64 expansion decorrelates nearby ids);
+    /// * the parent is not advanced — forking is a read-only
+    ///   derivation, so the order in which workers fork does not
+    ///   matter.
+    ///
+    /// This is the construction parallel executors (`sim-exec`) use to
+    /// hand every job its own stream: fork once per job from a shared
+    /// base generator, keyed by the job index.
+    ///
+    /// ```
+    /// use sim_util::SimRng;
+    ///
+    /// let base = SimRng::seed_from_u64(7);
+    /// let mut a0 = base.fork(0);
+    /// let mut b0 = base.fork(0);
+    /// assert_eq!(a0.next_u64(), b0.next_u64()); // same id => same stream
+    /// let mut a1 = base.fork(1);
+    /// assert_ne!(a0.next_u64(), a1.next_u64()); // different id => different stream
+    /// ```
+    #[must_use]
+    pub fn fork(&self, stream_id: u64) -> SimRng {
+        // Collapse the 256-bit state into one word (rotations keep the
+        // four lanes from cancelling), then perturb by the stream id
+        // through the same golden-ratio multiplier SplitMix64 uses for
+        // its increment, and expand back to 256 bits.
+        let mut sm = self.s[0]
+            .wrapping_add(self.s[1].rotate_left(16))
+            .wrapping_add(self.s[2].rotate_left(32))
+            .wrapping_add(self.s[3].rotate_left(48))
+            ^ stream_id.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        SimRng { s }
+    }
+
     /// The next raw 64-bit output.
     #[inline]
     pub fn next_u64(&mut self) -> u64 {

@@ -3,7 +3,7 @@
 //! inputs.
 
 use sim_util::json::{self, JsonObject};
-use sim_util::{prop_assert, prop_assert_eq, prop_assume, prop_check, SimRng};
+use sim_util::{par_check, prop_assert, prop_assert_eq, prop_assume, prop_check, SimRng};
 
 #[test]
 fn same_seed_same_stream() {
@@ -25,6 +25,62 @@ fn distinct_seeds_give_distinct_streams() {
         assert_ne!(xa, xb, "seeds {s} and {} collide", s + 1);
         let agreeing = xa.iter().zip(&xb).filter(|(x, y)| x == y).count();
         assert_eq!(agreeing, 0, "seeds {s}/{} share outputs", s + 1);
+    }
+}
+
+#[test]
+fn fork_is_deterministic_and_leaves_the_parent_untouched() {
+    prop_check!(cases: 32, |rng| {
+        let seed = rng.next_u64();
+        let stream = rng.gen_range(0u64..1 << 20);
+        let parent = SimRng::seed_from_u64(seed);
+        let before = parent.clone();
+        let mut a = parent.fork(stream);
+        let mut b = parent.fork(stream);
+        prop_assert_eq!(parent, before, "fork must not advance the parent");
+        for i in 0..64 {
+            let (xa, xb) = (a.next_u64(), b.next_u64());
+            prop_assert_eq!(xa, xb, "draw {i} of stream {stream} diverged");
+        }
+    });
+}
+
+#[test]
+fn forked_streams_are_pairwise_nonoverlapping_over_10k_draws() {
+    // 4 streams x 10_000 u64 draws: if the streams were correlated or
+    // overlapping (one a shifted window of another) they would share
+    // outputs; for independent 64-bit streams a collision among 40_000
+    // draws has probability ~4e-11 (birthday bound).
+    let base = SimRng::seed_from_u64(0x5EED);
+    const DRAWS: usize = 10_000;
+    let mut seen = std::collections::HashSet::with_capacity(4 * DRAWS);
+    for stream in 0..4u64 {
+        let mut rng = base.fork(stream);
+        for i in 0..DRAWS {
+            assert!(
+                seen.insert(rng.next_u64()),
+                "stream {stream} repeats an output at draw {i}"
+            );
+        }
+    }
+    // And the streams must differ from the parent's own output sequence.
+    let mut parent = base.clone();
+    for i in 0..DRAWS {
+        assert!(
+            seen.insert(parent.next_u64()),
+            "parent stream overlaps a fork at draw {i}"
+        );
+    }
+}
+
+#[test]
+fn adjacent_stream_ids_decorrelate() {
+    let base = SimRng::seed_from_u64(1);
+    for id in 0..32u64 {
+        let mut a = base.fork(id);
+        let mut b = base.fork(id + 1);
+        let agreeing = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(agreeing, 0, "streams {id} and {} share outputs", id + 1);
     }
 }
 
@@ -172,4 +228,85 @@ fn json_emitter_round_trips_structure() {
         o.finish(),
         r#"{"name":"a\"b\\c\n","count":42,"rate":2.5,"bad":null,"ok":true,"inner":[1,2]}"#
     );
+}
+
+#[test]
+fn par_check_passes_and_matches_sequential_inputs() {
+    // The same (base seed, case index) pair drives both modes, so a
+    // property recording its generated inputs sees the same multiset.
+    use std::sync::Mutex;
+    let collect = |threads: usize| -> Vec<u64> {
+        let seen = Mutex::new(Vec::new());
+        sim_util::prop::check_par_with_threads("same-inputs", 40, threads, |rng| {
+            seen.lock().unwrap().push(rng.next_u64());
+            Ok(())
+        });
+        let mut v = seen.into_inner().unwrap();
+        v.sort_unstable();
+        v
+    };
+    assert_eq!(collect(4), collect(1));
+    // The macro form (threads from SIM_EXEC_THREADS) also passes.
+    par_check!(cases: 8, |rng| {
+        let n = rng.gen_range(1usize..1000);
+        prop_assert!(n < 1000, "range violated at n = {n}");
+    });
+}
+
+#[test]
+fn par_check_reports_the_smallest_failing_case() {
+    // Most cases fail; parallel execution may *run* a later case first,
+    // but the report must still name the same index the sequential
+    // harness finds (and its replayable seed). Thread count is forced
+    // to 4 so the parallel path is exercised even on a 1-core machine.
+    let r = std::panic::catch_unwind(|| {
+        sim_util::prop::check_par_with_threads("smallest-fail", 64, 4, |rng| {
+            let _ = rng.next_u64();
+            prop_assert!(rng.gen_range(0u64..4) == 0, "case failed");
+            Ok(())
+        });
+    });
+    let payload = r.expect_err("property must fail");
+    let msg = payload
+        .downcast_ref::<String>()
+        .expect("string panic")
+        .clone();
+    assert!(msg.contains("failed at case"), "got: {msg}");
+    assert!(msg.contains("replay with"), "got: {msg}");
+    // The reported index must equal the sequential first failure.
+    let seq = std::panic::catch_unwind(|| {
+        prop_check!(cases: 64, |rng| {
+            let _ = rng.next_u64();
+            prop_assert!(rng.gen_range(0u64..4) == 0, "case failed");
+        });
+    });
+    let seq_msg = seq
+        .expect_err("sequential must fail too")
+        .downcast_ref::<String>()
+        .expect("string panic")
+        .clone();
+    let index_of = |m: &str| -> String {
+        m.split("failed at case ")
+            .nth(1)
+            .unwrap()
+            .split('/')
+            .next()
+            .unwrap()
+            .to_string()
+    };
+    assert_eq!(index_of(&msg), index_of(&seq_msg));
+}
+
+#[test]
+fn par_check_reports_panicking_cases_with_their_message() {
+    let r = std::panic::catch_unwind(|| {
+        sim_util::prop::check_par_with_threads("panic-report", 8, 4, |rng| {
+            let n = rng.gen_range(0usize..100);
+            assert!(n > 1000, "generated n = {n}"); // always panics
+            Ok(())
+        });
+    });
+    let payload = r.expect_err("property must fail");
+    let msg = payload.downcast_ref::<String>().expect("string panic");
+    assert!(msg.contains("panicked: generated n = "), "got: {msg}");
 }

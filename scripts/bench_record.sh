@@ -1,0 +1,19 @@
+#!/usr/bin/env bash
+# Records the parallel-sweep perf trajectory: runs the sweep_bench
+# binary (sim-util bench-harness JSON-lines protocol) and writes the
+# measurements to BENCH_sweep.json at the repository root.
+#
+# sweep_bench itself verifies that the N-thread sweep is bit-identical
+# to the 1-thread reference before publishing a speedup, so a non-empty
+# BENCH_sweep.json implies the determinism contract held.
+#
+# Knobs:
+#   SIM_EXEC_THREADS  parallel thread count to measure (default: cores)
+#   SIM_BENCH_FAST=1  3 samples, no warmup (CI smoke mode)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline -p bench --bin sweep_bench
+./target/release/sweep_bench | grep '^{' > BENCH_sweep.json
+echo "wrote $(wc -l < BENCH_sweep.json) records to BENCH_sweep.json:"
+cat BENCH_sweep.json

@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Tier-1 gate: the whole workspace must build, test and stay formatted
-# fully offline (zero-external-dependency policy — see DESIGN.md).
+# Tier-1 gate: the whole workspace must build, test, lint and stay
+# formatted fully offline (zero-external-dependency policy — see
+# DESIGN.md).
 #
 # Note: the workspace root is also a package, so a bare `cargo test`
 # would only run the umbrella crate; always pass --workspace.
@@ -9,6 +10,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --workspace --release --offline
 cargo test --workspace -q --offline
+cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all -- --check
 
 echo "tier1: OK"

@@ -1,0 +1,77 @@
+//! Cross-crate contract: the `sim-exec`-backed parallel design-space
+//! sweep is observationally identical to the sequential reference, and
+//! a diverging design point is isolated instead of killing the sweep.
+
+use fft2d::{pareto_front, Architecture, System};
+use sim_exec::{ExecConfig, JobError};
+
+#[test]
+fn parallel_explore_json_is_byte_identical_to_sequential() {
+    let sys = System::default();
+    let lanes = [2usize, 4, 8, 16, 3]; // the 3 exercises skip accounting
+    let seq = sys
+        .explore_with(&ExecConfig::sequential(), 512, &lanes)
+        .unwrap();
+    for threads in [2usize, 4, 8] {
+        let par = sys
+            .explore_with(&ExecConfig::sequential().with_threads(threads), 512, &lanes)
+            .unwrap();
+        assert_eq!(
+            seq.to_json(),
+            par.to_json(),
+            "{threads}-thread sweep diverged from the sequential reference"
+        );
+    }
+    assert!(!seq.points.is_empty());
+    assert_eq!(seq.skipped.invalid_lanes, 1);
+    assert!(seq.failures.is_empty());
+    // Downstream consumers (the autotuner's Pareto filter) see the same
+    // points in the same order.
+    let front = pareto_front(&seq.points);
+    assert!(!front.is_empty());
+}
+
+#[test]
+fn skip_counters_surface_truncated_coverage() {
+    let sys = System::default();
+    // All-invalid lane options: the old API silently returned an empty
+    // vec; now the reason is visible.
+    let ex = sys.explore(256, &[0, 3, 7, 4096]).unwrap();
+    assert!(ex.points.is_empty());
+    assert_eq!(ex.skipped.invalid_lanes, 4);
+    assert!(ex.skipped.to_json().contains("\"invalid_lanes\":4"));
+}
+
+#[test]
+fn a_panicking_design_point_yields_a_job_error_and_the_rest_complete() {
+    // A sweep over candidate sizes where one "design point" diverges:
+    // the pool must report JobError::Panicked for that index only.
+    let sys = System::default();
+    let sizes = [128usize, 256, 0, 512]; // 0 is the poisoned candidate
+    let results = sim_exec::par_map(
+        &ExecConfig::sequential().with_threads(4),
+        &sizes,
+        |&n, _ctx| {
+            assert!(n > 0, "candidate size {n} is degenerate");
+            sys.column_phase(Architecture::Optimized, n)
+                .expect("column phase")
+                .throughput_gbps
+        },
+    );
+    assert_eq!(results.len(), 4);
+    for (i, r) in results.iter().enumerate() {
+        if i == 2 {
+            match r {
+                Err(JobError::Panicked { index: 2, message }) => {
+                    assert!(message.contains("degenerate"), "got: {message}");
+                }
+                other => panic!("expected a panicked JobError, got {other:?}"),
+            }
+        } else {
+            assert!(
+                *r.as_ref().expect("healthy design point") > 0.0,
+                "point {i} produced no throughput"
+            );
+        }
+    }
+}
