@@ -2,8 +2,15 @@
 //! access patterns the application generates. This measures the
 //! *simulator* (host ops/sec), complementing the table binaries that
 //! report *simulated* bandwidth. JSON-line output via `sim_util::bench`.
+//!
+//! Each pattern runs twice: once replaying a materialized
+//! [`AccessTrace`] and once pulling the same ops from a lazy
+//! [`StridedSource`], so a streaming regression in the hot replay path
+//! shows up as a ratio between the two.
 
-use mem3d::{AccessTrace, AddressMapKind, Geometry, MemorySystem, TimingParams};
+use mem3d::{
+    replay_stream, AccessTrace, AddressMapKind, Geometry, MemorySystem, StridedSource, TimingParams,
+};
 use sim_util::BenchGroup;
 
 fn main() {
@@ -12,27 +19,24 @@ fn main() {
     let timing = TimingParams::default();
     let count = 8192usize;
 
-    for (name, trace, map) in [
-        (
-            "sequential",
-            AccessTrace::sequential_read(0, 64, count),
-            AddressMapKind::VaultInterleaved,
-        ),
-        (
-            "strided-8k",
-            AccessTrace::strided_read(0, 8, 8192, count),
-            AddressMapKind::Chunked,
-        ),
-        (
-            "row-burst",
-            AccessTrace::strided_read(0, 8192, 8192, count),
-            AddressMapKind::VaultInterleaved,
-        ),
-    ] {
+    let patterns: [(&str, u64, u32, u64, AddressMapKind); 3] = [
+        ("sequential", 0, 64, 64, AddressMapKind::VaultInterleaved),
+        ("strided-8k", 0, 8, 8192, AddressMapKind::Chunked),
+        ("row-burst", 0, 8192, 8192, AddressMapKind::VaultInterleaved),
+    ];
+
+    for (name, base, bytes, stride, map) in patterns {
+        let trace = AccessTrace::strided_read(base, bytes, stride, count);
         g.throughput_elems(trace.len() as u64);
         g.bench(&format!("replay/{name}"), || {
             let mut mem = MemorySystem::new(geom, timing);
             trace.replay(&mut mem, map, None).unwrap()
+        });
+        g.throughput_elems(count as u64);
+        g.bench(&format!("stream/{name}"), || {
+            let mut mem = MemorySystem::new(geom, timing);
+            let mut src = StridedSource::read(base, bytes, stride, count);
+            replay_stream(&mut src, &mut mem, map, None).unwrap()
         });
     }
     g.finish();

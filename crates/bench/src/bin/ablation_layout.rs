@@ -9,9 +9,9 @@
 
 use bench::{common, gbps, pct, Table};
 use layout::{
-    col_phase_trace, BlockDynamic, ColMajor, LayoutParams, MatrixLayout, RowMajor, Tiled,
+    col_phase_stream, BlockDynamic, ColMajor, LayoutParams, MatrixLayout, RowMajor, Tiled,
 };
-use mem3d::{Direction, Geometry, MemorySystem, TimingParams};
+use mem3d::{replay_stream, Direction, Geometry, MemorySystem, TimingParams};
 
 /// One candidate layout, constructible inside a worker from the shared
 /// parameters (layouts themselves are built per-job, not shared).
@@ -59,10 +59,8 @@ fn measure(
     timing: TimingParams,
 ) -> (f64, u64) {
     let mut mem = MemorySystem::new(geom, timing);
-    let trace = col_phase_trace(layout, Direction::Read, group);
-    let stats = trace
-        .replay(&mut mem, layout.map_kind(), None)
-        .expect("replay");
+    let mut stream = col_phase_stream(layout, Direction::Read, group);
+    let stats = replay_stream(&mut stream, &mut mem, layout.map_kind(), None).expect("replay");
     (stats.bandwidth_gbps(), stats.stats.activations)
 }
 

@@ -1,0 +1,70 @@
+//! **Streaming-pipeline benchmark** — runs the optimized column phase at
+//! a large problem size (default N = 8192, half a GiB of matrix data)
+//! through the lazy `RequestSource` path and records wall-clock,
+//! request-burst count, the bytes a materialized `AccessTrace` would
+//! have occupied, and the process peak RSS. Emits the `sim-util`
+//! bench-harness JSON-line protocol on stdout;
+//! `scripts/bench_record.sh` redirects it to `BENCH_stream.json`.
+//!
+//! The point of the record: the streaming refactor caps the trace path
+//! at O(1) memory, so peak RSS must stay flat as N grows. CI runs this
+//! binary at N = 8192 under `/usr/bin/time -v` and asserts the peak
+//! stays under 256 MiB — a materialized column-phase trace plus the
+//! driver's old write copy would blow well past that.
+
+use std::time::Instant;
+
+use bench::common;
+use fft2d::{Architecture, System};
+use layout::{col_phase_stream, BlockDynamic, LayoutParams};
+use mem3d::{Direction, RequestSource};
+use sim_util::json::JsonObject;
+
+/// Peak resident set size in KiB (`VmHWM` from `/proc/self/status`);
+/// zero when the proc filesystem is unavailable.
+fn peak_rss_kib() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix("VmHWM:"))
+        .and_then(|rest| rest.trim().strip_suffix("kB"))
+        .and_then(|kb| kb.trim().parse().ok())
+        .unwrap_or(0)
+}
+
+fn main() {
+    let n = common::parse_n(8192);
+    let sys: System = common::default_system();
+
+    // Count the column-phase bursts without materializing them, and
+    // estimate what the old path would have allocated: one `TraceOp`
+    // per burst in a `Vec`, for the read trace alone.
+    let params = LayoutParams::for_device(n, &sys.config().geometry, &sys.config().timing);
+    let h = sys.block_height(n);
+    let ddl = BlockDynamic::with_height(&params, h).expect("feasible height");
+    let stream = col_phase_stream(&ddl, Direction::Read, ddl.w);
+    let total_bytes = stream.total_bytes();
+    let bursts = stream.count() as u64;
+    let materialized_bytes = bursts * std::mem::size_of::<mem3d::TraceOp>() as u64;
+
+    let t0 = Instant::now();
+    let result = sys
+        .column_phase(Architecture::Optimized, n)
+        .expect("column phase");
+    let wall_ns = t0.elapsed().as_nanos() as u64;
+
+    let mut o = JsonObject::new();
+    o.field_str("group", "stream");
+    o.field_str("id", "col_phase_optimized");
+    o.field_u64("n", n as u64);
+    o.field_u64("block_h", result.block_h as u64);
+    o.field_u64("bursts", bursts);
+    o.field_u64("stream_bytes", total_bytes);
+    o.field_u64("materialized_trace_bytes", materialized_bytes);
+    o.field_u64("wall_clock_ns", wall_ns);
+    o.field_f64("throughput_gbps", result.throughput_gbps);
+    o.field_u64("peak_rss_kib", peak_rss_kib());
+    println!("{}", o.finish());
+}

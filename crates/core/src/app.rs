@@ -5,8 +5,8 @@
 use fft_kernel::Cplx;
 use fpga_model::{resources::devices::VIRTEX7_690T, Resources};
 use layout::{
-    band_block_write_trace, col_phase_trace, optimal_h_bounded, row_phase_trace,
-    tile_band_write_trace, tile_sweep_trace, BlockDynamic, LayoutParams, MatrixLayout, ReorgCost,
+    band_block_write_stream, col_phase_stream, optimal_h_bounded, row_phase_stream,
+    tile_band_write_stream, tile_sweep_stream, BlockDynamic, LayoutParams, MatrixLayout, ReorgCost,
     RowMajor, Tiled,
 };
 use mem3d::{Direction, Geometry, MemorySystem, Picos, TimingParams};
@@ -219,11 +219,10 @@ impl System {
             Architecture::Baseline => {
                 let proc = self.processor(&params, 0)?;
                 let l = RowMajor::new(&params);
-                let reads = col_phase_trace(&l, Direction::Read, 1);
                 let rep = run_phase(
                     &mut mem,
                     &self.driver(&proc, Picos::ZERO, 0),
-                    &reads,
+                    &mut col_phase_stream(&l, Direction::Read, 1),
                     l.map_kind(),
                     None,
                     Picos::ZERO,
@@ -234,11 +233,10 @@ impl System {
                 let h = self.block_height(n);
                 let proc = self.processor(&params, h)?;
                 let l = BlockDynamic::with_height(&params, h).map_err(Fft2dError::Layout)?;
-                let reads = col_phase_trace(&l, Direction::Read, l.w);
                 let rep = run_phase(
                     &mut mem,
                     &self.driver(&proc, Picos::ZERO, 0),
-                    &reads,
+                    &mut col_phase_stream(&l, Direction::Read, l.w),
                     l.map_kind(),
                     None,
                     Picos::ZERO,
@@ -248,11 +246,10 @@ impl System {
             Architecture::Tiled => {
                 let l = Tiled::row_buffer_sized(&params).map_err(Fft2dError::Layout)?;
                 let proc = self.processor(&params, l.tile_rows())?;
-                let reads = tile_sweep_trace(&l, Direction::Read);
                 let rep = run_phase(
                     &mut mem,
                     &self.driver(&proc, Picos::ZERO, 0),
-                    &reads,
+                    &mut tile_sweep_stream(&l, Direction::Read),
                     l.map_kind(),
                     None,
                     Picos::ZERO,
@@ -291,21 +288,19 @@ impl System {
             Architecture::Baseline => {
                 let proc = self.processor(&params, 0)?;
                 let kernel_lat = proc.kernel_latency();
-                let reads1 = row_phase_trace(&input, Direction::Read);
-                let writes1 = row_phase_trace(&input, Direction::Write);
+                let mut writes1 = row_phase_stream(&input, Direction::Write);
                 let p1 = run_phase(
                     &mut mem,
                     &self.driver(&proc, kernel_lat, 0),
-                    &reads1,
+                    &mut row_phase_stream(&input, Direction::Read),
                     input.map_kind(),
-                    Some((&writes1, input.map_kind())),
+                    Some((&mut writes1, input.map_kind())),
                     Picos::ZERO,
                 )?;
-                let reads2 = col_phase_trace(&input, Direction::Read, 1);
                 let p2 = run_phase(
                     &mut mem,
                     &self.driver(&proc, Picos::ZERO, col_bytes),
-                    &reads2,
+                    &mut col_phase_stream(&input, Direction::Read, 1),
                     input.map_kind(),
                     None,
                     p1.end,
@@ -321,21 +316,19 @@ impl System {
                 let input = RowMajor::interleaved(&params);
                 let reorg = ReorgCost::evaluate(&params, h, self.cfg.lanes, proc.clock());
                 let write_delay = proc.kernel_latency() + reorg.fill_latency;
-                let reads1 = row_phase_trace(&input, Direction::Read);
-                let writes1 = band_block_write_trace(&ddl);
+                let mut writes1 = band_block_write_stream(&ddl);
                 let p1 = run_phase(
                     &mut mem,
                     &self.driver(&proc, write_delay, 0),
-                    &reads1,
+                    &mut row_phase_stream(&input, Direction::Read),
                     input.map_kind(),
-                    Some((&writes1, ddl.map_kind())),
+                    Some((&mut writes1, ddl.map_kind())),
                     Picos::ZERO,
                 )?;
-                let reads2 = col_phase_trace(&ddl, Direction::Read, ddl.w);
                 let p2 = run_phase(
                     &mut mem,
                     &self.driver(&proc, Picos::ZERO, col_bytes),
-                    &reads2,
+                    &mut col_phase_stream(&ddl, Direction::Read, ddl.w),
                     ddl.map_kind(),
                     None,
                     p1.end,
@@ -349,21 +342,19 @@ impl System {
                 let reorg =
                     ReorgCost::evaluate(&params, tiled.tile_rows(), self.cfg.lanes, proc.clock());
                 let write_delay = proc.kernel_latency() + reorg.fill_latency;
-                let reads1 = row_phase_trace(&input, Direction::Read);
-                let writes1 = tile_band_write_trace(&tiled);
+                let mut writes1 = tile_band_write_stream(&tiled);
                 let p1 = run_phase(
                     &mut mem,
                     &self.driver(&proc, write_delay, 0),
-                    &reads1,
+                    &mut row_phase_stream(&input, Direction::Read),
                     input.map_kind(),
-                    Some((&writes1, tiled.map_kind())),
+                    Some((&mut writes1, tiled.map_kind())),
                     Picos::ZERO,
                 )?;
-                let reads2 = tile_sweep_trace(&tiled, Direction::Read);
                 let p2 = run_phase(
                     &mut mem,
                     &self.driver(&proc, Picos::ZERO, col_bytes),
-                    &reads2,
+                    &mut tile_sweep_stream(&tiled, Direction::Read),
                     tiled.map_kind(),
                     None,
                     p1.end,

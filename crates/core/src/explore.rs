@@ -248,14 +248,23 @@ impl System {
             Ok(mem) => mem,
             Err(e) => return Eval::Failed(e.to_string()),
         };
-        let reads = layout::col_phase_trace(&layout, Direction::Read, layout.w);
+        // Lazy stream: the sweep's per-candidate memory is O(1), not
+        // O(N²), so wide explorations never materialize a trace.
+        let mut reads = layout::col_phase_stream(&layout, Direction::Read, layout.w);
         let cfg = DriverConfig {
             ps_per_byte: proc.ps_per_byte(),
             window_bytes: self.config().window_bytes,
             write_delay: Picos::ZERO,
             latency_probe_bytes: 0,
         };
-        match run_phase(&mut mem, &cfg, &reads, layout.map_kind(), None, Picos::ZERO) {
+        match run_phase(
+            &mut mem,
+            &cfg,
+            &mut reads,
+            layout.map_kind(),
+            None,
+            Picos::ZERO,
+        ) {
             Ok(rep) => Eval::Point(DesignPoint {
                 lanes,
                 h,

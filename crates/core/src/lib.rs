@@ -21,6 +21,15 @@
 //! functional simulation ([`System::functional_2dfft`]) verified against
 //! the mathematical reference.
 //!
+//! The phase driver ([`run_phase`]) is **pull-based**: it consumes lazy
+//! [`mem3d::RequestSource`] streams (the `layout` crate's `*_stream`
+//! generators, or a materialized `AccessTrace` via `.stream()`) rather
+//! than pre-built traces, so simulating a phase costs O(prefetch window)
+//! memory regardless of problem size — N = 8192 runs in a few MiB where
+//! materializing the traces alone used to take O(N²). The equivalence is
+//! property-tested: a phase driven from a stream reports byte-identically
+//! to the same phase replayed from the collected trace.
+//!
 //! # Example
 //!
 //! ```

@@ -22,9 +22,9 @@
 //! searched optimum, which is the strongest statement the surviving text
 //! supports.
 
-use mem3d::{Direction, MemorySystem, TraceStats};
+use mem3d::{replay_stream, Direction, MemorySystem, TraceStats};
 
-use crate::{col_phase_trace, BlockDynamic, LayoutParams, MatrixLayout};
+use crate::{col_phase_stream, BlockDynamic, LayoutParams, MatrixLayout};
 
 /// Which regime of Eq. (1) a problem size falls into.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -155,10 +155,9 @@ pub fn measure_height(
 ) -> Result<HeightMeasurement, String> {
     let layout = BlockDynamic::with_height(params, h)?;
     let mut sim = MemorySystem::new(*mem.geometry(), *mem.timing());
-    let trace = col_phase_trace(&layout, Direction::Read, layout.w);
-    let stats: TraceStats = trace
-        .replay(&mut sim, layout.map_kind(), None)
-        .map_err(|e| e.to_string())?;
+    let mut stream = col_phase_stream(&layout, Direction::Read, layout.w);
+    let stats: TraceStats =
+        replay_stream(&mut stream, &mut sim, layout.map_kind(), None).map_err(|e| e.to_string())?;
     Ok(HeightMeasurement {
         h,
         w: layout.w,

@@ -14,8 +14,12 @@
 //! * [`MatrixLayout`] implementations: [`RowMajor`] (baseline),
 //!   [`ColMajor`], [`Tiled`] (Akin et al., the paper's ref.\[2\]) and
 //!   [`BlockDynamic`] (the DDL);
-//! * phase trace generators ([`row_phase_trace`], [`col_phase_trace`])
-//!   with controller-style burst coalescing;
+//! * lazy phase request-stream generators ([`row_phase_stream`],
+//!   [`col_phase_stream`], plus the write-back streams) with
+//!   controller-style burst coalescing as a stream adapter
+//!   ([`Coalescer`]) — O(1) memory per phase, with `*_trace` collectors
+//!   ([`row_phase_trace`], [`col_phase_trace`]) materializing the same
+//!   streams for small problems and golden tests;
 //! * the Eq. (1) block-height optimizer ([`optimal_h`]) and a
 //!   simulator-driven exhaustive search ([`search_optimal_h`]) that
 //!   validates it;
@@ -50,6 +54,7 @@ pub use matrix::{BlockDynamic, ColMajor, MatrixLayout, RowMajor, Tiled};
 pub use params::LayoutParams;
 pub use reorg::ReorgCost;
 pub use trace::{
-    band_block_write_trace, col_bursts_per_column, col_phase_trace, row_phase_trace,
-    tile_band_write_trace, tile_sweep_trace, Coalescer, MAX_BURST_BYTES,
+    band_block_write_stream, band_block_write_trace, col_bursts_per_column, col_phase_stream,
+    col_phase_trace, row_phase_stream, row_phase_trace, tile_band_write_stream,
+    tile_band_write_trace, tile_sweep_stream, tile_sweep_trace, Coalescer, MAX_BURST_BYTES,
 };

@@ -1,10 +1,17 @@
-//! Access-trace generation for the two FFT phases under any layout.
+//! Request-stream generation for the two FFT phases under any layout.
 //!
 //! The generators walk the matrix exactly as the corresponding
 //! architecture does and *coalesce* runs of contiguous addresses into
 //! single burst requests, as a real memory controller front-end would.
+//!
+//! Every generator is a **lazy stream** ([`mem3d::RequestSource`]): it
+//! holds O(1) state (a handful of loop counters plus the current
+//! coalescing run) and produces bursts on demand, so an N×N phase costs
+//! constant memory instead of the O(N²) a materialized trace needs.
+//! The `*_trace` convenience functions collect the same streams into
+//! [`AccessTrace`]s for small problems and golden tests.
 
-use mem3d::{AccessTrace, Direction};
+use mem3d::{AccessTrace, Direction, RequestSource, TraceOp};
 
 use crate::MatrixLayout;
 
@@ -12,175 +19,311 @@ use crate::MatrixLayout;
 /// chopped here and the memory system splits at row boundaries anyway.
 pub const MAX_BURST_BYTES: u32 = 8192;
 
-/// Coalesces an address stream into burst requests.
+/// Stream adapter that coalesces an element-address stream into burst
+/// requests.
 ///
 /// Consecutive addresses that extend the current run are merged until
-/// [`MAX_BURST_BYTES`]; any discontinuity starts a new request.
-#[derive(Debug)]
-pub struct Coalescer {
-    trace: AccessTrace,
+/// [`MAX_BURST_BYTES`]; any discontinuity emits the finished run and
+/// starts a new one. The adapter holds only the current run — state is
+/// O(1) no matter how long the input stream is.
+///
+/// The inner iterator yields `(addr, bytes)` element accesses; the
+/// adapter implements [`RequestSource`] with the byte total supplied at
+/// construction (the generators know it in closed form).
+#[derive(Debug, Clone)]
+pub struct Coalescer<I> {
+    inner: I,
+    dir: Direction,
+    total: u64,
     run_start: u64,
     run_len: u32,
-    dir: Direction,
 }
 
-impl Coalescer {
-    /// A coalescer producing requests in the given direction.
-    pub fn new(dir: Direction) -> Self {
+impl<I: Iterator<Item = (u64, u32)>> Coalescer<I> {
+    /// Wraps an element-address stream, coalescing in the given
+    /// direction. `total_bytes` is the payload total the inner stream
+    /// will produce (reported via [`RequestSource::total_bytes`]).
+    pub fn new(inner: I, dir: Direction, total_bytes: u64) -> Self {
         Coalescer {
-            trace: AccessTrace::new(),
+            inner,
+            dir,
+            total: total_bytes,
             run_start: 0,
             run_len: 0,
-            dir,
         }
-    }
-
-    /// Adds `bytes` at `addr` to the stream.
-    pub fn push(&mut self, addr: u64, bytes: u32) {
-        if self.run_len > 0
-            && addr == self.run_start + self.run_len as u64
-            && self.run_len + bytes <= MAX_BURST_BYTES
-        {
-            self.run_len += bytes;
-        } else {
-            self.flush_run();
-            self.run_start = addr;
-            self.run_len = bytes;
-        }
-    }
-
-    fn flush_run(&mut self) {
-        if self.run_len > 0 {
-            self.trace.push(self.run_start, self.run_len, self.dir);
-            self.run_len = 0;
-        }
-    }
-
-    /// Finishes the stream and returns the coalesced trace.
-    pub fn finish(mut self) -> AccessTrace {
-        self.flush_run();
-        self.trace
     }
 }
 
-/// The row phase: every matrix row is streamed in order (read for the
-/// row-wise FFT inputs, or write for storing its results).
-pub fn row_phase_trace(layout: &dyn MatrixLayout, dir: Direction) -> AccessTrace {
+impl<I: Iterator<Item = (u64, u32)>> Iterator for Coalescer<I> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        loop {
+            match self.inner.next() {
+                Some((addr, bytes)) => {
+                    if self.run_len > 0
+                        && addr == self.run_start + self.run_len as u64
+                        && self.run_len + bytes <= MAX_BURST_BYTES
+                    {
+                        self.run_len += bytes;
+                    } else {
+                        let flushed = (self.run_len > 0).then_some(TraceOp {
+                            addr: self.run_start,
+                            bytes: self.run_len,
+                            dir: self.dir,
+                        });
+                        self.run_start = addr;
+                        self.run_len = bytes;
+                        if flushed.is_some() {
+                            return flushed;
+                        }
+                    }
+                }
+                None => {
+                    if self.run_len > 0 {
+                        let op = TraceOp {
+                            addr: self.run_start,
+                            bytes: self.run_len,
+                            dir: self.dir,
+                        };
+                        self.run_len = 0;
+                        return Some(op);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl<I: Iterator<Item = (u64, u32)>> RequestSource for Coalescer<I> {
+    fn total_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Four-level nested-counter walk over matrix coordinates: the odometer
+/// behind every rectangular phase walk. `map` turns the current digit
+/// vector into one element access; state is four counters.
+struct Walk4<F> {
+    lens: [usize; 4],
+    idx: [usize; 4],
+    done: bool,
+    map: F,
+}
+
+impl<F: FnMut(&[usize; 4]) -> (u64, u32)> Walk4<F> {
+    fn new(lens: [usize; 4], map: F) -> Self {
+        Walk4 {
+            lens,
+            idx: [0; 4],
+            done: lens.contains(&0),
+            map,
+        }
+    }
+}
+
+impl<F: FnMut(&[usize; 4]) -> (u64, u32)> Iterator for Walk4<F> {
+    type Item = (u64, u32);
+
+    fn next(&mut self) -> Option<(u64, u32)> {
+        if self.done {
+            return None;
+        }
+        let out = (self.map)(&self.idx);
+        for d in (0..4).rev() {
+            self.idx[d] += 1;
+            if self.idx[d] < self.lens[d] {
+                return Some(out);
+            }
+            self.idx[d] = 0;
+        }
+        self.done = true;
+        Some(out)
+    }
+}
+
+fn matrix_bytes(layout: &dyn MatrixLayout) -> u64 {
+    (layout.n() * layout.n() * layout.elem_bytes()) as u64
+}
+
+/// The row phase as a lazy stream: every matrix row in order (read for
+/// the row-wise FFT inputs, or write for storing its results).
+pub fn row_phase_stream(layout: &dyn MatrixLayout, dir: Direction) -> impl RequestSource + '_ {
     let n = layout.n();
     let e = layout.elem_bytes() as u32;
-    let mut co = Coalescer::new(dir);
-    for r in 0..n {
-        for c in 0..n {
-            co.push(layout.addr(r, c), e);
-        }
-    }
-    co.finish()
+    let walk = Walk4::new([1, 1, n, n], move |i: &[usize; 4]| {
+        (layout.addr(i[2], i[3]), e)
+    });
+    Coalescer::new(walk, dir, matrix_bytes(layout))
 }
 
-/// The column phase: columns are processed in groups of `group`
-/// consecutive columns (the paper: "data inputs of several consecutive
-/// column-wise 1D FFTs will be moved from vaults to local memory
-/// together"). Within a group the walk is block-friendly: for each band
-/// of [`column_run`](MatrixLayout::column_run) rows, all `group` columns'
-/// segments are fetched before moving down.
+/// The column-phase walk with a ragged final band: `run` rarely fails to
+/// divide `n` for the provided layouts, but the walk must not assume it.
+struct ColWalk<'a> {
+    layout: &'a dyn MatrixLayout,
+    e: u32,
+    n: usize,
+    group: usize,
+    run: usize,
+    /// First column of the current group.
+    g: usize,
+    /// First row of the current band.
+    band: usize,
+    /// Column offset within the group.
+    c: usize,
+    /// Row offset within the band.
+    r: usize,
+    done: bool,
+}
+
+impl Iterator for ColWalk<'_> {
+    type Item = (u64, u32);
+
+    fn next(&mut self) -> Option<(u64, u32)> {
+        if self.done {
+            return None;
+        }
+        let out = (
+            self.layout.addr(self.band + self.r, self.g + self.c),
+            self.e,
+        );
+        self.r += 1;
+        if self.r >= (self.n - self.band).min(self.run) {
+            self.r = 0;
+            self.c += 1;
+            if self.c >= self.group {
+                self.c = 0;
+                self.band += self.run;
+                if self.band >= self.n {
+                    self.band = 0;
+                    self.g += self.group;
+                    if self.g >= self.n {
+                        self.done = true;
+                    }
+                }
+            }
+        }
+        Some(out)
+    }
+}
+
+/// The column phase as a lazy stream: columns are processed in groups of
+/// `group` consecutive columns (the paper: "data inputs of several
+/// consecutive column-wise 1D FFTs will be moved from vaults to local
+/// memory together"). Within a group the walk is block-friendly: for
+/// each band of [`column_run`](MatrixLayout::column_run) rows, all
+/// `group` columns' segments are fetched before moving down.
 ///
 /// With `group = 1` this degenerates to the baseline strided column walk.
 ///
 /// # Panics
 ///
 /// Panics if `group` is zero or does not divide `n`.
-pub fn col_phase_trace(layout: &dyn MatrixLayout, dir: Direction, group: usize) -> AccessTrace {
+pub fn col_phase_stream(
+    layout: &dyn MatrixLayout,
+    dir: Direction,
+    group: usize,
+) -> impl RequestSource + '_ {
     let n = layout.n();
     assert!(
         group > 0 && n.is_multiple_of(group),
         "group {group} must divide n {n}"
     );
-    let e = layout.elem_bytes() as u32;
-    let run = layout.column_run().min(n);
-    let mut co = Coalescer::new(dir);
-    for g in (0..n).step_by(group) {
-        // One group of `group` columns, walked band by band.
-        for band in (0..n).step_by(run) {
-            for c in g..g + group {
-                for r in band..(band + run).min(n) {
-                    co.push(layout.addr(r, c), e);
-                }
-            }
-        }
-    }
-    co.finish()
+    let walk = ColWalk {
+        layout,
+        e: layout.elem_bytes() as u32,
+        n,
+        group,
+        run: layout.column_run().min(n),
+        g: 0,
+        band: 0,
+        c: 0,
+        r: 0,
+        done: n == 0,
+    };
+    Coalescer::new(walk, dir, matrix_bytes(layout))
 }
 
 /// The write-back stream of the optimized row phase: after the
 /// permutation network has buffered a band of `h` matrix rows, it emits
 /// whole `w × h` blocks — full memory rows — left to right, band by
 /// band. Every burst is one contiguous DRAM row.
-pub fn band_block_write_trace(layout: &crate::BlockDynamic) -> AccessTrace {
+pub fn band_block_write_stream(layout: &crate::BlockDynamic) -> impl RequestSource + '_ {
     let n = layout.n();
     let e = layout.elem_bytes() as u32;
     let (w, h) = (layout.w, layout.h);
-    let mut co = Coalescer::new(Direction::Write);
-    for band in (0..n).step_by(h) {
-        for bc in (0..n).step_by(w) {
-            // Within-block column-major emission order = ascending
-            // addresses = one coalesced burst per block.
-            for cc in bc..bc + w {
-                for rr in band..band + h {
-                    co.push(layout.addr(rr, cc), e);
-                }
-            }
-        }
-    }
-    co.finish()
+    // Within-block column-major emission order = ascending addresses =
+    // one coalesced burst per block.
+    let walk = Walk4::new([n / h, n / w, w, h], move |i: &[usize; 4]| {
+        (layout.addr(i[0] * h + i[3], i[1] * w + i[2]), e)
+    });
+    Coalescer::new(walk, Direction::Write, matrix_bytes(layout))
 }
 
-/// The column phase of the tiled (Akin et al.) architecture: whole tiles
-/// are fetched — one contiguous burst each — in tile-*column*-major
-/// order, and an on-chip transposer (`permute::TileTransposer`) peels the
-/// column segments out locally.
-pub fn tile_sweep_trace(layout: &crate::Tiled, dir: Direction) -> AccessTrace {
+/// The column phase of the tiled (Akin et al.) architecture as a lazy
+/// stream: whole tiles are fetched — one contiguous burst each — in
+/// tile-*column*-major order, and an on-chip transposer
+/// (`permute::TileTransposer`) peels the column segments out locally.
+pub fn tile_sweep_stream(layout: &crate::Tiled, dir: Direction) -> impl RequestSource + '_ {
     let n = layout.n();
     let e = layout.elem_bytes() as u32;
     let (tr, tc) = (layout.tile_rows(), layout.tile_cols());
-    let mut co = Coalescer::new(dir);
-    for tile_col in (0..n).step_by(tc) {
-        for tile_row in (0..n).step_by(tr) {
-            // Row-major within the tile = ascending addresses.
-            for r in tile_row..tile_row + tr {
-                for c in tile_col..tile_col + tc {
-                    co.push(layout.addr(r, c), e);
-                }
-            }
-        }
-    }
-    co.finish()
+    // Row-major within the tile = ascending addresses.
+    let walk = Walk4::new([n / tc, n / tr, tr, tc], move |i: &[usize; 4]| {
+        (layout.addr(i[1] * tr + i[2], i[0] * tc + i[3]), e)
+    });
+    Coalescer::new(walk, dir, matrix_bytes(layout))
 }
 
 /// The write-back stream of the tiled architecture's row phase: after
 /// buffering `tile_rows` matrix rows, whole tiles are emitted left to
-/// right (mirror of [`band_block_write_trace`] for the Akin layout).
-pub fn tile_band_write_trace(layout: &crate::Tiled) -> AccessTrace {
+/// right (mirror of [`band_block_write_stream`] for the Akin layout).
+pub fn tile_band_write_stream(layout: &crate::Tiled) -> impl RequestSource + '_ {
     let n = layout.n();
     let e = layout.elem_bytes() as u32;
     let (tr, tc) = (layout.tile_rows(), layout.tile_cols());
-    let mut co = Coalescer::new(Direction::Write);
-    for tile_row in (0..n).step_by(tr) {
-        for tile_col in (0..n).step_by(tc) {
-            for r in tile_row..tile_row + tr {
-                for c in tile_col..tile_col + tc {
-                    co.push(layout.addr(r, c), e);
-                }
-            }
-        }
-    }
-    co.finish()
+    let walk = Walk4::new([n / tr, n / tc, tr, tc], move |i: &[usize; 4]| {
+        (layout.addr(i[0] * tr + i[2], i[1] * tc + i[3]), e)
+    });
+    Coalescer::new(walk, Direction::Write, matrix_bytes(layout))
+}
+
+/// [`row_phase_stream`], materialized.
+pub fn row_phase_trace(layout: &dyn MatrixLayout, dir: Direction) -> AccessTrace {
+    row_phase_stream(layout, dir).collect_trace()
+}
+
+/// [`col_phase_stream`], materialized.
+///
+/// # Panics
+///
+/// Panics if `group` is zero or does not divide `n`.
+pub fn col_phase_trace(layout: &dyn MatrixLayout, dir: Direction, group: usize) -> AccessTrace {
+    col_phase_stream(layout, dir, group).collect_trace()
+}
+
+/// [`band_block_write_stream`], materialized.
+pub fn band_block_write_trace(layout: &crate::BlockDynamic) -> AccessTrace {
+    band_block_write_stream(layout).collect_trace()
+}
+
+/// [`tile_sweep_stream`], materialized.
+pub fn tile_sweep_trace(layout: &crate::Tiled, dir: Direction) -> AccessTrace {
+    tile_sweep_stream(layout, dir).collect_trace()
+}
+
+/// [`tile_band_write_stream`], materialized.
+pub fn tile_band_write_trace(layout: &crate::Tiled) -> AccessTrace {
+    tile_band_write_stream(layout).collect_trace()
 }
 
 /// Convenience: the number of burst requests the column phase generates
-/// per column, a direct proxy for row-activation pressure.
+/// per column, a direct proxy for row-activation pressure. Counts the
+/// stream without materializing it.
 pub fn col_bursts_per_column(layout: &dyn MatrixLayout, group: usize) -> f64 {
-    let trace = col_phase_trace(layout, Direction::Read, group);
-    trace.len() as f64 / layout.n() as f64
+    let bursts = col_phase_stream(layout, Direction::Read, group).count();
+    bursts as f64 / layout.n() as f64
 }
 
 #[cfg(test)]
@@ -193,15 +336,18 @@ mod tests {
         LayoutParams::for_device(n, &Geometry::default(), &TimingParams::default())
     }
 
+    /// Coalesces a literal element list (push-style shim for the tests).
+    fn coalesce(elems: &[(u64, u32)], dir: Direction) -> AccessTrace {
+        let total = elems.iter().map(|&(_, b)| b as u64).sum();
+        Coalescer::new(elems.iter().copied(), dir, total).collect_trace()
+    }
+
     #[test]
     fn coalescer_merges_contiguous_runs() {
-        let mut co = Coalescer::new(Direction::Read);
-        co.push(0, 8);
-        co.push(8, 8);
-        co.push(16, 8);
-        co.push(100, 8); // gap
-        co.push(108, 8);
-        let t = co.finish();
+        let t = coalesce(
+            &[(0, 8), (8, 8), (16, 8), (100, 8), (108, 8)],
+            Direction::Read,
+        );
         assert_eq!(t.len(), 2);
         assert_eq!(t.total_bytes(), 40);
         let ops: Vec<_> = t.iter().collect();
@@ -211,13 +357,50 @@ mod tests {
 
     #[test]
     fn coalescer_respects_burst_cap() {
-        let mut co = Coalescer::new(Direction::Write);
-        for i in 0..3000u64 {
-            co.push(i * 8, 8);
-        }
-        let t = co.finish();
+        let elems: Vec<(u64, u32)> = (0..3000u64).map(|i| (i * 8, 8)).collect();
+        let t = coalesce(&elems, Direction::Write);
         assert!(t.iter().all(|op| op.bytes <= MAX_BURST_BYTES));
         assert_eq!(t.total_bytes(), 24_000);
+    }
+
+    #[test]
+    fn coalescer_reports_total_up_front() {
+        let n = 128;
+        let l = RowMajor::new(&params(n));
+        let s = row_phase_stream(&l, Direction::Read);
+        assert_eq!(s.total_bytes(), (n * n * 8) as u64);
+        // The promise holds after draining too.
+        let drained: u64 = s.map(|op| op.bytes as u64).sum();
+        assert_eq!(drained, (n * n * 8) as u64);
+    }
+
+    #[test]
+    fn streams_match_materialized_traces() {
+        let n = 128;
+        let p = params(n);
+        let ddl = BlockDynamic::with_height(&p, 16).unwrap();
+        let rm = RowMajor::new(&p);
+        let t = crate::Tiled::row_buffer_sized(&p).unwrap();
+        assert_eq!(
+            row_phase_stream(&rm, Direction::Read).collect_trace(),
+            row_phase_trace(&rm, Direction::Read)
+        );
+        assert_eq!(
+            col_phase_stream(&ddl, Direction::Read, ddl.w).collect_trace(),
+            col_phase_trace(&ddl, Direction::Read, ddl.w)
+        );
+        assert_eq!(
+            band_block_write_stream(&ddl).collect_trace(),
+            band_block_write_trace(&ddl)
+        );
+        assert_eq!(
+            tile_sweep_stream(&t, Direction::Read).collect_trace(),
+            tile_sweep_trace(&t, Direction::Read)
+        );
+        assert_eq!(
+            tile_band_write_stream(&t).collect_trace(),
+            tile_band_write_trace(&t)
+        );
     }
 
     #[test]

@@ -25,6 +25,13 @@
 //! This makes simulating multi-gigabyte traces cheap while enforcing
 //! exactly the same constraints a ticked model would.
 //!
+//! Applications feed the device through the [`RequestSource`] trait: a
+//! lazy, pull-based stream of burst requests with a known byte total, so
+//! arbitrarily large access patterns replay in O(1) memory
+//! ([`replay_stream`]). [`AccessTrace`] is the materialized form of the
+//! same stream, kept for small traces and golden tests; the two convert
+//! freely ([`AccessTrace::stream`], [`RequestSource::collect_trace`]).
+//!
 //! # Example
 //!
 //! ```
@@ -36,7 +43,7 @@
 //! // Stream 1 KiB sequentially through vault 0: row-buffer friendly.
 //! for i in 0..128u64 {
 //!     let loc = mem.geometry().location_of(i * 8).unwrap();
-//!     mem.service(Request::read(loc, 8));
+//!     mem.service(Request::read(loc, 8)).unwrap();
 //! }
 //! let stats = mem.stats();
 //! assert_eq!(stats.bytes_read, 1024);
@@ -68,4 +75,6 @@ pub use request::{Direction, Request, RequestOutcome};
 pub use stats::{BandwidthReport, Stats};
 pub use system::MemorySystem;
 pub use timing::{Picos, TimingParams};
-pub use trace::{AccessTrace, TraceOp, TraceStats};
+pub use trace::{
+    replay_stream, AccessTrace, RequestSource, StridedSource, TraceOp, TraceStats, TraceStream,
+};

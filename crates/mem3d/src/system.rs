@@ -77,17 +77,28 @@ impl MemorySystem {
     /// from the first fragment so latency measurements span the whole
     /// request.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the request's location is outside the geometry or its
-    /// length is zero.
-    pub fn service(&mut self, req: Request) -> RequestOutcome {
-        assert!(
-            self.geom.contains(req.loc),
-            "location {} out of range",
-            req.loc
-        );
-        assert!(req.bytes > 0, "zero-length request");
+    /// Returns [`Error::OutOfRange`] if the request's location is outside
+    /// the geometry (the reported address is the location's chunked-map
+    /// linearization) and [`Error::BadRequest`] if its length is zero.
+    pub fn service(&mut self, req: Request) -> Result<RequestOutcome> {
+        if !self.geom.contains(req.loc) {
+            let flat = (((req.loc.vault as u64 * self.geom.layers as u64 + req.loc.layer as u64)
+                * self.geom.banks_per_layer as u64
+                + req.loc.bank as u64)
+                * self.geom.rows_per_bank as u64
+                + req.loc.row as u64)
+                * self.geom.row_bytes as u64
+                + req.loc.col as u64;
+            return Err(Error::OutOfRange {
+                addr: flat,
+                capacity: self.geom.capacity_bytes(),
+            });
+        }
+        if req.bytes == 0 {
+            return Err(Error::BadRequest("zero-length request".into()));
+        }
         let row_bytes = self.geom.row_bytes;
         let mut remaining = req.bytes as usize;
         let mut loc = req.loc;
@@ -115,10 +126,10 @@ impl MemorySystem {
                 ..loc
             };
         }
-        RequestOutcome {
+        Ok(RequestOutcome {
             data_start: first_start.unwrap(),
             ..out
-        }
+        })
     }
 
     /// Serves a request addressed by flat byte address through `map_kind`.
@@ -248,7 +259,7 @@ mod tests {
                 vault: v,
                 ..Location::ZERO
             };
-            dones.push(m.service(Request::read(loc, 8)).done);
+            dones.push(m.service(Request::read(loc, 8)).unwrap().done);
         }
         assert!(dones.windows(2).all(|w| w[0] == w[1]));
     }
@@ -256,14 +267,16 @@ mod tests {
     #[test]
     fn same_vault_accesses_serialize_on_tsvs() {
         let mut m = sys();
-        let a = m.service(Request::read(Location::ZERO, 512));
-        let b = m.service(Request::read(
-            Location {
-                col: 512,
-                ..Location::ZERO
-            },
-            512,
-        ));
+        let a = m.service(Request::read(Location::ZERO, 512)).unwrap();
+        let b = m
+            .service(Request::read(
+                Location {
+                    col: 512,
+                    ..Location::ZERO
+                },
+                512,
+            ))
+            .unwrap();
         assert!(b.done > a.done);
     }
 
@@ -275,7 +288,7 @@ mod tests {
             col: (row_bytes - 8) as u32,
             ..Location::ZERO
         };
-        let out = m.service(Request::read(loc, 16));
+        let out = m.service(Request::read(loc, 16)).unwrap();
         // The split forced a second activate in row 1.
         assert_eq!(m.stats().activations, 2);
         assert!(out.done > Picos::ZERO);
@@ -353,15 +366,22 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "out of range")]
-    fn service_panics_on_foreign_location() {
+    fn service_rejects_foreign_location_and_zero_length() {
         let mut m = sys();
-        m.service(Request::read(
+        let foreign = m.service(Request::read(
             Location {
                 vault: 99,
                 ..Location::ZERO
             },
             8,
         ));
+        assert!(
+            matches!(foreign, Err(Error::OutOfRange { .. })),
+            "{foreign:?}"
+        );
+        let empty = m.service(Request::read(Location::ZERO, 0));
+        assert!(matches!(empty, Err(Error::BadRequest(_))), "{empty:?}");
+        // Rejected requests leave no trace in the statistics.
+        assert_eq!(m.stats().requests, 0);
     }
 }

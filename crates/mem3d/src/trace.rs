@@ -1,13 +1,27 @@
-//! Access traces: generation, replay and summary statistics.
+//! Access traces and request streams: generation, replay and summary
+//! statistics.
 //!
 //! Traces decouple *what* an application touches from *when* the device
-//! can serve it. The `layout` and `fft2d` crates generate traces for the
-//! row-wise and column-wise FFT phases under different data layouts and
-//! replay them here to measure achieved bandwidth.
+//! can serve it. The `layout` and `fft2d` crates generate request
+//! streams for the row-wise and column-wise FFT phases under different
+//! data layouts and replay them here to measure achieved bandwidth.
+//!
+//! Two forms exist:
+//!
+//! * [`RequestSource`] — a **lazy, pull-based stream** of burst
+//!   requests with a byte total known up front. Generators hold O(1)
+//!   state (loop counters), so an N×N phase costs constant memory no
+//!   matter how large N grows. This is the primary form; the closed-loop
+//!   driver (`fft2d::run_phase`) and [`replay_stream`] consume it.
+//! * [`AccessTrace`] — the **materialized** form: a `Vec` of the same
+//!   ops, O(ops) memory. Still useful for small traces, golden tests and
+//!   ad-hoc inspection; [`AccessTrace::stream`] turns it back into a
+//!   [`RequestSource`], and [`RequestSource::collect_trace`] goes the
+//!   other way, so the two forms are freely interchangeable.
 
 use crate::{AddressMapKind, Direction, MemorySystem, Picos, Result, Stats};
 
-/// One logical access of an [`AccessTrace`].
+/// One logical access of a request stream or an [`AccessTrace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct TraceOp {
     /// Flat byte address.
@@ -18,7 +32,176 @@ pub struct TraceOp {
     pub dir: Direction,
 }
 
-/// An ordered sequence of memory accesses.
+/// A lazy, pull-based stream of burst requests with a known byte total.
+///
+/// Implementors are ordinary iterators of [`TraceOp`] that additionally
+/// promise how many payload bytes the whole stream moves — the driver
+/// uses the total for progress accounting without materializing the
+/// stream. Generators are expected to hold O(1) state.
+///
+/// # Example
+///
+/// ```
+/// use mem3d::{Direction, RequestSource, StridedSource};
+///
+/// let mut src = StridedSource::read(0, 8, 64, 4);
+/// assert_eq!(src.total_bytes(), 32);
+/// assert_eq!(src.next().unwrap().addr, 0);
+/// assert_eq!(src.next().unwrap().addr, 64);
+/// let rest = src.collect_trace();
+/// assert_eq!(rest.len(), 2);
+/// ```
+pub trait RequestSource: Iterator<Item = TraceOp> {
+    /// Total payload bytes the stream moves, known before pulling.
+    fn total_bytes(&self) -> u64;
+
+    /// Drains the stream into a materialized [`AccessTrace`].
+    fn collect_trace(self) -> AccessTrace
+    where
+        Self: Sized,
+    {
+        self.collect()
+    }
+}
+
+impl<S: RequestSource + ?Sized> RequestSource for &mut S {
+    fn total_bytes(&self) -> u64 {
+        (**self).total_bytes()
+    }
+}
+
+/// A strided request stream: `count` chunks of `bytes`, consecutive
+/// chunk addresses `stride` bytes apart. O(1) state — the streaming
+/// counterpart of [`AccessTrace::strided_read`].
+#[derive(Debug, Clone)]
+pub struct StridedSource {
+    base: u64,
+    bytes: u32,
+    stride: u64,
+    count: u64,
+    next: u64,
+    dir: Direction,
+}
+
+impl StridedSource {
+    /// A strided read stream.
+    pub fn read(base: u64, bytes: u32, stride: u64, count: usize) -> Self {
+        Self::new(base, bytes, stride, count, Direction::Read)
+    }
+
+    /// A strided write stream.
+    pub fn write(base: u64, bytes: u32, stride: u64, count: usize) -> Self {
+        Self::new(base, bytes, stride, count, Direction::Write)
+    }
+
+    fn new(base: u64, bytes: u32, stride: u64, count: usize, dir: Direction) -> Self {
+        StridedSource {
+            base,
+            bytes,
+            stride,
+            count: count as u64,
+            next: 0,
+            dir,
+        }
+    }
+}
+
+impl Iterator for StridedSource {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        if self.next >= self.count {
+            return None;
+        }
+        let op = TraceOp {
+            addr: self.base + self.next * self.stride,
+            bytes: self.bytes,
+            dir: self.dir,
+        };
+        self.next += 1;
+        Some(op)
+    }
+}
+
+impl RequestSource for StridedSource {
+    fn total_bytes(&self) -> u64 {
+        self.count * self.bytes as u64
+    }
+}
+
+/// A borrowed stream over a materialized [`AccessTrace`] (see
+/// [`AccessTrace::stream`]).
+#[derive(Debug, Clone)]
+pub struct TraceStream<'a> {
+    ops: std::slice::Iter<'a, TraceOp>,
+    total: u64,
+}
+
+impl Iterator for TraceStream<'_> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        self.ops.next().copied()
+    }
+}
+
+impl RequestSource for TraceStream<'_> {
+    fn total_bytes(&self) -> u64 {
+        self.total
+    }
+}
+
+/// Replays a request stream against `mem` using address map `map_kind`,
+/// pulling one burst at a time — constant memory regardless of stream
+/// length.
+///
+/// With `pacing = None` every access is available at time zero and the
+/// device runs flat out (open-loop bandwidth measurement). With
+/// `pacing = Some(p)` access *i* arrives at `i * p`, modelling a
+/// consumer (the FFT kernel) that issues at a bounded rate.
+///
+/// Statistics accumulated in `mem` before the call are not cleared;
+/// call [`MemorySystem::reset_stats`] first for an isolated
+/// measurement. The returned [`TraceStats`] covers only this replay.
+///
+/// # Errors
+///
+/// Returns the first address-decoding error.
+pub fn replay_stream(
+    src: &mut dyn RequestSource,
+    mem: &mut MemorySystem,
+    map_kind: AddressMapKind,
+    pacing: Option<Picos>,
+) -> Result<TraceStats> {
+    let before = mem.stats();
+    let mut last_done = Picos::ZERO;
+    let mut first_start: Option<Picos> = None;
+    for (i, op) in (&mut *src).enumerate() {
+        let at = match pacing {
+            Some(p) => p * i as u64,
+            None => Picos::ZERO,
+        };
+        let out = mem.service_addr(map_kind, op.addr, op.bytes, op.dir, at)?;
+        first_start.get_or_insert(out.data_start);
+        last_done = last_done.max(out.done);
+    }
+    let after = mem.stats();
+    let mut delta = after;
+    delta.requests -= before.requests;
+    delta.bytes_read -= before.bytes_read;
+    delta.bytes_written -= before.bytes_written;
+    delta.activations -= before.activations;
+    delta.row_hits -= before.row_hits;
+    delta.row_misses -= before.row_misses;
+    delta.latency_sum = after.latency_sum.saturating_sub(before.latency_sum);
+    Ok(TraceStats {
+        stats: delta,
+        first_data: first_start.unwrap_or(Picos::ZERO),
+        makespan: last_done,
+    })
+}
+
+/// An ordered sequence of memory accesses, materialized in memory.
 ///
 /// # Example
 ///
@@ -49,28 +232,14 @@ impl AccessTrace {
     /// A strided read: `count` chunks of `bytes`, consecutive chunk
     /// addresses `stride` bytes apart.
     pub fn strided_read(base: u64, bytes: u32, stride: u64, count: usize) -> Self {
-        let ops = (0..count as u64)
-            .map(|i| TraceOp {
-                addr: base + i * stride,
-                bytes,
-                dir: Direction::Read,
-            })
-            .collect();
-        AccessTrace { ops }
+        StridedSource::read(base, bytes, stride, count).collect_trace()
     }
 
     /// A strided write with the same shape as [`strided_read`].
     ///
     /// [`strided_read`]: AccessTrace::strided_read
     pub fn strided_write(base: u64, bytes: u32, stride: u64, count: usize) -> Self {
-        let ops = (0..count as u64)
-            .map(|i| TraceOp {
-                addr: base + i * stride,
-                bytes,
-                dir: Direction::Write,
-            })
-            .collect();
-        AccessTrace { ops }
+        StridedSource::write(base, bytes, stride, count).collect_trace()
     }
 
     /// Appends one access.
@@ -93,21 +262,22 @@ impl AccessTrace {
         self.ops.iter()
     }
 
+    /// A borrowing [`RequestSource`] over this trace, so materialized
+    /// traces plug into every stream-consuming API.
+    pub fn stream(&self) -> TraceStream<'_> {
+        TraceStream {
+            ops: self.ops.iter(),
+            total: self.total_bytes(),
+        }
+    }
+
     /// Total bytes the trace moves.
     pub fn total_bytes(&self) -> u64 {
         self.ops.iter().map(|op| op.bytes as u64).sum()
     }
 
-    /// Replays the trace against `mem` using address map `map_kind`.
-    ///
-    /// With `pacing = None` every access is available at time zero and the
-    /// device runs flat out (open-loop bandwidth measurement). With
-    /// `pacing = Some(p)` access *i* arrives at `i * p`, modelling a
-    /// consumer (the FFT kernel) that issues at a bounded rate.
-    ///
-    /// Statistics accumulated in `mem` before the call are not cleared;
-    /// call [`MemorySystem::reset_stats`] first for an isolated
-    /// measurement. The returned [`TraceStats`] covers only this replay.
+    /// Replays the trace against `mem`; see [`replay_stream`] for the
+    /// pacing semantics and error behaviour.
     ///
     /// # Errors
     ///
@@ -118,32 +288,7 @@ impl AccessTrace {
         map_kind: AddressMapKind,
         pacing: Option<Picos>,
     ) -> Result<TraceStats> {
-        let before = mem.stats();
-        let mut last_done = Picos::ZERO;
-        let mut first_start: Option<Picos> = None;
-        for (i, op) in self.ops.iter().enumerate() {
-            let at = match pacing {
-                Some(p) => p * i as u64,
-                None => Picos::ZERO,
-            };
-            let out = mem.service_addr(map_kind, op.addr, op.bytes, op.dir, at)?;
-            first_start.get_or_insert(out.data_start);
-            last_done = last_done.max(out.done);
-        }
-        let after = mem.stats();
-        let mut delta = after;
-        delta.requests -= before.requests;
-        delta.bytes_read -= before.bytes_read;
-        delta.bytes_written -= before.bytes_written;
-        delta.activations -= before.activations;
-        delta.row_hits -= before.row_hits;
-        delta.row_misses -= before.row_misses;
-        delta.latency_sum = after.latency_sum.saturating_sub(before.latency_sum);
-        Ok(TraceStats {
-            stats: delta,
-            first_data: first_start.unwrap_or(Picos::ZERO),
-            makespan: last_done,
-        })
+        replay_stream(&mut self.stream(), mem, map_kind, pacing)
     }
 }
 
@@ -206,6 +351,38 @@ mod tests {
         assert!(w.iter().all(|o| o.dir == Direction::Write));
         assert!(!w.is_empty());
         assert!(AccessTrace::new().is_empty());
+    }
+
+    #[test]
+    fn strided_source_matches_materialized_trace() {
+        let src = StridedSource::read(64, 8, 4096, 100);
+        assert_eq!(src.total_bytes(), 800);
+        let collected = src.collect_trace();
+        assert_eq!(collected, AccessTrace::strided_read(64, 8, 4096, 100));
+    }
+
+    #[test]
+    fn trace_stream_round_trips() {
+        let t = AccessTrace::strided_write(8, 16, 32, 5);
+        let s = t.stream();
+        assert_eq!(s.total_bytes(), t.total_bytes());
+        assert_eq!(s.collect_trace(), t);
+    }
+
+    #[test]
+    fn stream_replay_matches_trace_replay() {
+        let t = AccessTrace::strided_read(0, 8, 8192, 512);
+        let mut m1 = mem();
+        let a = t.replay(&mut m1, AddressMapKind::Chunked, None).unwrap();
+        let mut m2 = mem();
+        let b = replay_stream(
+            &mut StridedSource::read(0, 8, 8192, 512),
+            &mut m2,
+            AddressMapKind::Chunked,
+            None,
+        )
+        .unwrap();
+        assert_eq!(a, b);
     }
 
     #[test]

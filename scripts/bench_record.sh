@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
-# Records the parallel-sweep perf trajectory: runs the sweep_bench
-# binary (sim-util bench-harness JSON-lines protocol) and writes the
-# measurements to BENCH_sweep.json at the repository root.
+# Records the perf trajectories the repository carries:
+#   BENCH_sweep.json   parallel-sweep wall clock + speedup (sweep_bench)
+#   BENCH_stream.json  large-N streaming pipeline: wall clock, burst
+#                      count, materialized-trace footprint and peak RSS
+#                      (stream_bench at N = 8192)
 #
 # sweep_bench itself verifies that the N-thread sweep is bit-identical
 # to the 1-thread reference before publishing a speedup, so a non-empty
@@ -10,10 +12,15 @@
 # Knobs:
 #   SIM_EXEC_THREADS  parallel thread count to measure (default: cores)
 #   SIM_BENCH_FAST=1  3 samples, no warmup (CI smoke mode)
+#   STREAM_BENCH_N    stream_bench problem size (default: 8192)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline -p bench --bin sweep_bench
+cargo build --release --offline -p bench --bin sweep_bench --bin stream_bench
 ./target/release/sweep_bench | grep '^{' > BENCH_sweep.json
 echo "wrote $(wc -l < BENCH_sweep.json) records to BENCH_sweep.json:"
 cat BENCH_sweep.json
+
+./target/release/stream_bench "${STREAM_BENCH_N:-8192}" | grep '^{' > BENCH_stream.json
+echo "wrote $(wc -l < BENCH_stream.json) records to BENCH_stream.json:"
+cat BENCH_stream.json
