@@ -1,0 +1,92 @@
+//! **Hot-path before/after benchmark** — times the same column phases on
+//! the reference request-servicing path (the pre-fast-path scalar
+//! implementation, kept as [`mem3d::ServicePath::Reference`]) and on the
+//! default fast path (cached shift/mask maps, decode-once bursts,
+//! closed-form row streaming), asserts the results are **bit-identical**,
+//! and emits one JSON line per phase with both wall clocks and their
+//! ratio. `scripts/bench_record.sh` redirects stdout to
+//! `BENCH_hotpath.json`, so the repository carries the before/after
+//! record for the servicing overhaul.
+//!
+//! The headline record is `baseline_n8192`: the strided baseline column
+//! phase at N = 8192 issues `N²` single-element bursts, so it measures
+//! the per-request servicing cost with nothing to amortize against —
+//! the worst case for the fast path and the basis of the committed
+//! speedup floor CI enforces.
+//!
+//! `SIM_BENCH_FAST=1` shrinks the problem sizes for smoke runs.
+
+use std::time::Instant;
+
+use bench::common;
+use fft2d::{Architecture, ColumnPhaseResult, System, SystemConfig};
+use mem3d::ServicePath;
+use sim_util::json::JsonObject;
+
+/// Wall-clocks `samples` runs of one column phase, returning the best
+/// time (ns) and the result (identical across samples by construction:
+/// the simulation is deterministic).
+fn time_phase(
+    sys: &System,
+    arch: Architecture,
+    n: usize,
+    samples: u32,
+) -> (u64, ColumnPhaseResult) {
+    let mut best = u64::MAX;
+    let mut result = None;
+    for _ in 0..samples {
+        let t0 = Instant::now();
+        let r = sys.column_phase(arch, n).expect("column phase");
+        best = best.min(t0.elapsed().as_nanos() as u64);
+        result = Some(r);
+    }
+    (best, result.expect("at least one sample"))
+}
+
+fn main() {
+    let fast_mode = std::env::var("SIM_BENCH_FAST").is_ok_and(|v| v != "0");
+    let sizes: &[usize] = if fast_mode {
+        &[512, 1024]
+    } else {
+        &[2048, 4096, 8192]
+    };
+
+    let fast = common::default_system();
+    assert_eq!(fast.config().service_path, ServicePath::Fast);
+    let reference = System::new(SystemConfig {
+        service_path: ServicePath::Reference,
+        ..*fast.config()
+    });
+
+    for &n in sizes {
+        // Enough samples to shake scheduler noise out of the small
+        // sizes; the big ones run long enough to be stable single-shot.
+        let samples = if n <= 2048 { 3 } else { 1 };
+        for arch in [Architecture::Baseline, Architecture::Optimized] {
+            let (ref_ns, ref_result) = time_phase(&reference, arch, n, samples);
+            let (fast_ns, fast_result) = time_phase(&fast, arch, n, samples);
+
+            // Bit-exact equality is a precondition for publishing the
+            // speedup at all: a fast path that changes results is a bug,
+            // not an optimization.
+            assert_eq!(
+                fast_result,
+                ref_result,
+                "{} n={n}: fast path diverged from reference",
+                arch.name()
+            );
+
+            let mut o = JsonObject::new();
+            o.field_str("group", "hotpath");
+            o.field_str("id", &format!("{}_n{n}", arch.name()));
+            o.field_str("arch", arch.name());
+            o.field_u64("n", n as u64);
+            o.field_u64("ref_ns", ref_ns);
+            o.field_u64("fast_ns", fast_ns);
+            o.field_f64("speedup", ref_ns as f64 / (fast_ns as f64).max(1.0));
+            o.field_f64("throughput_gbps", fast_result.throughput_gbps);
+            o.field_bool("identical_output", true);
+            println!("{}", o.finish());
+        }
+    }
+}

@@ -1,11 +1,18 @@
-//! **Sweep scaling benchmark** — records the wall-clock cost of the
-//! `sweep_n` workload at 1 thread and at `SIM_EXEC_THREADS` (default:
-//! all cores), verifying the results are identical and emitting the
+//! **Sweep scaling benchmark** — records the wall-clock cost of a
+//! fixed pool of column-phase jobs at 1, 2 and 4 threads, verifying
+//! the results are bit-identical across thread counts and emitting the
 //! measurements as JSON lines (the `sim-util` bench-harness protocol).
+//!
+//! The job pool is deliberately **evenly sized** — the same (arch, N)
+//! pair replicated — so the recorded speedup reflects executor scaling
+//! and not workload skew: with a size sweep the largest job bounds the
+//! parallel wall clock no matter how many threads run, which is a
+//! property of the workload, not of the executor under test.
 //!
 //! `scripts/bench_record.sh` redirects this binary's stdout to
 //! `BENCH_sweep.json`, so the repository carries a perf trajectory for
-//! the parallel executor. `SIM_BENCH_FAST=1` shrinks the sampling for
+//! the parallel executor: one `speedup_tN` record per measured thread
+//! count. `SIM_BENCH_FAST=1` shrinks the problem size and sampling for
 //! smoke runs.
 
 use bench::common;
@@ -14,55 +21,66 @@ use sim_exec::ExecConfig;
 use sim_util::json::JsonObject;
 use sim_util::BenchGroup;
 
-const SIZES: [usize; 4] = [256, 512, 1024, 2048];
+/// Thread counts the record covers. 1 is the sequential reference the
+/// others are compared against (for both wall clock and bit-identity).
+const THREADS: [usize; 3] = [1, 2, 4];
 
-/// The unit of work: the full sweep at a given thread count, returning
-/// the throughput series (so the two runs can be compared exactly).
-fn sweep(sys: &System, threads: usize) -> Vec<u64> {
-    let exec = ExecConfig::sequential().with_threads(threads);
-    let results = sim_exec::par_map(&exec, &SIZES, |&n, _ctx| {
-        let b = sys
-            .column_phase(Architecture::Baseline, n)
-            .expect("baseline");
-        let o = sys
-            .column_phase(Architecture::Optimized, n)
-            .expect("optimized");
-        [b.throughput_gbps.to_bits(), o.throughput_gbps.to_bits()]
-    });
-    results
+/// Replicas per architecture: 8 jobs total, all the same size.
+const REPS: usize = 4;
+
+/// The unit of work: every job in the pool at the given thread count,
+/// returning the throughput series (so runs can be compared exactly).
+fn sweep(sys: &System, n: usize, threads: usize) -> Vec<u64> {
+    let jobs: Vec<Architecture> = [Architecture::Baseline, Architecture::Optimized]
         .into_iter()
-        .flat_map(|r| r.expect("sweep job"))
-        .collect()
+        .cycle()
+        .take(2 * REPS)
+        .collect();
+    let exec = ExecConfig::sequential().with_threads(threads);
+    let results = sim_exec::par_map(&exec, &jobs, |&arch, _ctx| {
+        sys.column_phase(arch, n)
+            .expect("column phase")
+            .throughput_gbps
+            .to_bits()
+    });
+    results.into_iter().map(|r| r.expect("sweep job")).collect()
 }
 
 fn main() {
+    let fast_mode = std::env::var("SIM_BENCH_FAST").is_ok_and(|v| v != "0");
+    let n = if fast_mode { 1024 } else { 2048 };
     let sys = common::default_system();
-    let par_threads = common::exec_config().threads.max(2);
 
-    // Bit-exact equality across thread counts is a precondition for
-    // publishing the speedup at all.
-    let seq = sweep(&sys, 1);
-    let par = sweep(&sys, par_threads);
-    assert_eq!(
-        seq, par,
-        "parallel sweep diverged from the sequential reference"
-    );
+    // Bit-exact equality across every thread count is a precondition
+    // for publishing any speedup at all.
+    let seq = sweep(&sys, n, 1);
+    for &t in &THREADS[1..] {
+        assert_eq!(
+            seq,
+            sweep(&sys, n, t),
+            "{t}-thread sweep diverged from the sequential reference"
+        );
+    }
 
     let mut group = BenchGroup::new("sweep");
-    let t1 = group.bench_value("threads_1", || sweep(&sys, 1));
-    let tn = group.bench_value(&format!("threads_{par_threads}"), || {
-        sweep(&sys, par_threads)
-    });
+    let medians: Vec<f64> = THREADS
+        .iter()
+        .map(|&t| group.bench_value(&format!("threads_{t}"), || sweep(&sys, n, t)))
+        .collect();
     group.finish();
 
-    let mut o = JsonObject::new();
-    o.field_str("group", "sweep");
-    o.field_str("id", "speedup");
-    o.field_u64("jobs", SIZES.len() as u64);
-    o.field_u64("threads", par_threads as u64);
-    o.field_f64("seq_median_ns", t1);
-    o.field_f64("par_median_ns", tn);
-    o.field_f64("speedup", t1 / tn.max(1e-9));
-    o.field_bool("identical_output", true);
-    println!("{}", o.finish());
+    let t1 = medians[0];
+    for (&t, &tn) in THREADS.iter().zip(&medians).skip(1) {
+        let mut o = JsonObject::new();
+        o.field_str("group", "sweep");
+        o.field_str("id", &format!("speedup_t{t}"));
+        o.field_u64("jobs", (2 * REPS) as u64);
+        o.field_u64("n", n as u64);
+        o.field_u64("threads", t as u64);
+        o.field_f64("seq_median_ns", t1);
+        o.field_f64("par_median_ns", tn);
+        o.field_f64("speedup", t1 / tn.max(1e-9));
+        o.field_bool("identical_output", true);
+        println!("{}", o.finish());
+    }
 }

@@ -9,7 +9,7 @@ use layout::{
     tile_band_write_stream, tile_sweep_stream, BlockDynamic, LayoutParams, MatrixLayout, ReorgCost,
     RowMajor, Tiled,
 };
-use mem3d::{Direction, Geometry, MemorySystem, Picos, TimingParams};
+use mem3d::{Direction, Geometry, MemorySystem, Picos, ServicePath, TimingParams};
 
 use crate::{run_phase, DriverConfig, Fft2dError, MemoryImage, PhaseReport, ProcessorModel};
 
@@ -64,6 +64,10 @@ pub struct SystemConfig {
     /// On-chip SRAM the reorganization band buffer may occupy; bounds
     /// the block height via [`layout::optimal_h_bounded`].
     pub reorg_budget_bytes: u64,
+    /// Which memory request-servicing implementation to simulate with.
+    /// Both are bit-identical in results; [`ServicePath::Reference`]
+    /// exists for differential testing and before/after benchmarking.
+    pub service_path: ServicePath,
 }
 
 impl Default for SystemConfig {
@@ -78,6 +82,7 @@ impl Default for SystemConfig {
             lanes: 8,
             window_bytes: 256 * 1024,
             reorg_budget_bytes: 2 * 1024 * 1024,
+            service_path: ServicePath::Fast,
         }
     }
 }
@@ -180,6 +185,13 @@ impl System {
         LayoutParams::for_device(n, &self.cfg.geometry, &self.cfg.timing)
     }
 
+    /// A fresh memory device on the configured [`ServicePath`].
+    pub(crate) fn fresh_mem(&self) -> Result<MemorySystem, Fft2dError> {
+        let mut mem = MemorySystem::try_new(self.cfg.geometry, self.cfg.timing)?;
+        mem.set_service_path(self.cfg.service_path);
+        Ok(mem)
+    }
+
     fn processor(
         &self,
         params: &LayoutParams,
@@ -214,7 +226,7 @@ impl System {
         n: usize,
     ) -> Result<ColumnPhaseResult, Fft2dError> {
         let params = self.layout_params(n);
-        let mut mem = MemorySystem::try_new(self.cfg.geometry, self.cfg.timing)?;
+        let mut mem = self.fresh_mem()?;
         let (report, block_h) = match arch {
             Architecture::Baseline => {
                 let proc = self.processor(&params, 0)?;
@@ -280,7 +292,7 @@ impl System {
     /// Returns [`Fft2dError`] on invalid configurations.
     pub fn run_app(&self, arch: Architecture, n: usize) -> Result<AppResult, Fft2dError> {
         let params = self.layout_params(n);
-        let mut mem = MemorySystem::try_new(self.cfg.geometry, self.cfg.timing)?;
+        let mut mem = self.fresh_mem()?;
         let input = RowMajor::new(&params);
         let col_bytes = (n * params.elem_bytes) as u64;
 

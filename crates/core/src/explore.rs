@@ -23,7 +23,7 @@
 
 use fpga_model::Resources;
 use layout::{BlockDynamic, LayoutParams, MatrixLayout};
-use mem3d::{Direction, MemorySystem, Picos};
+use mem3d::{Direction, Picos};
 use sim_exec::ExecConfig;
 use sim_util::json::{self, JsonObject};
 
@@ -244,7 +244,7 @@ impl System {
         let Ok(proc) = ProcessorModel::new(params, lanes, h, &self.config().budget) else {
             return Eval::SkipProcessor;
         };
-        let mut mem = match MemorySystem::try_new(self.config().geometry, self.config().timing) {
+        let mut mem = match self.fresh_mem() {
             Ok(mem) => mem,
             Err(e) => return Eval::Failed(e.to_string()),
         };
@@ -291,11 +291,13 @@ pub fn pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
         a.resources
             .dsp48
             .cmp(&b.resources.dsp48)
-            .then(
-                b.throughput_gbps
-                    .partial_cmp(&a.throughput_gbps)
-                    .expect("finite"),
-            )
+            // total_cmp, not partial_cmp: a NaN throughput (e.g. from a
+            // degenerate candidate) must not panic the sort. Under the
+            // total order NaN compares above every finite value, so a
+            // NaN point sorts like an infinitely fast candidate here —
+            // but `NaN > best` below is false, so it never enters the
+            // front.
+            .then(b.throughput_gbps.total_cmp(&a.throughput_gbps))
             .then(a.resources.bram36.cmp(&b.resources.bram36))
     });
     let mut front = Vec::new();
@@ -347,6 +349,30 @@ mod tests {
             assert!(w[0].resources.dsp48 <= w[1].resources.dsp48);
             assert!(w[0].throughput_gbps < w[1].throughput_gbps);
         }
+    }
+
+    #[test]
+    fn pareto_front_survives_nan_throughput() {
+        // Regression: a NaN throughput used to panic the sort's
+        // `partial_cmp(..).expect("finite")`.
+        let point = |dsp48: u64, gbps: f64| DesignPoint {
+            lanes: 8,
+            h: 4,
+            throughput_gbps: gbps,
+            resources: Resources {
+                dsp48,
+                ..Resources::default()
+            },
+            clock_mhz: 500.0,
+            fits: true,
+        };
+        let points = [point(10, 4.0), point(10, f64::NAN), point(20, 8.0)];
+        let front = pareto_front(&points);
+        // The NaN point is excluded; the finite points form the front.
+        assert_eq!(front.len(), 2);
+        assert!(front.iter().all(|p| p.throughput_gbps.is_finite()));
+        assert_eq!(front[0].throughput_gbps, 4.0);
+        assert_eq!(front[1].throughput_gbps, 8.0);
     }
 
     #[test]

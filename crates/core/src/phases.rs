@@ -147,51 +147,97 @@ pub fn run_phase(
     let mut pending: std::collections::VecDeque<(Picos, mem3d::TraceOp)> =
         std::collections::VecDeque::new();
 
-    for op in &mut *reads {
-        let arrive = fs_to_picos(t_kernel_fs.saturating_sub(window_fs)).max(start);
-        // Release writes scheduled before this read's issue point.
-        while let Some(&(at, wop)) = pending.front() {
-            if at > arrive {
-                break;
-            }
-            pending.pop_front();
-            let wout = mem.service_addr(
-                write_map.expect("pending writes imply a write map"),
-                wop.addr,
-                wop.bytes,
-                wop.dir,
-                at,
-            )?;
-            last_beat = last_beat.max(wout.done);
-        }
-        let out = mem.service_addr(read_map, op.addr, op.bytes, op.dir, arrive)?;
-        last_beat = last_beat.max(out.done);
-        // The kernel consumes this burst only once it has arrived.
-        t_kernel_fs =
-            t_kernel_fs.max(out.done.as_ps() as u128 * FS_PER_PS) + op.bytes as u128 * rate_fs;
-        consumed += op.bytes as u64;
-        if probe_done == Picos::ZERO
-            && cfg.latency_probe_bytes > 0
-            && consumed >= cfg.latency_probe_bytes
-        {
-            probe_done = out.done;
-        }
-        // Schedule result bursts whose inputs have now been consumed,
-        // pulling them off the write stream one at a time.
-        if let Some(src) = write_src.as_mut() {
-            loop {
-                if next_write.is_none() {
-                    next_write = src.next();
+    // Reads are pulled run-granular: a multi-beat strided run (e.g. the
+    // baseline's column sweep) resolves bank stretch by bank stretch in
+    // fused passes through `MemorySystem::service_paced_run` — provided
+    // nothing else needs per-beat attention, i.e. there is no write
+    // side. Ineligible positions (and all error cases) fall back to the
+    // scalar per-beat body, which is byte-identical to the historical
+    // per-op loop; after each scalar beat the paced path is re-attempted
+    // with the remainder.
+    while let Some(mut run) = reads.next_run() {
+        while run.beats > 0 {
+            if run.beats > 1 && write_src.is_none() && run.op.bytes > 0 {
+                // Beat index the latency probe fires on, if within
+                // this run's remainder.
+                let probe_beat = if probe_done == Picos::ZERO && cfg.latency_probe_bytes > 0 {
+                    let nb = cfg
+                        .latency_probe_bytes
+                        .saturating_sub(consumed)
+                        .div_ceil(run.op.bytes as u64)
+                        .max(1);
+                    (nb <= run.beats as u64).then(|| nb - 1)
+                } else {
+                    None
+                };
+                let pacing = mem3d::RunPacing {
+                    t_kernel_fs,
+                    window_fs,
+                    op_fs: run.op.bytes as u128 * rate_fs,
+                    floor: start,
+                    probe_beat,
+                };
+                if let Some(served) = mem.service_paced_run(read_map, run, &pacing) {
+                    t_kernel_fs = served.t_kernel_fs;
+                    consumed += served.beats as u64 * run.op.bytes as u64;
+                    // Beats complete in strictly increasing order, so
+                    // the prefix's last completion is its latest.
+                    last_beat = last_beat.max(served.last_done);
+                    if let Some(p) = served.probe_done {
+                        probe_done = p;
+                    }
+                    run.op.addr += served.beats as u64 * run.stride;
+                    run.beats -= served.beats;
+                    continue;
                 }
-                let Some(wop) = next_write else { break };
-                if produced + wop.bytes as u64 > consumed {
+            }
+            // One scalar beat, then try pacing the remainder again.
+            let op = run.op;
+            let arrive = fs_to_picos(t_kernel_fs.saturating_sub(window_fs)).max(start);
+            // Release writes scheduled before this read's issue point.
+            while let Some(&(at, wop)) = pending.front() {
+                if at > arrive {
                     break;
                 }
-                let at = fs_to_picos(t_kernel_fs) + cfg.write_delay;
-                pending.push_back((at, wop));
-                produced += wop.bytes as u64;
-                next_write = None;
+                pending.pop_front();
+                let wout = mem.service_burst(
+                    write_map.expect("pending writes imply a write map"),
+                    wop,
+                    at,
+                )?;
+                last_beat = last_beat.max(wout.done);
             }
+            let out = mem.service_burst(read_map, op, arrive)?;
+            last_beat = last_beat.max(out.done);
+            // The kernel consumes this burst only once it has arrived.
+            t_kernel_fs =
+                t_kernel_fs.max(out.done.as_ps() as u128 * FS_PER_PS) + op.bytes as u128 * rate_fs;
+            consumed += op.bytes as u64;
+            if probe_done == Picos::ZERO
+                && cfg.latency_probe_bytes > 0
+                && consumed >= cfg.latency_probe_bytes
+            {
+                probe_done = out.done;
+            }
+            // Schedule result bursts whose inputs have now been
+            // consumed, pulling them off the write stream one at a time.
+            if let Some(src) = write_src.as_mut() {
+                loop {
+                    if next_write.is_none() {
+                        next_write = src.next();
+                    }
+                    let Some(wop) = next_write else { break };
+                    if produced + wop.bytes as u64 > consumed {
+                        break;
+                    }
+                    let at = fs_to_picos(t_kernel_fs) + cfg.write_delay;
+                    pending.push_back((at, wop));
+                    produced += wop.bytes as u64;
+                    next_write = None;
+                }
+            }
+            run.op.addr += run.stride;
+            run.beats -= 1;
         }
     }
     // Schedule and drain the tail of the write stream.
@@ -202,11 +248,9 @@ pub fn run_phase(
         }
     }
     for (at, wop) in pending {
-        let wout = mem.service_addr(
+        let wout = mem.service_burst(
             write_map.expect("pending writes imply a write map"),
-            wop.addr,
-            wop.bytes,
-            wop.dir,
+            wop,
             at,
         )?;
         last_beat = last_beat.max(wout.done);

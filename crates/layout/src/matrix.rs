@@ -39,6 +39,17 @@ pub trait MatrixLayout: std::fmt::Debug {
     fn column_run(&self) -> usize {
         1
     }
+
+    /// Constant byte distance between vertically adjacent elements, if
+    /// one exists: `Some(s)` only when
+    /// `addr(row + 1, col) == addr(row, col) + s` for **every** in-range
+    /// `(row, col)`. Lets the column-phase stream describe a whole
+    /// column as one strided run instead of `n` per-element virtual
+    /// calls. Block/tile layouts, whose column walk changes stride at
+    /// block seams, return `None`.
+    fn row_stride(&self) -> Option<u64> {
+        None
+    }
 }
 
 /// Row-major order. With the default [`AddressMapKind::Chunked`]
@@ -100,6 +111,10 @@ impl MatrixLayout for RowMajor {
     fn name(&self) -> &'static str {
         "row-major"
     }
+
+    fn row_stride(&self) -> Option<u64> {
+        Some((self.n * self.elem_bytes) as u64)
+    }
 }
 
 /// Column-major order (the mirror image of [`RowMajor`]): favours the
@@ -145,6 +160,10 @@ impl MatrixLayout for ColMajor {
 
     fn column_run(&self) -> usize {
         self.n
+    }
+
+    fn row_stride(&self) -> Option<u64> {
+        Some(self.elem_bytes as u64)
     }
 }
 

@@ -11,7 +11,7 @@
 //! The `*_trace` convenience functions collect the same streams into
 //! [`AccessTrace`]s for small problems and golden tests.
 
-use mem3d::{AccessTrace, Direction, RequestSource, TraceOp};
+use mem3d::{AccessTrace, Direction, RequestSource, TraceOp, TraceRun};
 
 use crate::MatrixLayout;
 
@@ -158,36 +158,93 @@ pub fn row_phase_stream(layout: &dyn MatrixLayout, dir: Direction) -> impl Reque
     Coalescer::new(walk, dir, matrix_bytes(layout))
 }
 
-/// The column-phase walk with a ragged final band: `run` rarely fails to
-/// divide `n` for the provided layouts, but the walk must not assume it.
-struct ColWalk<'a> {
+/// A run of equally-spaced element accesses: element *i* lives at
+/// `base + i·stride`. The column-phase walk is a concatenation of such
+/// segments, so describing it segment-wise costs O(1) per *segment*
+/// instead of one virtual [`MatrixLayout::addr`] call per *element* —
+/// and hands [`RequestSource::next_run`] whole strided runs for the
+/// memory system's paced fast path.
+#[derive(Debug, Clone, Copy)]
+struct Seg {
+    base: u64,
+    count: u64,
+    stride: u64,
+}
+
+/// Segment decomposition of the column-phase walk (ragged final band
+/// included): columns in groups of `group`, each group swept band by
+/// band of `run` rows, all `group` columns' segments per band before
+/// moving down.
+///
+/// Three regimes, finest last:
+/// * `group == 1` with a constant [`MatrixLayout::row_stride`] — one
+///   segment per whole column (bands of one column concatenate into a
+///   single arithmetic progression); this is the baseline strided sweep.
+/// * constant `row_stride` — one segment per (group, band, column).
+/// * no constant stride (block/tile seams) — one segment per element,
+///   preserving today's per-element walk exactly.
+struct ColSegs<'a> {
     layout: &'a dyn MatrixLayout,
-    e: u32,
     n: usize,
     group: usize,
     run: usize,
+    row_stride: Option<u64>,
     /// First column of the current group.
     g: usize,
     /// First row of the current band.
     band: usize,
     /// Column offset within the group.
     c: usize,
-    /// Row offset within the band.
+    /// Row offset within the band (per-element regime only).
     r: usize,
     done: bool,
 }
 
-impl Iterator for ColWalk<'_> {
-    type Item = (u64, u32);
+impl Iterator for ColSegs<'_> {
+    type Item = Seg;
 
-    fn next(&mut self) -> Option<(u64, u32)> {
+    fn next(&mut self) -> Option<Seg> {
         if self.done {
             return None;
         }
-        let out = (
-            self.layout.addr(self.band + self.r, self.g + self.c),
-            self.e,
-        );
+        if let Some(stride) = self.row_stride {
+            if self.group == 1 {
+                // Bands of one column are vertically contiguous: the
+                // whole column is one arithmetic progression.
+                let seg = Seg {
+                    base: self.layout.addr(0, self.g),
+                    count: self.n as u64,
+                    stride,
+                };
+                self.g += 1;
+                self.done = self.g >= self.n;
+                return Some(seg);
+            }
+            let band_rows = (self.n - self.band).min(self.run);
+            let seg = Seg {
+                base: self.layout.addr(self.band, self.g + self.c),
+                count: band_rows as u64,
+                stride,
+            };
+            self.c += 1;
+            if self.c >= self.group {
+                self.c = 0;
+                self.band += self.run;
+                if self.band >= self.n {
+                    self.band = 0;
+                    self.g += self.group;
+                    self.done = self.g >= self.n;
+                }
+            }
+            return Some(seg);
+        }
+        // Per-element fallback: the layout's column walk has no single
+        // stride, so segments degenerate to single accesses.
+        let seg = Seg {
+            base: self.layout.addr(self.band + self.r, self.g + self.c),
+            count: 1,
+            stride: 0,
+        };
         self.r += 1;
         if self.r >= (self.n - self.band).min(self.run) {
             self.r = 0;
@@ -204,7 +261,152 @@ impl Iterator for ColWalk<'_> {
                 }
             }
         }
-        Some(out)
+        Some(seg)
+    }
+}
+
+/// The column-phase request stream: expands [`ColSegs`] element by
+/// element through exactly the [`Coalescer`] merge rule (so `next()` is
+/// bit-identical to the historical walk), while
+/// [`next_run`](RequestSource::next_run) short-circuits a strided
+/// segment into one [`TraceRun`] descriptor — O(1) instead of O(count).
+pub struct ColPhaseStream<'a> {
+    segs: ColSegs<'a>,
+    e: u32,
+    dir: Direction,
+    total: u64,
+    /// Current segment being expanded, with the next element's index.
+    cur: Option<Seg>,
+    pos: u64,
+    /// Pending coalescing run (same invariants as [`Coalescer`]).
+    run_start: u64,
+    run_len: u32,
+}
+
+impl ColPhaseStream<'_> {
+    /// Next element address, advancing the segment cursor.
+    fn next_element(&mut self) -> Option<u64> {
+        loop {
+            if let Some(s) = self.cur {
+                if self.pos < s.count {
+                    let addr = s.base + self.pos * s.stride;
+                    self.pos += 1;
+                    return Some(addr);
+                }
+            }
+            self.cur = Some(self.segs.next()?);
+            self.pos = 0;
+        }
+    }
+
+    /// Loads the segment cursor without consuming, returning the
+    /// upcoming segment (with `pos` pointing at its next element), or
+    /// `None` when the walk is exhausted.
+    fn peek_segment(&mut self) -> Option<Seg> {
+        loop {
+            match self.cur {
+                Some(s) if self.pos < s.count => return Some(s),
+                _ => {
+                    self.cur = Some(self.segs.next()?);
+                    self.pos = 0;
+                }
+            }
+        }
+    }
+}
+
+impl Iterator for ColPhaseStream<'_> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        // Verbatim `Coalescer` logic over the expanded element stream.
+        loop {
+            match self.next_element() {
+                Some(addr) => {
+                    if self.run_len > 0
+                        && addr == self.run_start + self.run_len as u64
+                        && self.run_len + self.e <= MAX_BURST_BYTES
+                    {
+                        self.run_len += self.e;
+                    } else {
+                        let flushed = (self.run_len > 0).then_some(TraceOp {
+                            addr: self.run_start,
+                            bytes: self.run_len,
+                            dir: self.dir,
+                        });
+                        self.run_start = addr;
+                        self.run_len = self.e;
+                        if flushed.is_some() {
+                            return flushed;
+                        }
+                    }
+                }
+                None => {
+                    if self.run_len > 0 {
+                        let op = TraceOp {
+                            addr: self.run_start,
+                            bytes: self.run_len,
+                            dir: self.dir,
+                        };
+                        self.run_len = 0;
+                        return Some(op);
+                    }
+                    return None;
+                }
+            }
+        }
+    }
+}
+
+impl RequestSource for ColPhaseStream<'_> {
+    fn total_bytes(&self) -> u64 {
+        self.total
+    }
+
+    fn next_run(&mut self) -> Option<TraceRun> {
+        let Some(s) = self.peek_segment() else {
+            // Exhausted: `next()` drains the pending run, if any.
+            return self.next().map(TraceRun::single);
+        };
+        let addr = s.base + self.pos * s.stride;
+        if self.run_len > 0 {
+            let mergeable = addr == self.run_start + self.run_len as u64
+                && self.run_len + self.e <= MAX_BURST_BYTES;
+            if mergeable {
+                // The pending burst grows into the upcoming element:
+                // only the scalar path tracks that.
+                return self.next().map(TraceRun::single);
+            }
+            // The upcoming element cannot extend the pending burst, so
+            // the burst is complete: emit it without touching the
+            // cursor — exactly what `next()` would return.
+            let op = TraceOp {
+                addr: self.run_start,
+                bytes: self.run_len,
+                dir: self.dir,
+            };
+            self.run_len = 0;
+            return Some(TraceRun::single(op));
+        }
+        let rem = s.count - self.pos;
+        if rem >= 3 && s.stride != self.e as u64 {
+            // No two elements of a non-unit-stride segment coalesce, so
+            // all but the segment's last element form one strided run.
+            // The last element stays behind: it may yet coalesce with
+            // whatever follows the segment, and only `next()` knows.
+            let beats = (rem - 1).min(u32::MAX as u64) as u32;
+            self.pos += beats as u64;
+            return Some(TraceRun {
+                op: TraceOp {
+                    addr,
+                    bytes: self.e,
+                    dir: self.dir,
+                },
+                beats,
+                stride: s.stride,
+            });
+        }
+        self.next().map(TraceRun::single)
     }
 }
 
@@ -230,19 +432,27 @@ pub fn col_phase_stream(
         group > 0 && n.is_multiple_of(group),
         "group {group} must divide n {n}"
     );
-    let walk = ColWalk {
-        layout,
+    ColPhaseStream {
+        segs: ColSegs {
+            layout,
+            n,
+            group,
+            run: layout.column_run().min(n),
+            row_stride: layout.row_stride(),
+            g: 0,
+            band: 0,
+            c: 0,
+            r: 0,
+            done: n == 0,
+        },
         e: layout.elem_bytes() as u32,
-        n,
-        group,
-        run: layout.column_run().min(n),
-        g: 0,
-        band: 0,
-        c: 0,
-        r: 0,
-        done: n == 0,
-    };
-    Coalescer::new(walk, dir, matrix_bytes(layout))
+        dir,
+        total: matrix_bytes(layout),
+        cur: None,
+        pos: 0,
+        run_start: 0,
+        run_len: 0,
+    }
 }
 
 /// The write-back stream of the optimized row phase: after the
@@ -504,5 +714,93 @@ mod tests {
     fn col_phase_group_must_divide_n() {
         let l = RowMajor::new(&params(64));
         let _ = col_phase_trace(&l, Direction::Read, 3);
+    }
+
+    /// Expands `next_run()` beat by beat into the op sequence it stands
+    /// for (the [`RequestSource`] contract).
+    fn expand_runs(src: &mut dyn RequestSource) -> Vec<TraceOp> {
+        let mut out = Vec::new();
+        while let Some(run) = src.next_run() {
+            let mut op = run.op;
+            for _ in 0..run.beats {
+                out.push(op);
+                op.addr += run.stride;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn next_run_expansion_reproduces_the_op_sequence() {
+        // The run-granular view must describe the exact op stream:
+        // grouping only, never reordering or re-coalescing — across the
+        // baseline strided sweep (multi-beat runs), contiguous
+        // column-major columns (coalesced bursts), grouped block
+        // layouts and the per-element tile fallback.
+        let n = 64;
+        let p = params(n);
+        let rm = RowMajor::new(&p);
+        let rmi = RowMajor::interleaved(&p);
+        let cm = crate::ColMajor::new(&p);
+        let ddl = BlockDynamic::with_height(&p, 16).unwrap();
+        let t = crate::Tiled::row_buffer_sized(&p).unwrap();
+        let cases: Vec<(Vec<TraceOp>, Vec<TraceOp>)> = vec![
+            (
+                expand_runs(&mut col_phase_stream(&rm, Direction::Read, 1)),
+                col_phase_stream(&rm, Direction::Read, 1).collect(),
+            ),
+            (
+                expand_runs(&mut col_phase_stream(&rmi, Direction::Write, 4)),
+                col_phase_stream(&rmi, Direction::Write, 4).collect(),
+            ),
+            (
+                expand_runs(&mut col_phase_stream(&cm, Direction::Read, 1)),
+                col_phase_stream(&cm, Direction::Read, 1).collect(),
+            ),
+            (
+                expand_runs(&mut col_phase_stream(&ddl, Direction::Read, ddl.w)),
+                col_phase_stream(&ddl, Direction::Read, ddl.w).collect(),
+            ),
+            (
+                expand_runs(&mut col_phase_stream(&ddl, Direction::Read, 1)),
+                col_phase_stream(&ddl, Direction::Read, 1).collect(),
+            ),
+            (
+                expand_runs(&mut tile_sweep_stream(&t, Direction::Read)),
+                tile_sweep_stream(&t, Direction::Read).collect(),
+            ),
+        ];
+        for (i, (runs, ops)) in cases.iter().enumerate() {
+            assert_eq!(runs, ops, "case {i} diverged");
+        }
+        // The baseline sweep really is run-granular: one (n−1)-beat run
+        // plus the held-back last element per column.
+        let mut s = col_phase_stream(&rm, Direction::Read, 1);
+        let first = s.next_run().unwrap();
+        assert_eq!(first.beats as usize, n - 1);
+        assert_eq!(first.stride, (n * 8) as u64);
+    }
+
+    #[test]
+    fn next_run_interleaves_with_next() {
+        // Mixing granularities on one stream must still walk the same
+        // sequence: alternate next()/next_run() and compare against the
+        // pure op stream.
+        let n = 64;
+        let p = params(n);
+        let rm = RowMajor::new(&p);
+        let pure: Vec<TraceOp> = col_phase_stream(&rm, Direction::Read, 1).collect();
+        let mut mixed = Vec::new();
+        let mut s = col_phase_stream(&rm, Direction::Read, 1);
+        while let Some(op) = s.next() {
+            mixed.push(op);
+            let Some(run) = s.next_run() else { break };
+            let mut op = run.op;
+            for _ in 0..run.beats {
+                mixed.push(op);
+                op.addr += run.stride;
+            }
+        }
+        assert_eq!(mixed, pure);
     }
 }

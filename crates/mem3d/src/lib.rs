@@ -32,6 +32,36 @@
 //! same stream, kept for small traces and golden tests; the two convert
 //! freely ([`AccessTrace::stream`], [`RequestSource::collect_trace`]).
 //!
+//! # The request-servicing fast path
+//!
+//! Simulation wall clock is dominated by tens of millions of small
+//! requests, so the hot path is engineered around three ideas, each with
+//! a bit-identical scalar reference kept alongside it:
+//!
+//! * **shift/mask address maps** — [`AddressMap`] precomputes a
+//!   shift/mask decoder for power-of-two geometries and keeps the
+//!   div/mod chain as [`AddressMap::decode_reference`];
+//! * **decode-once bursts** — [`MemorySystem`] caches one map per
+//!   [`AddressMapKind`] and [`MemorySystem::service_burst`] decodes a
+//!   burst's start once, walking row fragments with incremental
+//!   location arithmetic ([`AddressMap::next_row_location`]);
+//! * **closed-form row streaming** — a TSV-bound run of same-row beats
+//!   resolves in one formula ([`VaultController::service_run`]) instead
+//!   of one scheduler round trip per beat;
+//! * **paced strided-run streaming** — the driver hands a whole strided
+//!   run ([`TraceRun`], from [`RequestSource::next_run`]) plus its
+//!   kernel-clock pacing law ([`RunPacing`]) to
+//!   [`MemorySystem::service_paced_run`]; when the address map proves
+//!   every beat is a row miss in one bank with strictly ascending rows,
+//!   the controller replays the driver's exact per-beat arithmetic in a
+//!   fused register-resident loop — the paper's worst-case strided
+//!   column sweep drops from a full round trip per element to a few
+//!   arithmetic operations.
+//!
+//! [`ServicePath`] selects between the fast path (the default) and the
+//! original scalar implementation; differential property tests assert
+//! the two are byte-identical in every observable.
+//!
 //! # Example
 //!
 //! ```
@@ -67,14 +97,15 @@ mod trace;
 
 pub use address::{AddressMap, AddressMapKind};
 pub use bank::BankState;
-pub use controller::VaultController;
+pub use controller::{RunPacing, RunServed, VaultController};
 pub use energy::{EnergyParams, EnergyReport};
 pub use error::{Error, Result};
 pub use geometry::{Geometry, Location};
 pub use request::{Direction, Request, RequestOutcome};
 pub use stats::{BandwidthReport, Stats};
-pub use system::MemorySystem;
+pub use system::{MemorySystem, ServicePath};
 pub use timing::{Picos, TimingParams};
 pub use trace::{
-    replay_stream, AccessTrace, RequestSource, StridedSource, TraceOp, TraceStats, TraceStream,
+    replay_stream, AccessTrace, RequestSource, StridedSource, TraceOp, TraceRun, TraceStats,
+    TraceStream,
 };

@@ -1,9 +1,27 @@
 //! The complete memory device: all vaults behind one façade.
 
 use crate::{
-    AddressMap, AddressMapKind, BandwidthReport, Direction, Error, Geometry, Picos, Request,
-    RequestOutcome, Result, Stats, TimingParams, VaultController,
+    AddressMap, AddressMapKind, BandwidthReport, Direction, Error, Geometry, Location, Picos,
+    Request, RequestOutcome, Result, Stats, TimingParams, TraceOp, VaultController,
 };
+
+/// Which request-servicing implementation the system uses.
+///
+/// [`Fast`](ServicePath::Fast) is the default: cached shift/mask address
+/// maps, decode-once burst walks and closed-form row streaming.
+/// [`Reference`](ServicePath::Reference) is the original scalar path —
+/// the map is rebuilt per call and every row fragment is decoded with
+/// the div/mod chain — kept as the golden reference the differential
+/// property tests compare against. Both paths are bit-identical in
+/// every observable (outcomes, statistics, controller state).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum ServicePath {
+    /// Cached maps + decode-once bursts (the default).
+    #[default]
+    Fast,
+    /// Per-call map construction + per-fragment div/mod decode.
+    Reference,
+}
 
 /// The complete 3D memory device: one [`VaultController`] per vault, all
 /// sharing a [`Geometry`] and [`TimingParams`].
@@ -11,11 +29,19 @@ use crate::{
 /// Vaults are fully independent; the system routes each request to its
 /// vault's controller and aggregates statistics. Requests that cross a
 /// row boundary are split transparently.
+///
+/// One [`AddressMap`] per [`AddressMapKind`] is built at construction
+/// and cached, so the request hot path never rebuilds a decoder.
 #[derive(Debug, Clone)]
 pub struct MemorySystem {
     geom: Geometry,
     timing: TimingParams,
     controllers: Vec<VaultController>,
+    /// One cached map per [`AddressMapKind`], indexed by `kind.index()`.
+    maps: [AddressMap; 3],
+    /// Cached `geom.capacity_bytes()` for per-burst bounds checks.
+    capacity: u64,
+    path: ServicePath,
 }
 
 impl MemorySystem {
@@ -44,6 +70,9 @@ impl MemorySystem {
             geom,
             timing,
             controllers,
+            maps: AddressMapKind::ALL.map(|k| AddressMap::new(k, geom)),
+            capacity: geom.capacity_bytes(),
+            path: ServicePath::Fast,
         })
     }
 
@@ -55,6 +84,23 @@ impl MemorySystem {
     /// The timing parameters.
     pub fn timing(&self) -> &TimingParams {
         &self.timing
+    }
+
+    /// The cached address map for `kind`.
+    pub fn address_map(&self, kind: AddressMapKind) -> &AddressMap {
+        &self.maps[kind.index()]
+    }
+
+    /// The active request-servicing implementation.
+    pub fn service_path(&self) -> ServicePath {
+        self.path
+    }
+
+    /// Selects the request-servicing implementation. Both paths are
+    /// bit-identical in every observable; [`ServicePath::Reference`]
+    /// exists for differential testing and before/after benchmarking.
+    pub fn set_service_path(&mut self, path: ServicePath) {
+        self.path = path;
     }
 
     /// Device peak bandwidth in GB/s (`vaults × per-vault TSV rate`).
@@ -71,7 +117,20 @@ impl MemorySystem {
         &self.controllers[vault]
     }
 
+    /// Chunked-map linearization of a location, used for error reporting
+    /// on the location-addressed API.
+    fn chunked_flat(g: &Geometry, loc: Location) -> u64 {
+        (((loc.vault as u64 * g.layers as u64 + loc.layer as u64) * g.banks_per_layer as u64
+            + loc.bank as u64)
+            * g.rows_per_bank as u64
+            + loc.row as u64)
+            * g.row_bytes as u64
+            + loc.col as u64
+    }
+
     /// Serves one request, splitting it at row boundaries if needed.
+    /// The continuation row is the *next row of the same bank*, so the
+    /// request must fit within its bank.
     ///
     /// Returns the outcome of the final fragment; `data_start` is taken
     /// from the first fragment so latency measurements span the whole
@@ -80,26 +139,31 @@ impl MemorySystem {
     /// # Errors
     ///
     /// Returns [`Error::OutOfRange`] if the request's location is outside
-    /// the geometry (the reported address is the location's chunked-map
-    /// linearization) and [`Error::BadRequest`] if its length is zero.
+    /// the geometry or the request runs past the last row of its bank
+    /// (the reported address is the location's chunked-map
+    /// linearization), and [`Error::BadRequest`] if its length is zero.
     pub fn service(&mut self, req: Request) -> Result<RequestOutcome> {
         if !self.geom.contains(req.loc) {
-            let flat = (((req.loc.vault as u64 * self.geom.layers as u64 + req.loc.layer as u64)
-                * self.geom.banks_per_layer as u64
-                + req.loc.bank as u64)
-                * self.geom.rows_per_bank as u64
-                + req.loc.row as u64)
-                * self.geom.row_bytes as u64
-                + req.loc.col as u64;
             return Err(Error::OutOfRange {
-                addr: flat,
-                capacity: self.geom.capacity_bytes(),
+                addr: Self::chunked_flat(&self.geom, req.loc),
+                capacity: self.capacity,
             });
         }
         if req.bytes == 0 {
             return Err(Error::BadRequest("zero-length request".into()));
         }
         let row_bytes = self.geom.row_bytes;
+        // Reject requests running past the bank's last row up front
+        // (rather than wrapping silently to row 0), so a rejected
+        // request leaves no trace in the statistics.
+        let bank_avail =
+            (self.geom.rows_per_bank - req.loc.row) as u64 * row_bytes as u64 - req.loc.col as u64;
+        if req.bytes as u64 > bank_avail {
+            return Err(Error::OutOfRange {
+                addr: Self::chunked_flat(&self.geom, req.loc) + req.bytes as u64 - 1,
+                capacity: self.capacity,
+            });
+        }
         let mut remaining = req.bytes as usize;
         let mut loc = req.loc;
         let mut first_start: Option<Picos> = None;
@@ -120,8 +184,8 @@ impl MemorySystem {
             }
             // Continue in the next row of the same bank (the controller
             // treats this as a row conflict, as real hardware would).
-            loc = crate::Location {
-                row: (loc.row + 1) % self.geom.rows_per_bank,
+            loc = Location {
+                row: loc.row + 1,
                 col: 0,
                 ..loc
             };
@@ -133,6 +197,9 @@ impl MemorySystem {
     }
 
     /// Serves a request addressed by flat byte address through `map_kind`.
+    ///
+    /// Equivalent to [`service_burst`](Self::service_burst) with the
+    /// fields spelled out.
     ///
     /// # Errors
     ///
@@ -146,10 +213,118 @@ impl MemorySystem {
         dir: Direction,
         at: Picos,
     ) -> Result<RequestOutcome> {
+        self.service_burst(map_kind, TraceOp { addr, bytes, dir }, at)
+    }
+
+    /// Serves one coalesced burst arriving at `at`, addressed by flat
+    /// byte address through `map_kind`.
+    ///
+    /// On the [`Fast`](ServicePath::Fast) path the burst's start
+    /// location is decoded **once** against the cached map; row
+    /// fragments past the first advance with incremental location
+    /// arithmetic ([`AddressMap::next_row_location`]) instead of
+    /// re-decoding. The [`Reference`](ServicePath::Reference) path
+    /// rebuilds the map and decodes every fragment, as the original
+    /// implementation did. Both are bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] when the address (plus length) falls
+    /// outside the device and [`Error::BadRequest`] for empty bursts.
+    pub fn service_burst(
+        &mut self,
+        map_kind: AddressMapKind,
+        op: TraceOp,
+        at: Picos,
+    ) -> Result<RequestOutcome> {
+        match self.path {
+            ServicePath::Fast => self.service_burst_fast(map_kind, op, at),
+            ServicePath::Reference => {
+                self.service_addr_reference(map_kind, op.addr, op.bytes, op.dir, at)
+            }
+        }
+    }
+
+    fn service_burst_fast(
+        &mut self,
+        map_kind: AddressMapKind,
+        op: TraceOp,
+        at: Picos,
+    ) -> Result<RequestOutcome> {
+        if op.bytes == 0 {
+            return Err(Error::BadRequest("zero-length request".into()));
+        }
+        let end = op.addr + op.bytes as u64 - 1;
+        if end >= self.capacity {
+            return Err(Error::OutOfRange {
+                addr: end,
+                capacity: self.capacity,
+            });
+        }
+        let loc = self.maps[map_kind.index()].decode(op.addr)?;
+        let row_bytes = self.geom.row_bytes;
+        let in_row = row_bytes - loc.col as usize;
+        if op.bytes as usize <= in_row {
+            // Hot single-fragment case: one decode, one controller call.
+            return Ok(self.controllers[loc.vault].service(Request {
+                loc,
+                bytes: op.bytes,
+                dir: op.dir,
+                at,
+            }));
+        }
+        // Multi-fragment walk: decode once, then advance rows with
+        // carry arithmetic in the map's interleaving order.
+        let map = self.maps[map_kind.index()];
+        let mut remaining = op.bytes as usize;
+        let mut take = in_row;
+        let mut loc = loc;
+        let mut first_start: Option<Picos> = None;
+        let mut out;
+        loop {
+            out = self.controllers[loc.vault].service(Request {
+                loc,
+                bytes: take as u32,
+                dir: op.dir,
+                at,
+            });
+            first_start.get_or_insert(out.data_start);
+            remaining -= take;
+            if remaining == 0 {
+                break;
+            }
+            loc = map
+                .next_row_location(loc)
+                .expect("burst is bounds-checked within capacity");
+            take = remaining.min(row_bytes);
+        }
+        Ok(RequestOutcome {
+            data_start: first_start.unwrap(),
+            ..out
+        })
+    }
+
+    /// The original scalar implementation of
+    /// [`service_addr`](Self::service_addr), kept verbatim as the golden
+    /// reference: the address map is rebuilt on every call and every row
+    /// fragment is decoded with the div/mod chain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] when the address (plus length) falls
+    /// outside the device and [`Error::BadRequest`] for empty requests.
+    pub fn service_addr_reference(
+        &mut self,
+        map_kind: AddressMapKind,
+        addr: u64,
+        bytes: u32,
+        dir: Direction,
+        at: Picos,
+    ) -> Result<RequestOutcome> {
         if bytes == 0 {
             return Err(Error::BadRequest("zero-length request".into()));
         }
-        let map = AddressMap::new(map_kind, self.geom);
+        let map = AddressMap::reference(map_kind, self.geom);
         let end = addr + bytes as u64 - 1;
         if end >= self.geom.capacity_bytes() {
             return Err(Error::OutOfRange {
@@ -170,7 +345,7 @@ impl MemorySystem {
         while remaining > 0 {
             let in_row = row_bytes - cur % row_bytes;
             let take = remaining.min(in_row);
-            let loc = map.decode(cur)?;
+            let loc = map.decode_reference(cur)?;
             out = self.controllers[loc.vault].service(Request {
                 loc,
                 bytes: take as u32,
@@ -185,6 +360,104 @@ impl MemorySystem {
             data_start: first_start.unwrap(),
             ..out
         })
+    }
+
+    /// Serves a run of `beats` back-to-back accesses of `bytes` each,
+    /// starting at `addr` and all landing in the **same memory row** —
+    /// exactly equivalent to `beats` calls of
+    /// [`service_addr`](Self::service_addr) at consecutive addresses,
+    /// all arriving at `at`, but resolved through the controller's
+    /// closed-form streaming fast path when eligible.
+    ///
+    /// Returns the first beat's `data_start` and `row_hit` with the last
+    /// beat's `done`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::BadRequest`] for empty runs or runs that cross a
+    /// row boundary, and [`Error::OutOfRange`] when the run falls
+    /// outside the device.
+    pub fn service_run(
+        &mut self,
+        map_kind: AddressMapKind,
+        addr: u64,
+        bytes: u32,
+        beats: u32,
+        dir: Direction,
+        at: Picos,
+    ) -> Result<RequestOutcome> {
+        if bytes == 0 || beats == 0 {
+            return Err(Error::BadRequest("zero-length run".into()));
+        }
+        let total = bytes as u64 * beats as u64;
+        let end = addr + total - 1;
+        if end >= self.capacity {
+            return Err(Error::OutOfRange {
+                addr: end,
+                capacity: self.capacity,
+            });
+        }
+        let loc = self.maps[map_kind.index()].decode(addr)?;
+        if loc.col as u64 + total > self.geom.row_bytes as u64 {
+            return Err(Error::BadRequest("run crosses a row boundary".into()));
+        }
+        Ok(self.controllers[loc.vault].service_run(
+            Request {
+                loc,
+                bytes,
+                dir,
+                at,
+            },
+            beats,
+        ))
+    }
+
+    /// Attempts to serve a prefix of a strided run under the driver's
+    /// pacing law in one fused pass
+    /// ([`VaultController::service_paced_run`]).
+    ///
+    /// Eligibility is decided here, conservatively; `None` means "not
+    /// at this position" and the caller must fall back to its scalar
+    /// per-beat loop (which also covers every error case — an eligible
+    /// beat can never fail). A run qualifies when the fast path is
+    /// active, refresh is off, each beat fits inside one memory row,
+    /// and [`AddressMap::stride_run_location`] proves the beats advance
+    /// through strictly ascending rows of one bank. The returned
+    /// [`RunServed::beats`] may be less than `run.beats` — a run that
+    /// crosses into the next bank is served bank stretch by bank
+    /// stretch, so the caller re-attempts with the remainder.
+    pub fn service_paced_run(
+        &mut self,
+        map_kind: AddressMapKind,
+        run: crate::TraceRun,
+        pacing: &crate::RunPacing,
+    ) -> Option<crate::RunServed> {
+        if self.path != ServicePath::Fast
+            || self.timing.refresh_enabled()
+            || run.beats < 2
+            || run.op.bytes == 0
+        {
+            return None;
+        }
+        let row_bytes = self.geom.row_bytes as u64;
+        // Each beat must stay inside its row: the fused loop never
+        // splits a beat into fragments.
+        if run.op.addr % row_bytes + run.op.bytes as u64 > row_bytes {
+            return None;
+        }
+        let (loc, row_step, fit) =
+            self.maps[map_kind.index()].stride_run_location(run.op.addr, run.stride, run.beats)?;
+        if fit < 2 {
+            return None;
+        }
+        Some(self.controllers[loc.vault].service_paced_run(
+            loc,
+            run.op.bytes,
+            run.op.dir,
+            row_step,
+            fit,
+            pacing,
+        ))
     }
 
     /// Aggregated statistics across all vaults.
@@ -296,6 +569,25 @@ mod tests {
     }
 
     #[test]
+    fn service_past_last_row_of_bank_is_rejected() {
+        // Regression: this used to wrap silently to row 0 of the same
+        // bank via `%` and keep going.
+        let mut m = sys();
+        let g = *m.geometry();
+        let loc = Location {
+            row: g.rows_per_bank - 1,
+            col: (g.row_bytes - 8) as u32,
+            ..Location::ZERO
+        };
+        let r = m.service(Request::read(loc, 16));
+        assert!(matches!(r, Err(Error::OutOfRange { .. })), "{r:?}");
+        // Rejected up front: no fragment was serviced.
+        assert_eq!(m.stats().requests, 0);
+        // The last in-bank bytes are still reachable.
+        assert!(m.service(Request::read(loc, 8)).is_ok());
+    }
+
+    #[test]
     fn service_addr_round_trips_stats() {
         let mut m = sys();
         let out = m
@@ -315,18 +607,116 @@ mod tests {
     fn service_addr_rejects_overflow() {
         let mut m = sys();
         let cap = m.geometry().capacity_bytes();
+        for path in [ServicePath::Fast, ServicePath::Reference] {
+            m.set_service_path(path);
+            assert!(m
+                .service_addr(
+                    AddressMapKind::Chunked,
+                    cap - 4,
+                    8,
+                    Direction::Read,
+                    Picos::ZERO
+                )
+                .is_err());
+            assert!(m
+                .service_addr(AddressMapKind::Chunked, 0, 0, Direction::Read, Picos::ZERO)
+                .is_err());
+        }
+        assert_eq!(m.stats().requests, 0);
+    }
+
+    #[test]
+    fn fast_and_reference_paths_agree_on_bursts() {
+        // Per-outcome equality, including multi-fragment bursts that
+        // cross several rows (and, under non-Chunked maps, vaults).
+        for kind in AddressMapKind::ALL {
+            let mut fast = sys();
+            let mut reference = sys();
+            reference.set_service_path(ServicePath::Reference);
+            assert_eq!(fast.service_path(), ServicePath::Fast);
+            let row = Geometry::default().row_bytes as u64;
+            let cases = [
+                (0u64, 8u32),
+                (row - 8, 16),                 // crosses one row boundary
+                (3 * row - 4, 3 * row as u32), // spans four rows
+                (row / 2, row as u32 * 2),
+            ];
+            for (i, (addr, bytes)) in cases.into_iter().enumerate() {
+                let dir = if i % 2 == 0 {
+                    Direction::Read
+                } else {
+                    Direction::Write
+                };
+                let at = Picos(i as u64 * 1000);
+                let a = fast.service_addr(kind, addr, bytes, dir, at).unwrap();
+                let b = reference.service_addr(kind, addr, bytes, dir, at).unwrap();
+                assert_eq!(a, b, "{kind:?} burst at {addr}+{bytes}");
+            }
+            assert_eq!(fast.stats(), reference.stats(), "{kind:?} stats");
+        }
+    }
+
+    #[test]
+    fn service_run_matches_scalar_beats() {
+        for kind in AddressMapKind::ALL {
+            let mut run = sys();
+            let mut scalar = sys();
+            let base = 4096u64;
+            let out_run = run
+                .service_run(kind, base, 8, 32, Direction::Read, Picos(500))
+                .unwrap();
+            let mut first = None;
+            let mut last = None;
+            for i in 0..32u64 {
+                let o = scalar
+                    .service_addr(kind, base + i * 8, 8, Direction::Read, Picos(500))
+                    .unwrap();
+                first.get_or_insert(o.data_start);
+                last = Some(o.done);
+            }
+            assert_eq!(out_run.data_start, first.unwrap(), "{kind:?}");
+            assert_eq!(out_run.done, last.unwrap(), "{kind:?}");
+            assert_eq!(run.stats(), scalar.stats(), "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn service_run_rejects_bad_shapes() {
+        let mut m = sys();
+        let row = m.geometry().row_bytes as u64;
+        // Crossing a row boundary is the caller's bug, not a split.
         assert!(m
-            .service_addr(
+            .service_run(
                 AddressMapKind::Chunked,
-                cap - 4,
+                row - 8,
                 8,
+                2,
                 Direction::Read,
                 Picos::ZERO
             )
             .is_err());
         assert!(m
-            .service_addr(AddressMapKind::Chunked, 0, 0, Direction::Read, Picos::ZERO)
+            .service_run(
+                AddressMapKind::Chunked,
+                0,
+                8,
+                0,
+                Direction::Read,
+                Picos::ZERO
+            )
             .is_err());
+        let cap = m.geometry().capacity_bytes();
+        assert!(m
+            .service_run(
+                AddressMapKind::Chunked,
+                cap - 8,
+                8,
+                2,
+                Direction::Read,
+                Picos::ZERO
+            )
+            .is_err());
+        assert_eq!(m.stats().requests, 0);
     }
 
     #[test]

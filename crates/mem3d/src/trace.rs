@@ -19,7 +19,7 @@
 //!   [`RequestSource`], and [`RequestSource::collect_trace`] goes the
 //!   other way, so the two forms are freely interchangeable.
 
-use crate::{AddressMapKind, Direction, MemorySystem, Picos, Result, Stats};
+use crate::{AddressMapKind, Direction, MemorySystem, Picos, Result, ServicePath, Stats};
 
 /// One logical access of a request stream or an [`AccessTrace`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -30,6 +30,36 @@ pub struct TraceOp {
     pub bytes: u32,
     /// Read or write.
     pub dir: Direction,
+}
+
+/// A maximal run of equally-sized, equally-spaced ops pulled off a
+/// stream in one step: beat *i* (`0 ≤ i < beats`) accesses
+/// `op.addr + i·stride` with `op.bytes` bytes in direction `op.dir`.
+///
+/// A run carries no timing — it is purely an access-pattern
+/// descriptor. Consumers that cannot exploit the structure simply
+/// iterate the beats; [`MemorySystem::service_paced_run`] resolves a
+/// whole strided run in one fused pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRun {
+    /// The first beat.
+    pub op: TraceOp,
+    /// Number of beats (≥ 1).
+    pub beats: u32,
+    /// Address distance between consecutive beats (0 for a single
+    /// beat).
+    pub stride: u64,
+}
+
+impl TraceRun {
+    /// Wraps one burst as a single-beat run.
+    pub fn single(op: TraceOp) -> TraceRun {
+        TraceRun {
+            op,
+            beats: 1,
+            stride: 0,
+        }
+    }
 }
 
 /// A lazy, pull-based stream of burst requests with a known byte total.
@@ -55,6 +85,17 @@ pub trait RequestSource: Iterator<Item = TraceOp> {
     /// Total payload bytes the stream moves, known before pulling.
     fn total_bytes(&self) -> u64;
 
+    /// Pulls the next [`TraceRun`]: a maximal strided run when the
+    /// generator can describe one in O(1) (column walks over affine
+    /// layouts), otherwise one single-beat run per op.
+    ///
+    /// Expanding every returned run beat by beat MUST reproduce the
+    /// exact op sequence [`next`](Iterator::next) would have produced —
+    /// runs only group the stream, they never reorder or merge it.
+    fn next_run(&mut self) -> Option<TraceRun> {
+        self.next().map(TraceRun::single)
+    }
+
     /// Drains the stream into a materialized [`AccessTrace`].
     fn collect_trace(self) -> AccessTrace
     where
@@ -67,6 +108,10 @@ pub trait RequestSource: Iterator<Item = TraceOp> {
 impl<S: RequestSource + ?Sized> RequestSource for &mut S {
     fn total_bytes(&self) -> u64 {
         (**self).total_bytes()
+    }
+
+    fn next_run(&mut self) -> Option<TraceRun> {
+        (**self).next_run()
     }
 }
 
@@ -127,6 +172,24 @@ impl RequestSource for StridedSource {
     fn total_bytes(&self) -> u64 {
         self.count * self.bytes as u64
     }
+
+    fn next_run(&mut self) -> Option<TraceRun> {
+        if self.next >= self.count {
+            return None;
+        }
+        let beats = (self.count - self.next).min(u32::MAX as u64) as u32;
+        let op = TraceOp {
+            addr: self.base + self.next * self.stride,
+            bytes: self.bytes,
+            dir: self.dir,
+        };
+        self.next += beats as u64;
+        Some(TraceRun {
+            op,
+            beats,
+            stride: self.stride,
+        })
+    }
 }
 
 /// A borrowed stream over a materialized [`AccessTrace`] (see
@@ -164,9 +227,17 @@ impl RequestSource for TraceStream<'_> {
 /// call [`MemorySystem::reset_stats`] first for an isolated
 /// measurement. The returned [`TraceStats`] covers only this replay.
 ///
+/// Unpaced replays on the [`ServicePath::Fast`] path batch maximal runs
+/// of contiguous, same-row, same-direction, same-size ops into one
+/// closed-form [`MemorySystem::service_run`] call each; the resulting
+/// timing and statistics are identical to the per-op loop by
+/// construction (every op arrives at time zero).
+///
 /// # Errors
 ///
-/// Returns the first address-decoding error.
+/// Returns the first address-decoding error. (On error, how many of the
+/// preceding in-range ops were already serviced may differ between the
+/// batched and per-op paths.)
 pub fn replay_stream(
     src: &mut dyn RequestSource,
     mem: &mut MemorySystem,
@@ -176,14 +247,48 @@ pub fn replay_stream(
     let before = mem.stats();
     let mut last_done = Picos::ZERO;
     let mut first_start: Option<Picos> = None;
-    for (i, op) in (&mut *src).enumerate() {
+    let batch = pacing.is_none() && mem.service_path() == ServicePath::Fast;
+    let row_bytes = mem.geometry().row_bytes as u64;
+    let mut idx: u64 = 0;
+    let mut pending: Option<TraceOp> = None;
+    while let Some(op) = pending.take().or_else(|| src.next()) {
         let at = match pacing {
-            Some(p) => p * i as u64,
+            Some(p) => p * idx,
             None => Picos::ZERO,
         };
-        let out = mem.service_addr(map_kind, op.addr, op.bytes, op.dir, at)?;
+        let mut beats: u32 = 1;
+        if batch && op.bytes != 0 {
+            if let Ok(loc) = mem.address_map(map_kind).decode(op.addr) {
+                let end_col = loc.col as u64 + op.bytes as u64;
+                if end_col <= row_bytes {
+                    // How many more equally-sized beats fit in this row.
+                    let room = ((row_bytes - end_col) / op.bytes as u64).min(u32::MAX as u64 - 1);
+                    while (beats as u64) <= room {
+                        match src.next() {
+                            Some(n)
+                                if n.dir == op.dir
+                                    && n.bytes == op.bytes
+                                    && n.addr == op.addr + beats as u64 * op.bytes as u64 =>
+                            {
+                                beats += 1;
+                            }
+                            other => {
+                                pending = other;
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        let out = if beats > 1 {
+            mem.service_run(map_kind, op.addr, op.bytes, beats, op.dir, at)?
+        } else {
+            mem.service_addr(map_kind, op.addr, op.bytes, op.dir, at)?
+        };
         first_start.get_or_insert(out.data_start);
         last_done = last_done.max(out.done);
+        idx += beats as u64;
     }
     let after = mem.stats();
     let mut delta = after;
@@ -367,6 +472,35 @@ mod tests {
         let s = t.stream();
         assert_eq!(s.total_bytes(), t.total_bytes());
         assert_eq!(s.collect_trace(), t);
+    }
+
+    #[test]
+    fn batched_replay_matches_reference_path() {
+        // The fast path batches contiguous same-row runs into
+        // `service_run`; the reference path services op by op. Results
+        // and device statistics must be bit-identical.
+        let traces = [
+            AccessTrace::sequential_read(0, 8, 4096),
+            AccessTrace::sequential_read(8192 - 16, 8, 64), // run split by a row boundary
+            AccessTrace::strided_read(0, 8, 8192, 256),     // nothing to batch
+            {
+                let mut t = AccessTrace::sequential_read(64, 64, 32);
+                t.push(64 + 32 * 64, 64, Direction::Write); // direction break
+                t.push(0, 8, Direction::Read); // size + address break
+                t
+            },
+        ];
+        for kind in crate::AddressMapKind::ALL {
+            for t in &traces {
+                let mut fast = mem();
+                let mut reference = mem();
+                reference.set_service_path(crate::ServicePath::Reference);
+                let a = t.replay(&mut fast, kind, None).unwrap();
+                let b = t.replay(&mut reference, kind, None).unwrap();
+                assert_eq!(a, b, "{kind:?}, trace of {} ops", t.len());
+                assert_eq!(fast.stats(), reference.stats(), "{kind:?}");
+            }
+        }
     }
 
     #[test]

@@ -1,25 +1,34 @@
 #!/usr/bin/env bash
 # Records the perf trajectories the repository carries:
-#   BENCH_sweep.json   parallel-sweep wall clock + speedup (sweep_bench)
-#   BENCH_stream.json  large-N streaming pipeline: wall clock, burst
-#                      count, materialized-trace footprint and peak RSS
-#                      (stream_bench at N = 8192)
+#   BENCH_sweep.json    parallel-sweep wall clock + speedup at 2 and 4
+#                       threads (sweep_bench)
+#   BENCH_stream.json   large-N streaming pipeline: wall clock, burst
+#                       count, materialized-trace footprint and peak RSS
+#                       (stream_bench at N = 8192)
+#   BENCH_hotpath.json  request-servicing before/after: the same column
+#                       phases on the Reference and Fast service paths,
+#                       wall clocks and their ratio (hotpath_bench)
 #
-# sweep_bench itself verifies that the N-thread sweep is bit-identical
-# to the 1-thread reference before publishing a speedup, so a non-empty
-# BENCH_sweep.json implies the determinism contract held.
+# sweep_bench verifies that every N-thread sweep is bit-identical to
+# the 1-thread reference, and hotpath_bench that the fast path's phase
+# results are bit-identical to the reference path's, before publishing
+# any ratio — so non-empty records imply the determinism contracts held.
 #
 # Knobs:
-#   SIM_EXEC_THREADS  parallel thread count to measure (default: cores)
-#   SIM_BENCH_FAST=1  3 samples, no warmup (CI smoke mode)
+#   SIM_BENCH_FAST=1  3 samples, no warmup, smaller problems (CI smoke)
 #   STREAM_BENCH_N    stream_bench problem size (default: 8192)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline -p bench --bin sweep_bench --bin stream_bench
+cargo build --release --offline -p bench \
+  --bin sweep_bench --bin stream_bench --bin hotpath_bench
 ./target/release/sweep_bench | grep '^{' > BENCH_sweep.json
 echo "wrote $(wc -l < BENCH_sweep.json) records to BENCH_sweep.json:"
 cat BENCH_sweep.json
+
+./target/release/hotpath_bench | grep '^{' > BENCH_hotpath.json
+echo "wrote $(wc -l < BENCH_hotpath.json) records to BENCH_hotpath.json:"
+cat BENCH_hotpath.json
 
 ./target/release/stream_bench "${STREAM_BENCH_N:-8192}" | grep '^{' > BENCH_stream.json
 echo "wrote $(wc -l < BENCH_stream.json) records to BENCH_stream.json:"
