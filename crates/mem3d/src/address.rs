@@ -405,9 +405,13 @@ impl AddressMap {
         // (`row0 + (k−1)·row_step < rows`) and inside the device.
         let k_bank = (rows - 1 - row0) / row_step + 1;
         let k_cap = (self.capacity - 1 - addr) / stride + 1;
-        let fit = k_bank.min(k_cap).min(beats as u64) as u32;
+        // The min against `beats` bounds the prefix below u32::MAX, so
+        // the conversion cannot fail; the fallback keeps it checked.
+        let fit = u32::try_from(k_bank.min(k_cap).min(u64::from(beats))).unwrap_or(beats);
         let loc = self.decode(addr).ok()?;
-        Some((loc, row_step as usize, fit))
+        // A row step beyond usize (32-bit hosts) declines the fast path
+        // rather than truncating.
+        Some((loc, usize::try_from(row_step).ok()?, fit))
     }
 
     /// Decodes with the original div/mod chain, regardless of geometry —

@@ -268,6 +268,9 @@ impl VaultController {
         let bank_idx = first.loc.bank_in_vault(&self.geom);
         let col_start_0 = self.banks[bank_idx]
             .last_column
+            // simlint::allow(P001): beat 0 went through `service` above,
+            // which unconditionally issues a column command on this bank,
+            // so `last_column` is always `Some` here.
             .expect("beat 0 issued a column command");
         self.banks[bank_idx].last_column = Some(col_start_0 + t.t_in_row * extra);
         let done = out0.done + transfer * extra;
@@ -370,6 +373,9 @@ impl VaultController {
         let mut done = out0.done;
         let mut latency_sum = Picos::ZERO;
         let mut latency_max = Picos::ZERO;
+        // Last activate issued by the fused loop; `beats >= 2` means the
+        // loop always runs, so this is never read as its initial value.
+        let mut last_act = Picos::ZERO;
         for i in 1..beats as u64 {
             let at = arrive(t_fs);
             row += row_step;
@@ -377,6 +383,7 @@ impl VaultController {
                 .max(bank.next_activate_after(t.t_diff_row))
                 .max(vault_gate);
             bank.last_activate = Some(act_start);
+            last_act = act_start;
             vault_gate = Picos::ZERO;
             let col_start = (act_start + t.t_activate).max(bank.next_column_after(t.t_in_row));
             bank.last_column = Some(col_start);
@@ -398,11 +405,7 @@ impl VaultController {
         // recorded by `service`).
         bank.open_row = Some(row);
         self.banks[bank_idx] = bank;
-        self.last_vault_activate = Some((
-            bank.last_activate.expect("loop issued an activate"),
-            loc.layer,
-            loc.bank,
-        ));
+        self.last_vault_activate = Some((last_act, loc.layer, loc.bank));
         self.tsv_free_at = tsv_free;
         let extra = (beats - 1) as u64;
         self.stats.requests += extra;

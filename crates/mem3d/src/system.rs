@@ -52,6 +52,9 @@ impl MemorySystem {
     /// Panics if `geom` or `timing` fail validation; use
     /// [`MemorySystem::try_new`] for fallible construction.
     pub fn new(geom: Geometry, timing: TimingParams) -> Self {
+        // simlint::allow(P001): documented constructor panic on invalid
+        // config; `try_new` is the fallible path and nothing on the
+        // request service path calls `new`.
         Self::try_new(geom, timing).expect("invalid memory configuration")
     }
 
@@ -166,22 +169,18 @@ impl MemorySystem {
         }
         let mut remaining = req.bytes as usize;
         let mut loc = req.loc;
-        let mut first_start: Option<Picos> = None;
-        let mut out;
-        loop {
-            let in_row = row_bytes - loc.col as usize;
-            let take = remaining.min(in_row);
-            let frag = Request {
-                loc,
-                bytes: take as u32,
-                ..req
-            };
-            out = self.controllers[loc.vault].service(frag);
-            first_start.get_or_insert(out.data_start);
-            remaining -= take;
-            if remaining == 0 {
-                break;
-            }
+        // The first fragment is served eagerly (`bytes > 0` was checked
+        // above), so the request-wide `data_start` is captured directly
+        // instead of through an Option.
+        let take = remaining.min(row_bytes - loc.col as usize);
+        let mut out = self.controllers[loc.vault].service(Request {
+            loc,
+            bytes: take as u32,
+            ..req
+        });
+        let data_start = out.data_start;
+        remaining -= take;
+        while remaining > 0 {
             // Continue in the next row of the same bank (the controller
             // treats this as a row conflict, as real hardware would).
             loc = Location {
@@ -189,11 +188,15 @@ impl MemorySystem {
                 col: 0,
                 ..loc
             };
+            let take = remaining.min(row_bytes);
+            out = self.controllers[loc.vault].service(Request {
+                loc,
+                bytes: take as u32,
+                ..req
+            });
+            remaining -= take;
         }
-        Ok(RequestOutcome {
-            data_start: first_start.unwrap(),
-            ..out
-        })
+        Ok(RequestOutcome { data_start, ..out })
     }
 
     /// Serves a request addressed by flat byte address through `map_kind`.
@@ -274,34 +277,34 @@ impl MemorySystem {
             }));
         }
         // Multi-fragment walk: decode once, then advance rows with
-        // carry arithmetic in the map's interleaving order.
+        // carry arithmetic in the map's interleaving order. The first
+        // fragment is served eagerly so `data_start` needs no Option.
         let map = self.maps[map_kind.index()];
         let mut remaining = op.bytes as usize;
-        let mut take = in_row;
         let mut loc = loc;
-        let mut first_start: Option<Picos> = None;
-        let mut out;
-        loop {
+        let mut out = self.controllers[loc.vault].service(Request {
+            loc,
+            bytes: in_row as u32,
+            dir: op.dir,
+            at,
+        });
+        let data_start = out.data_start;
+        remaining -= in_row;
+        while remaining > 0 {
+            // simlint::allow(P001): `end < capacity` was verified at
+            // entry, so every continuation row of an in-bounds burst
+            // exists — the map can always advance here.
+            loc = map.next_row_location(loc).expect("in-bounds burst");
+            let take = remaining.min(row_bytes);
             out = self.controllers[loc.vault].service(Request {
                 loc,
                 bytes: take as u32,
                 dir: op.dir,
                 at,
             });
-            first_start.get_or_insert(out.data_start);
             remaining -= take;
-            if remaining == 0 {
-                break;
-            }
-            loc = map
-                .next_row_location(loc)
-                .expect("burst is bounds-checked within capacity");
-            take = remaining.min(row_bytes);
         }
-        Ok(RequestOutcome {
-            data_start: first_start.unwrap(),
-            ..out
-        })
+        Ok(RequestOutcome { data_start, ..out })
     }
 
     /// The original scalar implementation of
@@ -333,15 +336,22 @@ impl MemorySystem {
             });
         }
         // Split at row boundaries so each fragment decodes contiguously.
+        // The first fragment is served eagerly (`bytes > 0` was checked
+        // above), capturing the request-wide `data_start` directly.
         let row_bytes = self.geom.row_bytes as u64;
         let mut cur = addr;
         let mut remaining = bytes as u64;
-        let mut first_start: Option<Picos> = None;
-        let mut out = RequestOutcome {
-            data_start: Picos::ZERO,
-            done: Picos::ZERO,
-            row_hit: false,
-        };
+        let take = remaining.min(row_bytes - cur % row_bytes);
+        let loc = map.decode_reference(cur)?;
+        let mut out = self.controllers[loc.vault].service(Request {
+            loc,
+            bytes: take as u32,
+            dir,
+            at,
+        });
+        let data_start = out.data_start;
+        cur += take;
+        remaining -= take;
         while remaining > 0 {
             let in_row = row_bytes - cur % row_bytes;
             let take = remaining.min(in_row);
@@ -352,14 +362,10 @@ impl MemorySystem {
                 dir,
                 at,
             });
-            first_start.get_or_insert(out.data_start);
             cur += take;
             remaining -= take;
         }
-        Ok(RequestOutcome {
-            data_start: first_start.unwrap(),
-            ..out
-        })
+        Ok(RequestOutcome { data_start, ..out })
     }
 
     /// Serves a run of `beats` back-to-back accesses of `bytes` each,

@@ -235,10 +235,10 @@ impl Default for TimingParams {
     /// (200 ps per byte), giving an 80 GB/s peak for 16 vaults.
     fn default() -> Self {
         TimingParams {
-            t_in_row: Picos::from_ns_f64(0.8),
+            t_in_row: Picos(800), // 0.8 ns, constructed exactly
             t_diff_row: Picos::from_ns(20),
             t_diff_bank: Picos::from_ns(5),
-            t_in_vault: Picos::from_ns_f64(2.5),
+            t_in_vault: Picos(2_500), // 2.5 ns, constructed exactly
             t_activate: Picos::from_ns(10),
             t_column: Picos::from_ns(5),
             tsv_ps_per_byte: Picos(200),

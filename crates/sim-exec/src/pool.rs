@@ -233,6 +233,8 @@ impl JobCtx {
     /// Whether the job should stop: the shared token fired or the
     /// job's wall-clock deadline passed.
     pub fn is_cancelled(&self) -> bool {
+        // simlint::allow(D001): deadline enforcement is wall-clock by
+        // definition; it gates job *abortion*, never simulated timing.
         self.token.is_cancelled() || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
@@ -360,6 +362,8 @@ where
     if cfg.token.is_cancelled() {
         return Err(JobError::Cancelled { index });
     }
+    // simlint::allow(D001): job timeout bookkeeping — wall-clock gates
+    // abortion/reporting only and never reaches simulated state.
     let start = Instant::now();
     let mut ctx = JobCtx {
         index,
@@ -369,7 +373,10 @@ where
         deadline: cfg.job_timeout.map(|t| start + t),
     };
     let outcome = catch_unwind(AssertUnwindSafe(|| f(&mut ctx)));
+    // simlint::allow(D001): measures how long the job ran, for the
+    // TimedOut report; not simulated time.
     let elapsed = start.elapsed();
+    // simlint::allow(D001): deadline check at job exit, as above.
     let deadline_passed = ctx.deadline.is_some_and(|d| Instant::now() >= d);
     match outcome {
         Ok(value) => {

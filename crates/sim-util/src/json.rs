@@ -1,17 +1,25 @@
-//! A minimal JSON emitter.
+//! A minimal JSON emitter and parser.
 //!
 //! Replaces the `serde` derives this workspace used to carry: report
 //! structs in `mem3d`, `layout` and `fpga-model` hand-roll `to_json()`
-//! with this builder instead. Emission only — nothing in the workspace
-//! ever parsed JSON, so there is deliberately no parser here.
+//! with this builder instead. The [`parse`] side exists for tools that
+//! consume the workspace's own JSON-lines protocols (`simlint --json`,
+//! bench records): [`Value`] preserves object key order, so
+//! emit → parse → emit round-trips byte-identically for the JSON this
+//! workspace produces.
 //!
 //! ```
-//! use sim_util::json::JsonObject;
+//! use sim_util::json::{parse, JsonObject, Value};
 //!
 //! let mut o = JsonObject::new();
 //! o.field_str("name", "vault");
 //! o.field_u64("banks", 8);
-//! assert_eq!(o.finish(), r#"{"name":"vault","banks":8}"#);
+//! let text = o.finish();
+//! assert_eq!(text, r#"{"name":"vault","banks":8}"#);
+//!
+//! let v = parse(&text).unwrap();
+//! assert_eq!(v.get("banks").and_then(Value::as_i64), Some(8));
+//! assert_eq!(v.to_json(), text);
 //! ```
 
 /// Escapes `s` for use inside a JSON string literal (without quotes).
@@ -111,4 +119,424 @@ impl JsonObject {
 pub fn array<I: IntoIterator<Item = String>>(items: I) -> String {
     let inner: Vec<String> = items.into_iter().collect();
     format!("[{}]", inner.join(","))
+}
+
+/// A parsed JSON value.
+///
+/// Integers that fit an `i64` parse as [`Value::Int`]; other numbers
+/// fall back to [`Value::Float`]. Object fields keep their source
+/// order, so re-emitting with [`Value::to_json`] is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// The JSON `null`.
+    Null,
+    /// `true` or `false`.
+    Bool(bool),
+    /// A number written without fraction/exponent that fits an `i64`.
+    Int(i64),
+    /// Any other number.
+    Float(f64),
+    /// A string (escapes decoded).
+    Str(String),
+    /// An array of values.
+    Array(Vec<Value>),
+    /// An object, as ordered key/value pairs.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Looks up a field of an object (`None` for other variants or a
+    /// missing key; first match wins on duplicate keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a [`Value::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer payload, if this is a [`Value::Int`].
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The numeric payload as `f64` (covers both number variants).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(n) => Some(*n as f64),
+            Value::Float(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a [`Value::Bool`].
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The elements, if this is a [`Value::Array`].
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Re-serializes the value (object key order preserved).
+    pub fn to_json(&self) -> String {
+        match self {
+            Value::Null => "null".to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(n) => n.to_string(),
+            Value::Float(x) => fmt_f64(*x),
+            Value::Str(s) => format!("\"{}\"", escape(s)),
+            Value::Array(items) => array(items.iter().map(Value::to_json)),
+            Value::Object(fields) => {
+                let mut o = JsonObject::new();
+                for (k, v) in fields {
+                    o.field_raw(k, &v.to_json());
+                }
+                o.finish()
+            }
+        }
+    }
+}
+
+/// A JSON parse failure, with the byte offset it occurred at.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub offset: usize,
+    /// What was expected or found.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "JSON parse error at byte {}: {}",
+            self.offset, self.message
+        )
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses one JSON value from `input` (surrounding whitespace allowed,
+/// trailing garbage rejected).
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] with the byte offset of the first
+/// malformed construct.
+pub fn parse(input: &str) -> Result<Value, ParseError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing characters after value"));
+    }
+    Ok(v)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: &str) -> ParseError {
+        ParseError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), ParseError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn literal(&mut self, word: &str, v: Value) -> Result<Value, ParseError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{word}'")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, ParseError> {
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Value::Str(self.string()?)),
+            Some(b't') => self.literal("true", Value::Bool(true)),
+            Some(b'f') => self.literal("false", Value::Bool(false)),
+            Some(b'n') => self.literal("null", Value::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Object(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}' in object")),
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Value, ParseError> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Array(items));
+                }
+                _ => return Err(self.err("expected ',' or ']' in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, ParseError> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let esc = self.peek().ok_or_else(|| self.err("unterminated escape"))?;
+                    self.pos += 1;
+                    match esc {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'b' => out.push('\u{0008}'),
+                        b'f' => out.push('\u{000c}'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'u' => {
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if self.peek() != Some(b'\\') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                if self.peek() != Some(b'u') {
+                                    return Err(self.err("lone high surrogate"));
+                                }
+                                self.pos += 1;
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return Err(self.err("invalid low surrogate"));
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            out.push(c.ok_or_else(|| self.err("invalid \\u escape"))?);
+                        }
+                        _ => return Err(self.err("unknown escape")),
+                    }
+                }
+                Some(b) if b < 0x20 => return Err(self.err("raw control byte in string")),
+                Some(_) => {
+                    // Copy one UTF-8 character (input is a &str, so the
+                    // byte stream is valid UTF-8 by construction).
+                    let rest = &self.bytes[self.pos..];
+                    let step = match rest[0] {
+                        0x00..=0x7F => 1,
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let chunk = std::str::from_utf8(&rest[..step])
+                        .map_err(|_| self.err("invalid UTF-8"))?;
+                    out.push_str(chunk);
+                    self.pos += step;
+                }
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32, ParseError> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self
+                .peek()
+                .ok_or_else(|| self.err("truncated \\u escape"))?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| self.err("non-hex digit in \\u escape"))?;
+            v = v * 16 + d;
+            self.pos += 1;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value, ParseError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let mut integral = true;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' => self.pos += 1,
+                b'.' | b'e' | b'E' | b'+' | b'-' => {
+                    integral = false;
+                    self.pos += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.err("invalid number"))?;
+        if integral {
+            if let Ok(n) = text.parse::<i64>() {
+                return Ok(Value::Int(n));
+            }
+        }
+        match text.parse::<f64>() {
+            Ok(x) => Ok(Value::Float(x)),
+            Err(_) => Err(ParseError {
+                offset: start,
+                message: format!("malformed number '{text}'"),
+            }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_emitter_output() {
+        let mut o = JsonObject::new();
+        o.field_str("name", "va\"ult\n");
+        o.field_u64("banks", 8);
+        o.field_f64("gbps", 39.5);
+        o.field_bool("fits", true);
+        o.field_raw("list", &array([1, 2, 3].iter().map(|n| n.to_string())));
+        let text = o.finish();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("name").and_then(Value::as_str), Some("va\"ult\n"));
+        assert_eq!(v.get("banks").and_then(Value::as_i64), Some(8));
+        assert_eq!(v.get("gbps").and_then(Value::as_f64), Some(39.5));
+        assert_eq!(v.get("fits").and_then(Value::as_bool), Some(true));
+        assert_eq!(v.get("list").and_then(Value::as_array).unwrap().len(), 3);
+        // Key order survives, so re-emission is byte-identical.
+        assert_eq!(v.to_json(), text);
+    }
+
+    #[test]
+    fn parse_handles_nesting_null_and_escapes() {
+        let v = parse(r#"{"a":[{"b":null},[]],"u":"\u0041\ud83d\ude00","neg":-7}"#).unwrap();
+        assert_eq!(v.get("u").and_then(Value::as_str), Some("A😀"));
+        assert_eq!(v.get("neg").and_then(Value::as_i64), Some(-7));
+        let a = v.get("a").and_then(Value::as_array).unwrap();
+        assert_eq!(a[0].get("b"), Some(&Value::Null));
+        assert_eq!(a[1], Value::Array(vec![]));
+    }
+
+    #[test]
+    fn parse_distinguishes_int_and_float() {
+        assert_eq!(parse("42").unwrap(), Value::Int(42));
+        assert_eq!(parse("42.0").unwrap(), Value::Float(42.0));
+        assert_eq!(parse("1e3").unwrap(), Value::Float(1000.0));
+        // Integers beyond i64 degrade to float instead of failing.
+        assert!(matches!(
+            parse("99999999999999999999").unwrap(),
+            Value::Float(_)
+        ));
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "{\"a\":}",
+            "[1,]",
+            "tru",
+            "\"\\q\"",
+            "1 2",
+            "{\"a\" 1}",
+        ] {
+            assert!(parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
 }

@@ -12,9 +12,10 @@
 //!   any counterexample is replayable;
 //! * [`bench`] — a wall-clock benchmark harness (warmup + median-of-K,
 //!   JSON-line output) replacing `criterion` for `benches/*`;
-//! * [`json`] — a tiny JSON emitter used by the hand-rolled `to_json()`
-//!   methods that replaced the `serde` derives in `mem3d`, `layout` and
-//!   `fpga-model`.
+//! * [`json`] — a tiny JSON emitter (and matching parser) used by the
+//!   hand-rolled `to_json()` methods that replaced the `serde` derives
+//!   in `mem3d`, `layout` and `fpga-model`, and by tools (`simlint`)
+//!   that consume the workspace's JSON-lines protocols.
 //!
 //! Everything here is deterministic by construction: the same seed
 //! always produces the same stream, property cases derive their
@@ -22,7 +23,7 @@
 //! involved.
 
 #![forbid(unsafe_code)]
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bench;
 pub mod json;

@@ -1,0 +1,133 @@
+//! Diagnostics: what a rule reports and how it is rendered.
+
+use sim_util::json::JsonObject;
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; exits 0 unless `--deny-all` promotes it.
+    Warning,
+    /// A rule violation; any error makes the run exit non-zero.
+    Error,
+}
+
+impl Severity {
+    /// Lower-case label used in both output formats.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding at one source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Rule identifier (e.g. `D001`).
+    pub rule: &'static str,
+    /// Severity before any `--deny-all` promotion.
+    pub severity: Severity,
+    /// Workspace-relative path of the file.
+    pub path: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Name of the enclosing function, when known.
+    pub enclosing_fn: Option<String>,
+}
+
+impl Diagnostic {
+    /// Renders `path:line:col: level[RULE] message` for terminals.
+    pub fn render_human(&self) -> String {
+        let mut s = format!(
+            "{}:{}:{}: {}[{}] {}",
+            self.path,
+            self.line,
+            self.col,
+            self.severity.label(),
+            self.rule,
+            self.message
+        );
+        if let Some(f) = &self.enclosing_fn {
+            s.push_str(&format!(" (in fn {f})"));
+        }
+        s
+    }
+
+    /// Renders one JSON-lines record via [`sim_util::json`].
+    pub fn render_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("rule", self.rule);
+        o.field_str("severity", self.severity.label());
+        o.field_str("path", &self.path);
+        o.field_u64("line", u64::from(self.line));
+        o.field_u64("col", u64::from(self.col));
+        o.field_str("message", &self.message);
+        match &self.enclosing_fn {
+            Some(f) => o.field_str("fn", f),
+            None => o.field_raw("fn", "null"),
+        };
+        o.finish()
+    }
+}
+
+/// Sorts diagnostics into the canonical emission order: by path, then
+/// line, then column, then rule id. The walk already visits files in
+/// sorted order; this makes the contract hold regardless of rule
+/// registration order within a file.
+pub fn sort(diags: &mut [Diagnostic]) {
+    diags.sort_by(|a, b| {
+        (a.path.as_str(), a.line, a.col, a.rule).cmp(&(b.path.as_str(), b.line, b.col, b.rule))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sim_util::json::{parse, Value};
+
+    fn sample() -> Diagnostic {
+        Diagnostic {
+            rule: "D001",
+            severity: Severity::Error,
+            path: "crates/x/src/lib.rs".to_string(),
+            line: 10,
+            col: 5,
+            message: "wall-clock read".to_string(),
+            enclosing_fn: Some("tick".to_string()),
+        }
+    }
+
+    #[test]
+    fn human_format() {
+        assert_eq!(
+            sample().render_human(),
+            "crates/x/src/lib.rs:10:5: error[D001] wall-clock read (in fn tick)"
+        );
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let text = sample().render_json();
+        let v = parse(&text).unwrap();
+        assert_eq!(v.get("rule").and_then(Value::as_str), Some("D001"));
+        assert_eq!(v.get("line").and_then(Value::as_i64), Some(10));
+        assert_eq!(v.get("fn").and_then(Value::as_str), Some("tick"));
+        assert_eq!(v.to_json(), text);
+    }
+
+    #[test]
+    fn sort_orders_by_position() {
+        let mut a = sample();
+        a.line = 2;
+        let mut b = sample();
+        b.line = 1;
+        let mut v = vec![a, b];
+        sort(&mut v);
+        assert_eq!(v[0].line, 1);
+    }
+}

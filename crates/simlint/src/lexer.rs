@@ -1,0 +1,620 @@
+//! A hand-rolled Rust lexer with exact line/column spans.
+//!
+//! This is not a full Rust grammar — it is the token stream the rule
+//! engine needs: identifiers, literals and punctuation with positions,
+//! plus comments kept **out of band** (so rules never match inside
+//! comments, strings or doc text, and the suppression pass can read
+//! `simlint::allow` markers from the comment stream alone).
+//!
+//! Constructs that matter for correctness and are handled exactly:
+//! nested block comments, doc comments, raw strings with arbitrary
+//! hash fences, byte/char literals vs. lifetimes, underscore digit
+//! separators, hex/octal/binary literals, float detection (including
+//! the `0..n` range and `x.0` tuple-index pitfalls), and raw
+//! identifiers.
+
+/// What kind of token was lexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (raw identifiers are stripped of `r#`).
+    Ident,
+    /// An integer literal (any base, any suffix except `f32`/`f64`).
+    Int,
+    /// A floating-point literal (fraction, exponent or `f32`/`f64`
+    /// suffix).
+    Float,
+    /// A string or byte-string literal (normal or raw).
+    Str,
+    /// A character or byte literal.
+    Char,
+    /// A lifetime (`'a`) or loop label.
+    Lifetime,
+    /// A single punctuation character.
+    Punct,
+}
+
+/// One lexed token with its source position (1-based line and column,
+/// counted in characters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token class.
+    pub kind: TokenKind,
+    /// The token text (raw identifiers without `r#`; literals verbatim).
+    pub text: String,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column (characters, not bytes).
+    pub col: u32,
+}
+
+/// One comment, kept separate from the token stream.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Comment body without its delimiters (`//`, `/* */`, doc
+    /// sigils included in neither).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// 1-based column the comment starts at.
+    pub col: u32,
+    /// `true` for `///`, `//!`, `/** */`, `/*! */` doc comments.
+    pub doc: bool,
+}
+
+/// The full lex of one file.
+#[derive(Debug, Clone, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Comments in source order.
+    pub comments: Vec<Comment>,
+}
+
+/// A lexical error (unterminated string/comment and similar).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line of the offending construct.
+    pub line: u32,
+    /// 1-based column of the offending construct.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn error(&self, line: u32, col: u32, message: &str) -> LexError {
+        let _ = self;
+        LexError {
+            line,
+            col,
+            message: message.to_string(),
+        }
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Lexes `src` into tokens and comments.
+///
+/// # Errors
+///
+/// Returns a [`LexError`] for unterminated strings, characters or
+/// block comments.
+pub fn lex(src: &str) -> Result<Lexed, LexError> {
+    let mut lx = Lexer {
+        chars: src.chars().collect(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Lexed::default();
+    // Whether the previous token was `.` — disables float lexing so
+    // `tuple.0.1` never reads `0.1` as a float.
+    let mut after_dot = false;
+
+    while let Some(c) = lx.peek() {
+        let (line, col) = (lx.line, lx.col);
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+        // Comments.
+        if c == '/' && lx.peek_at(1) == Some('/') {
+            lx.bump();
+            lx.bump();
+            let doc = matches!(lx.peek(), Some('/') | Some('!')) && lx.peek_at(1) != Some('/');
+            if doc || lx.peek() == Some('/') {
+                lx.bump();
+            }
+            let mut text = String::new();
+            while let Some(c) = lx.peek() {
+                if c == '\n' {
+                    break;
+                }
+                text.push(c);
+                lx.bump();
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                doc,
+            });
+            continue;
+        }
+        if c == '/' && lx.peek_at(1) == Some('*') {
+            lx.bump();
+            lx.bump();
+            let doc = matches!(lx.peek(), Some('*') | Some('!'))
+                && !(lx.peek() == Some('*') && lx.peek_at(1) == Some('/'));
+            if doc {
+                lx.bump();
+            }
+            let mut depth = 1usize;
+            let mut text = String::new();
+            loop {
+                match (lx.peek(), lx.peek_at(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        text.push_str("/*");
+                        lx.bump();
+                        lx.bump();
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        lx.bump();
+                        lx.bump();
+                        if depth == 0 {
+                            break;
+                        }
+                        text.push_str("*/");
+                    }
+                    (Some(c), _) => {
+                        text.push(c);
+                        lx.bump();
+                    }
+                    (None, _) => {
+                        return Err(lx.error(line, col, "unterminated block comment"));
+                    }
+                }
+            }
+            out.comments.push(Comment {
+                text,
+                line,
+                col,
+                doc,
+            });
+            continue;
+        }
+        // Raw strings and raw identifiers: r"..."  r#"..."#  r#ident,
+        // plus byte forms b"...", br#"..."#, b'x'.
+        if c == 'r' || c == 'b' {
+            let mut ahead = 1;
+            if c == 'b' && lx.peek_at(1) == Some('r') {
+                ahead = 2;
+            }
+            let mut hashes = 0usize;
+            while lx.peek_at(ahead + hashes) == Some('#') {
+                hashes += 1;
+            }
+            let is_raw_str = (c == 'r' || ahead == 2) && lx.peek_at(ahead + hashes) == Some('"');
+            let is_raw_ident = c == 'r'
+                && hashes == 1
+                && lx.peek_at(ahead + 1).is_some_and(is_ident_start)
+                && ahead == 1;
+            if is_raw_str {
+                for _ in 0..ahead + hashes + 1 {
+                    lx.bump();
+                }
+                let mut text = String::new();
+                'scan: loop {
+                    match lx.bump() {
+                        None => return Err(lx.error(line, col, "unterminated raw string")),
+                        Some('"') => {
+                            for k in 0..hashes {
+                                if lx.peek_at(k) != Some('#') {
+                                    text.push('"');
+                                    for _ in 0..k {
+                                        text.push('#');
+                                        lx.bump();
+                                    }
+                                    continue 'scan;
+                                }
+                            }
+                            for _ in 0..hashes {
+                                lx.bump();
+                            }
+                            break;
+                        }
+                        Some(c) => text.push(c),
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Str,
+                    text,
+                    line,
+                    col,
+                });
+                after_dot = false;
+                continue;
+            }
+            if is_raw_ident {
+                lx.bump(); // r
+                lx.bump(); // #
+                let mut text = String::new();
+                while let Some(c) = lx.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    lx.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Ident,
+                    text,
+                    line,
+                    col,
+                });
+                after_dot = false;
+                continue;
+            }
+            if c == 'b' && lx.peek_at(1) == Some('"') {
+                lx.bump();
+                // Falls through to the string case below at the `"`.
+            } else if c == 'b' && lx.peek_at(1) == Some('\'') {
+                lx.bump();
+                // Falls through to the char case below at the `'`.
+            }
+            // Otherwise: a plain identifier starting with r/b; handled
+            // by the ident case below.
+        }
+        let c = lx.peek().unwrap_or('\0');
+        if c == '"' {
+            lx.bump();
+            let mut text = String::new();
+            loop {
+                match lx.bump() {
+                    None => return Err(lx.error(line, col, "unterminated string")),
+                    Some('"') => break,
+                    Some('\\') => {
+                        text.push('\\');
+                        if let Some(e) = lx.bump() {
+                            text.push(e);
+                        }
+                    }
+                    Some(c) => text.push(c),
+                }
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Str,
+                text,
+                line,
+                col,
+            });
+            after_dot = false;
+            continue;
+        }
+        if c == '\'' {
+            // Lifetime vs char literal: `'a` followed by a non-quote is
+            // a lifetime; `'a'`, `'\n'`, `'\''` are chars.
+            let next = lx.peek_at(1);
+            let after = lx.peek_at(2);
+            let is_lifetime = next.is_some_and(is_ident_start) && after != Some('\'');
+            if is_lifetime {
+                lx.bump();
+                let mut text = String::new();
+                while let Some(c) = lx.peek() {
+                    if !is_ident_continue(c) {
+                        break;
+                    }
+                    text.push(c);
+                    lx.bump();
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Lifetime,
+                    text,
+                    line,
+                    col,
+                });
+            } else {
+                lx.bump();
+                let mut text = String::new();
+                loop {
+                    match lx.bump() {
+                        None => return Err(lx.error(line, col, "unterminated char literal")),
+                        Some('\'') => break,
+                        Some('\\') => {
+                            text.push('\\');
+                            if let Some(e) = lx.bump() {
+                                text.push(e);
+                            }
+                        }
+                        Some(c) => text.push(c),
+                    }
+                }
+                out.tokens.push(Token {
+                    kind: TokenKind::Char,
+                    text,
+                    line,
+                    col,
+                });
+            }
+            after_dot = false;
+            continue;
+        }
+        if is_ident_start(c) {
+            let mut text = String::new();
+            while let Some(c) = lx.peek() {
+                if !is_ident_continue(c) {
+                    break;
+                }
+                text.push(c);
+                lx.bump();
+            }
+            out.tokens.push(Token {
+                kind: TokenKind::Ident,
+                text,
+                line,
+                col,
+            });
+            after_dot = false;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let mut text = String::new();
+            let mut float = false;
+            let radix_prefix = c == '0' && matches!(lx.peek_at(1), Some('x' | 'o' | 'b'));
+            if radix_prefix {
+                text.push(lx.bump().unwrap_or('0'));
+                text.push(lx.bump().unwrap_or('x'));
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_alphanumeric() || c == '_' {
+                        text.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+            } else {
+                while let Some(c) = lx.peek() {
+                    if c.is_ascii_digit() || c == '_' {
+                        text.push(c);
+                        lx.bump();
+                    } else {
+                        break;
+                    }
+                }
+                // Fractional part — but not `0..n` (range) nor `x.f()`
+                // (method on an integer literal) nor tuple indexes
+                // (`after_dot` guard above).
+                if !after_dot
+                    && lx.peek() == Some('.')
+                    && lx.peek_at(1) != Some('.')
+                    && !lx.peek_at(1).is_some_and(is_ident_start)
+                {
+                    float = true;
+                    text.push('.');
+                    lx.bump();
+                    while let Some(c) = lx.peek() {
+                        if c.is_ascii_digit() || c == '_' {
+                            text.push(c);
+                            lx.bump();
+                        } else {
+                            break;
+                        }
+                    }
+                }
+                // Exponent.
+                if matches!(lx.peek(), Some('e' | 'E')) {
+                    let sign = usize::from(matches!(lx.peek_at(1), Some('+' | '-')));
+                    if lx.peek_at(1 + sign).is_some_and(|c| c.is_ascii_digit()) {
+                        float = true;
+                        for _ in 0..=sign {
+                            text.push(lx.bump().unwrap_or('e'));
+                        }
+                        while let Some(c) = lx.peek() {
+                            if c.is_ascii_digit() || c == '_' {
+                                text.push(c);
+                                lx.bump();
+                            } else {
+                                break;
+                            }
+                        }
+                    }
+                }
+                // Suffix (`u64`, `f32`, ...).
+                if lx.peek().is_some_and(is_ident_start) {
+                    let mut suffix = String::new();
+                    while let Some(c) = lx.peek() {
+                        if !is_ident_continue(c) {
+                            break;
+                        }
+                        suffix.push(c);
+                        lx.bump();
+                    }
+                    if suffix == "f32" || suffix == "f64" {
+                        float = true;
+                    }
+                    text.push_str(&suffix);
+                }
+            }
+            out.tokens.push(Token {
+                kind: if float {
+                    TokenKind::Float
+                } else {
+                    TokenKind::Int
+                },
+                text,
+                line,
+                col,
+            });
+            after_dot = false;
+            continue;
+        }
+        // Punctuation: single characters.
+        lx.bump();
+        out.tokens.push(Token {
+            kind: TokenKind::Punct,
+            text: c.to_string(),
+            line,
+            col,
+        });
+        after_dot = c == '.';
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .unwrap()
+            .tokens
+            .into_iter()
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn idents_puncts_and_positions() {
+        let l = lex("fn main() {\n  x\n}").unwrap();
+        let t: Vec<_> = l.tokens.iter().map(|t| t.text.as_str()).collect();
+        assert_eq!(t, ["fn", "main", "(", ")", "{", "x", "}"]);
+        let x = &l.tokens[5];
+        assert_eq!((x.line, x.col), (2, 3));
+    }
+
+    #[test]
+    fn strings_and_comments_are_out_of_band() {
+        let l = lex("let s = \"Instant::now() // HashMap\"; // trailing note").unwrap();
+        assert!(l
+            .tokens
+            .iter()
+            .all(|t| t.kind != TokenKind::Ident || !t.text.contains("Instant")));
+        assert_eq!(l.comments.len(), 1);
+        assert_eq!(l.comments[0].text, " trailing note");
+        assert!(!l.comments[0].doc);
+    }
+
+    #[test]
+    fn doc_comments_are_flagged() {
+        let l = lex("/// doc\n//! inner\n// plain\n//// not doc\n/** block doc */\n/* plain */")
+            .unwrap();
+        let docs: Vec<bool> = l.comments.iter().map(|c| c.doc).collect();
+        assert_eq!(docs, [true, true, false, false, true, false]);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let l = lex("/* a /* b */ c */ x").unwrap();
+        assert_eq!(l.tokens.len(), 1);
+        assert_eq!(l.comments[0].text, " a /* b */ c ");
+    }
+
+    #[test]
+    fn raw_strings_with_fences() {
+        let l = lex(r####"let a = r#"quote " and # inside"#; let b = r"x";"####).unwrap();
+        let strs: Vec<_> = l
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Str)
+            .map(|t| t.text.as_str())
+            .collect();
+        assert_eq!(strs, ["quote \" and # inside", "x"]);
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let t = kinds("r#fn r#match");
+        assert_eq!(t[0], (TokenKind::Ident, "fn".to_string()));
+        assert_eq!(t[1], (TokenKind::Ident, "match".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_vs_char_literals() {
+        let t = kinds("&'a str; 'x'; '\\n'; '\\''; b'q'; 'outer: loop {}");
+        let lifetimes: Vec<_> = t
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .map(|(_, s)| s.as_str())
+            .collect();
+        assert_eq!(lifetimes, ["a", "outer"]);
+        let chars = t.iter().filter(|(k, _)| *k == TokenKind::Char).count();
+        assert_eq!(chars, 4);
+    }
+
+    #[test]
+    fn float_detection() {
+        for (src, kind) in [
+            ("1.5", TokenKind::Float),
+            ("0.8", TokenKind::Float),
+            ("1_000.0", TokenKind::Float),
+            ("1e9", TokenKind::Float),
+            ("1.5e-3", TokenKind::Float),
+            ("2f64", TokenKind::Float),
+            ("2.", TokenKind::Float),
+            ("42", TokenKind::Int),
+            ("1_000", TokenKind::Int),
+            ("0xff", TokenKind::Int),
+            ("0b1010", TokenKind::Int),
+            ("7u64", TokenKind::Int),
+        ] {
+            let t = kinds(src);
+            assert_eq!(t[0].0, kind, "{src}");
+        }
+    }
+
+    #[test]
+    fn ranges_tuple_indexes_and_int_methods_are_not_floats() {
+        assert!(kinds("0..n").iter().all(|(k, _)| *k != TokenKind::Float));
+        assert!(kinds("x.0.1").iter().all(|(k, _)| *k != TokenKind::Float));
+        assert!(kinds("self.0.max(1)")
+            .iter()
+            .all(|(k, _)| *k != TokenKind::Float));
+        assert!(kinds("1.max(2)")
+            .iter()
+            .all(|(k, _)| *k != TokenKind::Float));
+    }
+
+    #[test]
+    fn unterminated_constructs_error() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("/* abc").is_err());
+        assert!(lex("'\\").is_err());
+    }
+}

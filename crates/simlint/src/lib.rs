@@ -1,0 +1,142 @@
+//! `simlint` — a zero-dependency determinism & hot-path static
+//! analysis pass for the simulator workspace.
+//!
+//! The headline claims of this reproduction (fast-vs-reference
+//! servicing identity, parallel-vs-sequential exploration identity,
+//! stream-vs-trace identity) are byte-identity contracts. Runtime
+//! property tests verify them today; `simlint` stops the classic ways
+//! they rot *before* a flaky diff surfaces:
+//!
+//! | rule | guards against |
+//! |------|----------------|
+//! | D001 | wall-clock reads leaking into deterministic code |
+//! | D002 | `HashMap`/`HashSet` iteration order feeding output |
+//! | D003 | float rounding inside clock/timing accumulation |
+//! | P001 | panics on the `mem3d` service path / phase engine |
+//! | R001 | silent `as` truncation in address arithmetic |
+//! | X001 | under-synchronized atomics in `sim-exec` |
+//! | A001 | malformed/unjustified `simlint::allow` comments |
+//! | A002 | stale `simlint::allow` comments (warning) |
+//!
+//! The pipeline is three stages, all hand-rolled (the workspace is
+//! hermetically zero-dependency — no `syn`): [`lexer`] produces
+//! tokens with exact line/col spans and an out-of-band comment
+//! stream; [`context`] annotates every token with its module path,
+//! enclosing `fn` and test-ness; [`rules`] pattern-match the
+//! annotated stream. [`allow`] applies line-targeted suppressions
+//! parsed from the comment stream.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+pub mod allow;
+pub mod context;
+pub mod diag;
+pub mod lexer;
+pub mod rules;
+pub mod walk;
+
+use std::io;
+use std::path::Path;
+
+pub use diag::{Diagnostic, Severity};
+
+/// Checks one file's source text as if it lived at workspace-relative
+/// `path` (which decides rule applicability, allowlists, and whether
+/// the whole file is test code).
+///
+/// Returns diagnostics in canonical order. A file that fails to lex
+/// yields a single `L001` error instead.
+pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
+    let lexed = match lexer::lex(src) {
+        Ok(l) => l,
+        Err(e) => {
+            return vec![Diagnostic {
+                rule: "L001",
+                severity: Severity::Error,
+                path: path.to_string(),
+                line: e.line,
+                col: e.col,
+                message: format!("file failed to lex: {}", e.message),
+                enclosing_fn: None,
+            }];
+        }
+    };
+    let contexts = context::contexts(&lexed.tokens, walk::path_is_test(path));
+    let known = rules::known_rule_ids();
+    let (mut sup, mut diags) = allow::collect(&lexed.comments, &lexed.tokens, &known, path);
+    let file = rules::FileCheck {
+        path,
+        tokens: &lexed.tokens,
+        contexts: &contexts,
+    };
+    for rule in rules::all_rules() {
+        if !rule.applies_to(path) {
+            continue;
+        }
+        for d in rule.check(&file) {
+            if !sup.suppress(d.rule, d.line) {
+                diags.push(d);
+            }
+        }
+    }
+    diags.extend(sup.stale(path));
+    diag::sort(&mut diags);
+    diags
+}
+
+/// Walks the workspace under `root` and checks every file, returning
+/// all diagnostics in canonical (path, line, col, rule) order plus the
+/// number of files checked.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the directory walk or file reads.
+pub fn check_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+    let files = walk::workspace_files(root)?;
+    let mut diags = Vec::new();
+    for rel in &files {
+        let src = std::fs::read_to_string(root.join(rel))?;
+        diags.extend(check_source(rel, &src));
+    }
+    diag::sort(&mut diags);
+    Ok((diags, files.len()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suppressed_hit_is_silenced_and_not_stale() {
+        let src = "fn f() {\n    // simlint::allow(D001): deadline check is wall-clock by design\n    let t = Instant::now();\n}\n";
+        let diags = check_source("crates/sim-exec/src/pool.rs", src);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn unsuppressed_hit_is_reported_with_context() {
+        let src = "fn poll() { let t = Instant::now(); }\n";
+        let diags = check_source("crates/sim-exec/src/pool.rs", src);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "D001");
+        assert_eq!(diags[0].enclosing_fn.as_deref(), Some("poll"));
+    }
+
+    #[test]
+    fn lex_failure_becomes_l001() {
+        let diags = check_source("crates/core/src/x.rs", "fn f() { \"unterminated }");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].rule, "L001");
+    }
+
+    #[test]
+    fn allow_of_one_rule_does_not_cover_another() {
+        let src = "fn f() {\n    // simlint::allow(D002): wrong rule for this line\n    let t = Instant::now();\n}\n";
+        let diags = check_source("crates/core/src/explore.rs", src);
+        // The D001 hit survives AND the D002 allow is stale.
+        let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
+        assert!(rules.contains(&"D001"), "{diags:?}");
+        assert!(rules.contains(&"A002"), "{diags:?}");
+    }
+}

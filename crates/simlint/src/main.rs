@@ -1,0 +1,162 @@
+//! The `simlint` binary: walks the workspace and reports diagnostics.
+//!
+//! ```text
+//! simlint [--json] [--deny-all] [--root PATH] [--list-rules] [FILES...]
+//! ```
+//!
+//! * `--json` — one JSON object per diagnostic on stdout (JSON lines),
+//!   instead of the human format.
+//! * `--deny-all` — promote warnings (A002 stale allows) to errors.
+//! * `--root PATH` — workspace root; defaults to searching upward from
+//!   the current directory for a `Cargo.toml` with `[workspace]`.
+//! * `--list-rules` — print the rule table and exit.
+//! * `FILES...` — check only these files (paths relative to the root)
+//!   instead of walking the whole workspace.
+//!
+//! Exit status: `0` clean (or warnings only, without `--deny-all`),
+//! `1` diagnostics at error severity, `2` usage or I/O error.
+
+#![forbid(unsafe_code)]
+#![deny(missing_docs)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use simlint::{check_source, diag, rules, walk, Severity};
+
+struct Options {
+    json: bool,
+    deny_all: bool,
+    root: Option<PathBuf>,
+    list_rules: bool,
+    files: Vec<String>,
+}
+
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts = Options {
+        json: false,
+        deny_all: false,
+        root: None,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--json" => opts.json = true,
+            "--deny-all" => opts.deny_all = true,
+            "--list-rules" => opts.list_rules = true,
+            "--root" => {
+                let p = it.next().ok_or("--root requires a path")?;
+                opts.root = Some(PathBuf::from(p));
+            }
+            "--help" | "-h" => {
+                return Err("usage: simlint [--json] [--deny-all] [--root PATH] \
+                            [--list-rules] [FILES...]"
+                    .to_string());
+            }
+            f if !f.starts_with('-') => opts.files.push(f.to_string()),
+            other => return Err(format!("unknown flag `{other}` (try --help)")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("simlint: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.list_rules {
+        for rule in rules::all_rules() {
+            println!("{}  {}", rule.id(), rule.summary());
+        }
+        println!("A001  malformed simlint::allow (unknown rule or missing justification)");
+        println!("A002  stale simlint::allow that suppresses nothing (warning)");
+        return ExitCode::SUCCESS;
+    }
+
+    let root = match opts.root.clone().or_else(|| {
+        std::env::current_dir()
+            .ok()
+            .and_then(|d| walk::find_workspace_root(&d))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace root found (pass --root)");
+            return ExitCode::from(2);
+        }
+    };
+
+    let result = if opts.files.is_empty() {
+        simlint::check_workspace(&root)
+    } else {
+        let mut diags = Vec::new();
+        let mut err = None;
+        for rel in &opts.files {
+            match std::fs::read_to_string(root.join(rel)) {
+                Ok(src) => diags.extend(check_source(rel, &src)),
+                Err(e) => {
+                    err = Some(std::io::Error::new(e.kind(), format!("{rel}: {e}")));
+                    break;
+                }
+            }
+        }
+        match err {
+            Some(e) => Err(e),
+            None => {
+                diag::sort(&mut diags);
+                let n = opts.files.len();
+                Ok((diags, n))
+            }
+        }
+    };
+
+    let (mut diags, file_count) = match result {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if opts.deny_all {
+        for d in &mut diags {
+            d.severity = Severity::Error;
+        }
+    }
+
+    for d in &diags {
+        if opts.json {
+            println!("{}", d.render_json());
+        } else {
+            println!("{}", d.render_human());
+        }
+    }
+
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    if !opts.json {
+        if diags.is_empty() {
+            eprintln!("simlint: clean ({file_count} files)");
+        } else {
+            eprintln!(
+                "simlint: {errors} error(s), {warnings} warning(s) across {file_count} files"
+            );
+        }
+    }
+
+    if errors > 0 {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}

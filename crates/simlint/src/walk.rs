@@ -1,0 +1,135 @@
+//! Deterministic workspace file discovery.
+//!
+//! The walk visits `crates/*/{src,tests,examples,benches}`, plus the
+//! workspace-root `src/`, `tests/` and `examples/`, in sorted order,
+//! and yields workspace-relative `.rs` paths (forward slashes). It
+//! skips `target/` and any directory named `fixtures` — fixture files
+//! are deliberately-broken inputs for the ui test suite, not workspace
+//! code.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Ascends from `start` to the nearest directory whose `Cargo.toml`
+/// declares a `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = Some(start);
+    while let Some(d) = dir {
+        let manifest = d.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(d.to_path_buf());
+            }
+        }
+        dir = d.parent();
+    }
+    None
+}
+
+/// Directory names never descended into.
+fn skipped_dir(name: &str) -> bool {
+    name == "target" || name == "fixtures" || name.starts_with('.')
+}
+
+fn sorted_entries(dir: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .map(|e| e.map(|e| e.path()))
+        .collect::<Result<_, _>>()?;
+    entries.sort();
+    Ok(entries)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for path in sorted_entries(dir)? {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if !skipped_dir(&name) {
+                collect_rs(&path, out)?;
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path.clone());
+        }
+    }
+    Ok(())
+}
+
+/// Lists every workspace `.rs` file to check, as paths relative to
+/// `root`, in sorted order.
+pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
+    let mut abs: Vec<PathBuf> = Vec::new();
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for krate in sorted_entries(&crates)? {
+            if !krate.is_dir() {
+                continue;
+            }
+            for sub in ["src", "tests", "examples", "benches"] {
+                collect_rs(&krate.join(sub), &mut abs)?;
+            }
+        }
+    }
+    for sub in ["src", "tests", "examples"] {
+        collect_rs(&root.join(sub), &mut abs)?;
+    }
+    let mut rel: Vec<String> = abs
+        .iter()
+        .filter_map(|p| p.strip_prefix(root).ok())
+        .map(|p| {
+            p.components()
+                .map(|c| c.as_os_str().to_string_lossy().into_owned())
+                .collect::<Vec<_>>()
+                .join("/")
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+/// Whether a workspace-relative path is test code as a whole (under a
+/// `tests/` or `benches/` directory).
+pub fn path_is_test(rel_path: &str) -> bool {
+    rel_path
+        .split('/')
+        .any(|seg| seg == "tests" || seg == "benches")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_and_bench_paths_are_detected() {
+        assert!(path_is_test("crates/mem3d/tests/identity.rs"));
+        assert!(path_is_test("tests/cross_crate.rs"));
+        assert!(path_is_test("crates/layout/benches/transpose.rs"));
+        assert!(!path_is_test("crates/mem3d/src/system.rs"));
+        assert!(!path_is_test("crates/sim-exec/examples/sweep.rs"));
+    }
+
+    #[test]
+    fn finds_this_workspace_root() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).expect("workspace root above crate dir");
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn walk_includes_own_sources_and_skips_fixtures() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let files = workspace_files(&root).unwrap();
+        assert!(files.iter().any(|f| f == "crates/simlint/src/walk.rs"));
+        assert!(files.iter().all(|f| !f.contains("/fixtures/")));
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted, "walk output must be sorted");
+    }
+}

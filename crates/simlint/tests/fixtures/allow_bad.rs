@@ -1,0 +1,11 @@
+// simlint-fixture-path: crates/core/src/explore.rs
+// An allow naming an unknown rule, or missing its justification, is
+// itself an error — and does not suppress anything.
+
+fn f() -> u64 {
+    // simlint::allow(Z999): no such rule
+    let a = 1;
+    // simlint::allow(D002)
+    let b = 2;
+    a + b
+}

@@ -1,0 +1,9 @@
+// simlint-fixture-path: crates/core/src/explore.rs
+// A well-formed allow that suppresses nothing is reported stale, so
+// suppressions cannot quietly outlive the code they excused.
+
+fn f() -> u64 {
+    // simlint::allow(D002): there used to be a HashMap here
+    let a = 1;
+    a
+}

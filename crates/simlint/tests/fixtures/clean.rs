@@ -1,0 +1,16 @@
+// simlint-fixture-path: crates/core/src/explore.rs
+// Deterministic idioms pass untouched: BTreeMap, checked conversions,
+// integer time, proper error flow. Strings and docs mentioning
+// HashMap or Instant::now() are not code.
+
+use std::collections::BTreeMap;
+
+/// Aggregates per-layout results (docs may say `HashMap` freely).
+fn aggregate(items: &[(u64, u64)]) -> BTreeMap<u64, u64> {
+    let mut out = BTreeMap::new();
+    for (k, v) in items {
+        out.insert(*k, *v);
+    }
+    let _note = "Instant::now() inside a string is fine";
+    out
+}

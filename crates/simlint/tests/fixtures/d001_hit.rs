@@ -1,0 +1,18 @@
+// simlint-fixture-path: crates/sim-exec/src/pool.rs
+// A wall-clock read on a deterministic path is flagged; the type name
+// alone (field, use) is not.
+use std::time::Instant;
+
+struct Job {
+    deadline: Option<Instant>,
+}
+
+fn poll(job: &Job) -> bool {
+    let now = Instant::now();
+    job.deadline.is_some_and(|d| now >= d)
+}
+
+fn measure() -> u64 {
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,20 @@
+// simlint-fixture-path: crates/sim-exec/src/pool.rs
+// A justified allow silences the hit; #[cfg(test)] code is exempt by
+// construction. Neither produces a diagnostic.
+use std::time::Instant;
+
+fn poll() -> Instant {
+    // simlint::allow(D001): deadline enforcement is wall-clock by design
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let t = Instant::now();
+        assert!(t.elapsed().as_nanos() < u128::MAX);
+    }
+}

@@ -1,0 +1,14 @@
+// simlint-fixture-path: crates/mem3d/src/timing.rs
+// Float arithmetic in a timing module is flagged; the allowlisted
+// boundary converters are exempt.
+
+pub struct Picos(pub u64);
+
+fn accumulate(ps: u64) -> u64 {
+    let scaled = ps as f64 * 1.5;
+    scaled as u64
+}
+
+pub fn as_ns_f64(p: &Picos) -> f64 {
+    p.0 as f64 / 1_000.0
+}

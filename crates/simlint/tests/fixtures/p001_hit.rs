@@ -1,0 +1,14 @@
+// simlint-fixture-path: crates/mem3d/src/system.rs
+// Panicking constructs on the service path are flagged; a justified
+// allow silences one; unwrap_or-style combinators never match.
+
+fn service(x: Option<u64>, y: Option<u64>) -> u64 {
+    let a = x.unwrap();
+    let b = y.expect("y must be set");
+    if a + b == 0 {
+        panic!("impossible");
+    }
+    // simlint::allow(P001): bounds were checked by the caller
+    let c = x.unwrap();
+    a + b + c + x.unwrap_or_default()
+}

@@ -1,0 +1,15 @@
+// simlint-fixture-path: crates/mem3d/src/address.rs
+// Narrowing `as` casts in address arithmetic are flagged; widening
+// casts and the mask-proved allowlisted functions are not.
+
+fn decode(addr: u64) -> (u32, usize) {
+    let row = addr as u32;
+    let col = (addr >> 32) as usize;
+    let wide = row as u64;
+    let _ = wide;
+    (row, col)
+}
+
+fn fields(addr: u64) -> u32 {
+    (addr & 0xffff_ffff) as u32
+}

@@ -1,0 +1,12 @@
+// simlint-fixture-path: crates/sim-exec/src/cancel.rs
+// Relaxed atomics in sim-exec are flagged outside the allowlisted
+// counters.
+use std::sync::atomic::{AtomicBool, Ordering};
+
+fn is_cancelled(flag: &AtomicBool) -> bool {
+    flag.load(Ordering::Relaxed)
+}
+
+fn cancel(flag: &AtomicBool) {
+    flag.store(true, Ordering::Release);
+}

@@ -1,0 +1,121 @@
+//! Fixture-based ui tests: every `tests/fixtures/*.rs` file declares
+//! the workspace path it pretends to live at via a
+//! `// simlint-fixture-path: <path>` header and is paired with a
+//! `.expected` file listing the diagnostics it must produce, one per
+//! line as `{line}:{col} {level}[{rule}] {message}`.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use simlint::{check_source, Diagnostic};
+
+fn fixture_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn fixtures() -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .expect("fixtures dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    v.sort();
+    assert!(!v.is_empty(), "no fixtures found");
+    v
+}
+
+fn logical_path(src: &str, fixture: &Path) -> String {
+    src.lines()
+        .find_map(|l| l.strip_prefix("// simlint-fixture-path:"))
+        .unwrap_or_else(|| panic!("{} is missing its fixture-path header", fixture.display()))
+        .trim()
+        .to_string()
+}
+
+fn render(d: &Diagnostic) -> String {
+    let mut s = format!(
+        "{}:{} {}[{}] {}",
+        d.line,
+        d.col,
+        d.severity.label(),
+        d.rule,
+        d.message
+    );
+    if let Some(f) = &d.enclosing_fn {
+        s.push_str(&format!(" (in fn {f})"));
+    }
+    s
+}
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let mut failures = Vec::new();
+    for fixture in fixtures() {
+        let src = fs::read_to_string(&fixture).expect("readable fixture");
+        let path = logical_path(&src, &fixture);
+        let got: Vec<String> = check_source(&path, &src).iter().map(render).collect();
+        let expected_file = fixture.with_extension("expected");
+        let expected_text = fs::read_to_string(&expected_file).unwrap_or_else(|_| {
+            panic!("{} has no .expected file", fixture.display());
+        });
+        let expected: Vec<String> = expected_text.lines().map(str::to_string).collect();
+        if got != expected {
+            failures.push(format!(
+                "== {} (as {path})\n-- expected:\n{}\n-- got:\n{}",
+                fixture.display(),
+                expected.join("\n"),
+                got.join("\n"),
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n\n"));
+}
+
+#[test]
+fn every_rule_has_a_positive_fixture() {
+    // Guards fixture rot: each shipped rule must keep at least one
+    // fixture that exercises a hit.
+    let mut uncovered: Vec<&str> = vec![
+        "D001", "D002", "D003", "P001", "R001", "X001", "A001", "A002",
+    ];
+    for fixture in fixtures() {
+        let expected = fs::read_to_string(fixture.with_extension("expected")).unwrap_or_default();
+        uncovered.retain(|r| !expected.contains(&format!("[{r}]")));
+    }
+    assert!(
+        uncovered.is_empty(),
+        "rules without a hit fixture: {uncovered:?}"
+    );
+}
+
+#[test]
+fn json_output_round_trips_through_sim_util_json() {
+    use sim_util::json::{parse, Value};
+
+    let fixture = fixture_dir().join("p001_hit.rs");
+    let src = fs::read_to_string(&fixture).expect("readable fixture");
+    let path = logical_path(&src, &fixture);
+    let diags = check_source(&path, &src);
+    assert!(!diags.is_empty());
+    for d in &diags {
+        let text = d.render_json();
+        let v = parse(&text).expect("diagnostic JSON parses");
+        assert_eq!(v.get("rule").and_then(Value::as_str), Some(d.rule));
+        assert_eq!(
+            v.get("severity").and_then(Value::as_str),
+            Some(d.severity.label())
+        );
+        assert_eq!(v.get("path").and_then(Value::as_str), Some(path.as_str()));
+        assert_eq!(
+            v.get("line").and_then(Value::as_i64),
+            Some(i64::from(d.line))
+        );
+        assert_eq!(v.get("col").and_then(Value::as_i64), Some(i64::from(d.col)));
+        assert_eq!(
+            v.get("message").and_then(Value::as_str),
+            Some(d.message.as_str())
+        );
+        // Emit → parse → emit is byte-identical (key order preserved).
+        assert_eq!(v.to_json(), text);
+    }
+}

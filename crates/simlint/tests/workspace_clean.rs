@@ -1,0 +1,19 @@
+//! The workspace itself must be simlint-clean: `cargo test` fails on
+//! any diagnostic, independent of the tier-1 script invoking the
+//! binary.
+
+use std::path::Path;
+
+#[test]
+fn workspace_has_no_diagnostics() {
+    let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let root = simlint::walk::find_workspace_root(here).expect("workspace root");
+    let (diags, files) = simlint::check_workspace(&root).expect("workspace walk");
+    assert!(files > 50, "walk looks truncated: only {files} files");
+    let rendered: Vec<String> = diags.iter().map(|d| d.render_human()).collect();
+    assert!(
+        rendered.is_empty(),
+        "workspace has simlint diagnostics:\n{}",
+        rendered.join("\n")
+    );
+}

@@ -12,5 +12,8 @@ cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all -- --check
+# Determinism & hot-path static analysis (see DESIGN.md): any
+# diagnostic — including stale simlint::allow comments — fails tier 1.
+cargo run -q --release --offline -p simlint -- --deny-all
 
 echo "tier1: OK"
