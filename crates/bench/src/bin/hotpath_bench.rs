@@ -8,11 +8,14 @@
 //! `BENCH_hotpath.json`, so the repository carries the before/after
 //! record for the servicing overhaul.
 //!
-//! The headline record is `baseline_n8192`: the strided baseline column
-//! phase at N = 8192 issues `N²` single-element bursts, so it measures
-//! the per-request servicing cost with nothing to amortize against —
-//! the worst case for the fast path and the basis of the committed
-//! speedup floor CI enforces.
+//! Two rows are headline records, each with its own gated floor
+//! (`scripts/check_hotpath.py`). `baseline_n8192`: the strided baseline
+//! column phase at N = 8192 issues `N²` single-element bursts, so it
+//! measures the per-request servicing cost with nothing to amortize
+//! against. `optimized_n8192`: the block-DDL column phase, which sat at
+//! 0.974× (a real pessimization — the fast path paid run-probing per
+//! request and fused nothing) until the event-driven skip-ahead core
+//! gave it whole-burst runs and cross-bank span servicing.
 //!
 //! `SIM_BENCH_FAST=1` shrinks the problem sizes for smoke runs.
 

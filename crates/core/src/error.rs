@@ -12,6 +12,10 @@ pub enum Fft2dError {
     Kernel(fft_kernel::KernelError),
     /// A layout could not be constructed.
     Layout(String),
+    /// The closed-loop phase driver rejected a configuration (e.g. a
+    /// NaN or negative kernel rate that would otherwise saturate into a
+    /// bogus integer clock step).
+    Driver(String),
     /// A buffer had the wrong number of elements.
     Shape {
         /// Expected element count.
@@ -27,6 +31,7 @@ impl fmt::Display for Fft2dError {
             Fft2dError::Mem(e) => write!(f, "memory system: {e}"),
             Fft2dError::Kernel(e) => write!(f, "fft kernel: {e}"),
             Fft2dError::Layout(msg) => write!(f, "layout: {msg}"),
+            Fft2dError::Driver(msg) => write!(f, "driver: {msg}"),
             Fft2dError::Shape { expected, got } => {
                 write!(f, "expected {expected} elements, got {got}")
             }
@@ -71,6 +76,9 @@ mod tests {
         let l = Fft2dError::Layout("bad".into());
         assert!(l.source().is_none());
         assert!(l.to_string().contains("bad"));
+        let d = Fft2dError::Driver("NaN rate".into());
+        assert!(d.source().is_none());
+        assert!(d.to_string().contains("driver: NaN rate"));
         let s = Fft2dError::Shape {
             expected: 1,
             got: 2,

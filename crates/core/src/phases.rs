@@ -23,7 +23,10 @@
 //! `u128`), so long phases suffer no floating-point precision loss —
 //! an `f64` clock silently drops picoseconds past 2⁵³ ps.
 
-use mem3d::{AddressMapKind, MemorySystem, Picos, RequestSource};
+use mem3d::{
+    AddressMapKind, MemorySystem, Picos, RequestSource, RunPacing, RunServed, ServicePath,
+    SpanOutcome, TraceOp,
+};
 
 use crate::Fft2dError;
 
@@ -87,12 +90,19 @@ impl PhaseReport {
 
 /// Femtoseconds per byte: the kernel rate as an exact integer rational
 /// (denominator 1000), so the consumption clock never loses precision.
-fn fs_per_byte(ps_per_byte: f64) -> u128 {
-    debug_assert!(
-        ps_per_byte.is_finite() && ps_per_byte >= 0.0,
-        "invalid kernel rate: {ps_per_byte} ps/byte"
-    );
-    (ps_per_byte * 1_000.0).round() as u128
+///
+/// # Errors
+///
+/// Returns [`Fft2dError::Driver`] when the rate is NaN, infinite or
+/// negative — in release builds a bare `as u128` would saturate a NaN
+/// to 0 and silently simulate an infinitely fast kernel.
+fn fs_per_byte(ps_per_byte: f64) -> Result<u128, Fft2dError> {
+    if !ps_per_byte.is_finite() || ps_per_byte < 0.0 {
+        return Err(Fft2dError::Driver(format!(
+            "invalid kernel rate: {ps_per_byte} ps/byte"
+        )));
+    }
+    Ok((ps_per_byte * 1_000.0).round() as u128)
 }
 
 /// Open-row hit ratio for reporting. The one place phase statistics
@@ -108,8 +118,225 @@ fn hit_rate(hits: u64, misses: u64) -> f64 {
 
 const FS_PER_PS: u128 = 1_000;
 
+/// Checked fs→ps conversion; must match what the memory system's fused
+/// span loops use ([`Picos::from_fs_clock`]) or the paths drift apart
+/// at the clock ceiling.
 fn fs_to_picos(fs: u128) -> Picos {
-    Picos((fs / FS_PER_PS) as u64)
+    Picos::from_fs_clock(fs)
+}
+
+/// Everything one phase carries between beats: the kernel clock, the
+/// read frontier, the delayed write machinery and the report
+/// accumulators. The two drive loops ([`drive_reference`],
+/// [`drive_event`]) share this state and the scalar beat body, so the
+/// `Reference` pipeline and the event-driven skip-ahead path differ
+/// *only* in how they pull and classify work — never in what a beat
+/// does.
+struct PhaseDriver<'m, 'w> {
+    mem: &'m mut MemorySystem,
+    read_map: AddressMapKind,
+    write_src: Option<&'w mut (dyn RequestSource + 'w)>,
+    write_map: Option<AddressMapKind>,
+    rate_fs: u128,
+    window_fs: u128,
+    write_delay: Picos,
+    latency_probe_bytes: u64,
+    start: Picos,
+    /// Kernel consumption clock, in integer femtoseconds.
+    t_kernel_fs: u128,
+    consumed: u64,
+    produced: u64,
+    probe_done: Picos,
+    last_beat: Picos,
+    /// The write burst peeled off the stream but whose inputs have not
+    /// all been consumed yet.
+    next_write: Option<TraceOp>,
+    /// Writes whose production time is known but which have not been
+    /// handed to the controllers yet. Controllers serve requests in
+    /// submission order, so a write must not be submitted before reads
+    /// that precede it in time — it is released once the read frontier
+    /// passes its arrival time. Bounded by the prefetch window plus the
+    /// write delay: writes are only scheduled as their inputs are
+    /// consumed, and released as soon as the frontier catches up. Each
+    /// entry carries its address map so releasing never has to unwrap
+    /// the phase-level `write_map` option.
+    pending: std::collections::VecDeque<(Picos, AddressMapKind, TraceOp)>,
+}
+
+impl PhaseDriver<'_, '_> {
+    /// One scalar beat: the authoritative per-request body both service
+    /// paths share. Issues the read, advances the kernel clock, fires
+    /// the latency probe and schedules/releases delayed writes.
+    fn scalar_beat(&mut self, op: TraceOp) -> Result<(), Fft2dError> {
+        let arrive = fs_to_picos(self.t_kernel_fs.saturating_sub(self.window_fs)).max(self.start);
+        // Release writes scheduled before this read's issue point.
+        while let Some(&(at, wmap, wop)) = self.pending.front() {
+            if at > arrive {
+                break;
+            }
+            self.pending.pop_front();
+            let wout = self.mem.service_burst(wmap, wop, at)?;
+            self.last_beat = self.last_beat.max(wout.done);
+        }
+        let out = self.mem.service_burst(self.read_map, op, arrive)?;
+        self.last_beat = self.last_beat.max(out.done);
+        // The kernel consumes this burst only once it has arrived.
+        self.t_kernel_fs = self.t_kernel_fs.max(out.done.as_ps() as u128 * FS_PER_PS)
+            + op.bytes as u128 * self.rate_fs;
+        self.consumed += op.bytes as u64;
+        if self.probe_done == Picos::ZERO
+            && self.latency_probe_bytes > 0
+            && self.consumed >= self.latency_probe_bytes
+        {
+            self.probe_done = out.done;
+        }
+        // Schedule result bursts whose inputs have now been consumed,
+        // pulling them off the write stream one at a time.
+        if let (Some(src), Some(wmap)) = (self.write_src.as_mut(), self.write_map) {
+            loop {
+                if self.next_write.is_none() {
+                    self.next_write = src.next();
+                }
+                let Some(wop) = self.next_write else { break };
+                if self.produced + wop.bytes as u64 > self.consumed {
+                    break;
+                }
+                let at = fs_to_picos(self.t_kernel_fs) + self.write_delay;
+                self.pending.push_back((at, wmap, wop));
+                self.produced += wop.bytes as u64;
+                self.next_write = None;
+            }
+        }
+        Ok(())
+    }
+
+    /// Beat index (within a `beats`-long run of `bytes`-sized beats) the
+    /// latency probe fires on, if it falls inside the run.
+    fn probe_beat(&self, bytes: u32, beats: u32) -> Option<u64> {
+        if self.probe_done != Picos::ZERO || self.latency_probe_bytes == 0 {
+            return None;
+        }
+        let nb = self
+            .latency_probe_bytes
+            .saturating_sub(self.consumed)
+            .div_ceil(bytes as u64)
+            .max(1);
+        (nb <= beats as u64).then(|| nb - 1)
+    }
+
+    /// The pacing law handed to the memory system's fused span loops —
+    /// exactly the arithmetic [`scalar_beat`](Self::scalar_beat) applies
+    /// per beat, packaged as registers.
+    fn pacing(&self, op_bytes: u32, probe_beat: Option<u64>) -> RunPacing {
+        RunPacing {
+            t_kernel_fs: self.t_kernel_fs,
+            window_fs: self.window_fs,
+            op_fs: op_bytes as u128 * self.rate_fs,
+            floor: self.start,
+            probe_beat,
+        }
+    }
+
+    /// Folds a fused span's result back into the driver state.
+    fn apply_served(&mut self, served: &RunServed, op_bytes: u32) {
+        self.t_kernel_fs = served.t_kernel_fs;
+        self.consumed += served.beats as u64 * op_bytes as u64;
+        self.last_beat = self.last_beat.max(served.last_done);
+        if let Some(p) = served.probe_done {
+            self.probe_done = p;
+        }
+    }
+
+    /// Drains the write tail and assembles the report.
+    fn finish(mut self, before: mem3d::Stats) -> Result<PhaseReport, Fft2dError> {
+        if let (Some(src), Some(wmap)) = (self.write_src.as_mut(), self.write_map) {
+            while let Some(wop) = self.next_write.take().or_else(|| src.next()) {
+                self.pending.push_back((
+                    fs_to_picos(self.t_kernel_fs) + self.write_delay,
+                    wmap,
+                    wop,
+                ));
+                self.produced += wop.bytes as u64;
+            }
+        }
+        for (at, wmap, wop) in std::mem::take(&mut self.pending) {
+            let wout = self.mem.service_burst(wmap, wop, at)?;
+            self.last_beat = self.last_beat.max(wout.done);
+        }
+        if let Some(src) = self.write_src.as_ref() {
+            debug_assert_eq!(
+                self.produced,
+                src.total_bytes(),
+                "every write burst must have been scheduled"
+            );
+        }
+
+        let after = self.mem.stats();
+        let acts = after.activations - before.activations;
+        let hits = after.row_hits - before.row_hits;
+        let misses = after.row_misses - before.row_misses;
+        Ok(PhaseReport {
+            read_bytes: after.bytes_read - before.bytes_read,
+            write_bytes: after.bytes_written - before.bytes_written,
+            start: self.start,
+            end: self.last_beat.max(fs_to_picos(self.t_kernel_fs)),
+            probe_done: self.probe_done,
+            activations: acts,
+            row_hit_rate: hit_rate(hits, misses),
+        })
+    }
+}
+
+/// The authoritative pipeline: one burst at a time through the scalar
+/// beat body, pulled per-op — the historical driver, kept verbatim for
+/// the [`ServicePath::Reference`] path.
+fn drive_reference(
+    d: &mut PhaseDriver<'_, '_>,
+    reads: &mut dyn RequestSource,
+) -> Result<(), Fft2dError> {
+    for op in &mut *reads {
+        d.scalar_beat(op)?;
+    }
+    Ok(())
+}
+
+/// The event-driven skip-ahead loop: reads are pulled run-granular and
+/// each remainder is classified by
+/// [`MemorySystem::service_paced_span`] — a fused span advances the
+/// clock in one pass, a contention boundary steps exactly one scalar
+/// beat before reclassifying, and a structurally unfusable run drops
+/// its probe flag so the rest expands through the scalar body at one
+/// branch per run, not a failed fusion attempt per beat (the
+/// amortized run-probe gate that caused the optimized-arch
+/// pessimization this core replaces). Runs are only probed when
+/// nothing needs per-beat attention, i.e. there is no write side.
+fn drive_event(
+    d: &mut PhaseDriver<'_, '_>,
+    reads: &mut dyn RequestSource,
+) -> Result<(), Fft2dError> {
+    while let Some(mut run) = reads.next_run() {
+        let mut probe = run.op.bytes > 0 && d.write_src.is_none();
+        while run.beats > 0 {
+            if probe && run.beats > 1 {
+                let probe_beat = d.probe_beat(run.op.bytes, run.beats);
+                let pacing = d.pacing(run.op.bytes, probe_beat);
+                match d.mem.service_paced_span(d.read_map, run, &pacing) {
+                    SpanOutcome::Served(served) => {
+                        d.apply_served(&served, run.op.bytes);
+                        run.op.addr += served.beats as u64 * run.stride;
+                        run.beats -= served.beats;
+                        continue;
+                    }
+                    SpanOutcome::Step => {}
+                    SpanOutcome::Scalar => probe = false,
+                }
+            }
+            d.scalar_beat(run.op)?;
+            run.op.addr += run.stride;
+            run.beats -= 1;
+        }
+    }
+    Ok(())
 }
 
 /// Runs one phase: `reads` feed the kernel in order; `writes` (if any)
@@ -124,9 +351,16 @@ fn fs_to_picos(fs: u128) -> Picos {
 /// row-buffer state across calls — phase 2 genuinely inherits phase 1's
 /// open rows.
 ///
+/// On the [`ServicePath::Fast`] path the reads are driven through the
+/// event core ([`drive_event`]); on [`ServicePath::Reference`] through
+/// the historical per-op pipeline ([`drive_reference`]). The two are
+/// bit-identical in every observable — the differential harness proves
+/// it — so the path choice is purely a simulation-speed knob.
+///
 /// # Errors
 ///
-/// Returns [`Fft2dError::Mem`] if any request fails to decode.
+/// Returns [`Fft2dError::Mem`] if any request fails to decode and
+/// [`Fft2dError::Driver`] for an invalid kernel rate.
 pub fn run_phase(
     mem: &mut MemorySystem,
     cfg: &DriverConfig,
@@ -136,156 +370,36 @@ pub fn run_phase(
     start: Picos,
 ) -> Result<PhaseReport, Fft2dError> {
     let before = mem.stats();
-    let rate_fs = fs_per_byte(cfg.ps_per_byte);
-    let window_fs = cfg.window_bytes as u128 * rate_fs;
-
-    // Kernel consumption clock, in integer femtoseconds.
-    let mut t_kernel_fs: u128 = start.as_ps() as u128 * FS_PER_PS;
-    let mut consumed: u64 = 0;
-    let mut produced: u64 = 0;
-    let mut probe_done = Picos::ZERO;
-    let mut last_beat = start;
-
-    let (mut write_src, write_map) = match writes {
+    let rate_fs = fs_per_byte(cfg.ps_per_byte)?;
+    let (write_src, write_map) = match writes {
         Some((src, map)) => (Some(src), Some(map)),
         None => (None, None),
     };
-    // The write burst peeled off the stream but whose inputs have not
-    // all been consumed yet.
-    let mut next_write: Option<mem3d::TraceOp> = None;
-    // Writes whose production time is known but which have not been
-    // handed to the controllers yet. Controllers serve requests in
-    // submission order, so a write must not be submitted before reads
-    // that precede it in time — it is released once the read frontier
-    // passes its arrival time. Bounded by the prefetch window plus the
-    // write delay: writes are only scheduled as their inputs are
-    // consumed, and released as soon as the frontier catches up. Each
-    // entry carries its address map so releasing never has to unwrap
-    // the phase-level `write_map` option.
-    let mut pending: std::collections::VecDeque<(Picos, AddressMapKind, mem3d::TraceOp)> =
-        std::collections::VecDeque::new();
-
-    // Reads are pulled run-granular: a multi-beat strided run (e.g. the
-    // baseline's column sweep) resolves bank stretch by bank stretch in
-    // fused passes through `MemorySystem::service_paced_run` — provided
-    // nothing else needs per-beat attention, i.e. there is no write
-    // side. Ineligible positions (and all error cases) fall back to the
-    // scalar per-beat body, which is byte-identical to the historical
-    // per-op loop; after each scalar beat the paced path is re-attempted
-    // with the remainder.
-    while let Some(mut run) = reads.next_run() {
-        while run.beats > 0 {
-            if run.beats > 1 && write_src.is_none() && run.op.bytes > 0 {
-                // Beat index the latency probe fires on, if within
-                // this run's remainder.
-                let probe_beat = if probe_done == Picos::ZERO && cfg.latency_probe_bytes > 0 {
-                    let nb = cfg
-                        .latency_probe_bytes
-                        .saturating_sub(consumed)
-                        .div_ceil(run.op.bytes as u64)
-                        .max(1);
-                    (nb <= run.beats as u64).then(|| nb - 1)
-                } else {
-                    None
-                };
-                let pacing = mem3d::RunPacing {
-                    t_kernel_fs,
-                    window_fs,
-                    op_fs: run.op.bytes as u128 * rate_fs,
-                    floor: start,
-                    probe_beat,
-                };
-                if let Some(served) = mem.service_paced_run(read_map, run, &pacing) {
-                    t_kernel_fs = served.t_kernel_fs;
-                    consumed += served.beats as u64 * run.op.bytes as u64;
-                    // Beats complete in strictly increasing order, so
-                    // the prefix's last completion is its latest.
-                    last_beat = last_beat.max(served.last_done);
-                    if let Some(p) = served.probe_done {
-                        probe_done = p;
-                    }
-                    run.op.addr += served.beats as u64 * run.stride;
-                    run.beats -= served.beats;
-                    continue;
-                }
-            }
-            // One scalar beat, then try pacing the remainder again.
-            let op = run.op;
-            let arrive = fs_to_picos(t_kernel_fs.saturating_sub(window_fs)).max(start);
-            // Release writes scheduled before this read's issue point.
-            while let Some(&(at, wmap, wop)) = pending.front() {
-                if at > arrive {
-                    break;
-                }
-                pending.pop_front();
-                let wout = mem.service_burst(wmap, wop, at)?;
-                last_beat = last_beat.max(wout.done);
-            }
-            let out = mem.service_burst(read_map, op, arrive)?;
-            last_beat = last_beat.max(out.done);
-            // The kernel consumes this burst only once it has arrived.
-            t_kernel_fs =
-                t_kernel_fs.max(out.done.as_ps() as u128 * FS_PER_PS) + op.bytes as u128 * rate_fs;
-            consumed += op.bytes as u64;
-            if probe_done == Picos::ZERO
-                && cfg.latency_probe_bytes > 0
-                && consumed >= cfg.latency_probe_bytes
-            {
-                probe_done = out.done;
-            }
-            // Schedule result bursts whose inputs have now been
-            // consumed, pulling them off the write stream one at a time.
-            if let (Some(src), Some(wmap)) = (write_src.as_mut(), write_map) {
-                loop {
-                    if next_write.is_none() {
-                        next_write = src.next();
-                    }
-                    let Some(wop) = next_write else { break };
-                    if produced + wop.bytes as u64 > consumed {
-                        break;
-                    }
-                    let at = fs_to_picos(t_kernel_fs) + cfg.write_delay;
-                    pending.push_back((at, wmap, wop));
-                    produced += wop.bytes as u64;
-                    next_write = None;
-                }
-            }
-            run.op.addr += run.stride;
-            run.beats -= 1;
-        }
-    }
-    // Schedule and drain the tail of the write stream.
-    if let (Some(src), Some(wmap)) = (write_src.as_mut(), write_map) {
-        while let Some(wop) = next_write.take().or_else(|| src.next()) {
-            pending.push_back((fs_to_picos(t_kernel_fs) + cfg.write_delay, wmap, wop));
-            produced += wop.bytes as u64;
-        }
-    }
-    for (at, wmap, wop) in pending {
-        let wout = mem.service_burst(wmap, wop, at)?;
-        last_beat = last_beat.max(wout.done);
-    }
-    if let Some(src) = write_src.as_ref() {
-        debug_assert_eq!(
-            produced,
-            src.total_bytes(),
-            "every write burst must have been scheduled"
-        );
-    }
-
-    let after = mem.stats();
-    let acts = after.activations - before.activations;
-    let hits = after.row_hits - before.row_hits;
-    let misses = after.row_misses - before.row_misses;
-    Ok(PhaseReport {
-        read_bytes: after.bytes_read - before.bytes_read,
-        write_bytes: after.bytes_written - before.bytes_written,
+    let event = mem.service_path() == ServicePath::Fast;
+    let mut driver = PhaseDriver {
+        mem,
+        read_map,
+        write_src,
+        write_map,
+        rate_fs,
+        window_fs: cfg.window_bytes as u128 * rate_fs,
+        write_delay: cfg.write_delay,
+        latency_probe_bytes: cfg.latency_probe_bytes,
         start,
-        end: last_beat.max(fs_to_picos(t_kernel_fs)),
-        probe_done,
-        activations: acts,
-        row_hit_rate: hit_rate(hits, misses),
-    })
+        t_kernel_fs: start.as_ps() as u128 * FS_PER_PS,
+        consumed: 0,
+        produced: 0,
+        probe_done: Picos::ZERO,
+        last_beat: start,
+        next_write: None,
+        pending: std::collections::VecDeque::new(),
+    };
+    if event {
+        drive_event(&mut driver, reads)?;
+    } else {
+        drive_reference(&mut driver, reads)?;
+    }
+    driver.finish(before)
 }
 
 #[cfg(test)]

@@ -50,6 +50,21 @@ pub trait MatrixLayout: std::fmt::Debug {
     fn row_stride(&self) -> Option<u64> {
         None
     }
+
+    /// Base address of one fully-contiguous **group block**, if this
+    /// layout stores it as one: `Some(base)` only when the
+    /// `group × column_run` elements of columns `g..g+group`, rows
+    /// `band..band+column_run`, visited columns-outer / rows-inner (the
+    /// column-phase walk order), occupy *exactly* the ascending byte
+    /// range `[base, base + group·column_run·elem_bytes)`. Lets the
+    /// grouped column-phase stream emit one whole-block burst in O(1)
+    /// instead of `group·column_run` per-element coalescer steps. Layouts
+    /// without such a shape (or for a misaligned `(band, g, group)`)
+    /// return `None`.
+    fn group_block_addr(&self, band: usize, g: usize, group: usize) -> Option<u64> {
+        let _ = (band, g, group);
+        None
+    }
 }
 
 /// Row-major order. With the default [`AddressMapKind::Chunked`]
@@ -349,6 +364,19 @@ impl MatrixLayout for BlockDynamic {
 
     fn column_run(&self) -> usize {
         self.h
+    }
+
+    fn group_block_addr(&self, band: usize, g: usize, group: usize) -> Option<u64> {
+        // A whole aligned block: `w` columns × `h` rows, stored
+        // column-major within the block, so the columns-outer /
+        // rows-inner walk visits its `w·h` elements in exactly
+        // ascending address order starting at the block base.
+        (group == self.w
+            && band.is_multiple_of(self.h)
+            && g.is_multiple_of(self.w)
+            && band + self.h <= self.n
+            && g + self.w <= self.n)
+            .then(|| self.addr(band, g))
     }
 }
 

@@ -176,19 +176,30 @@ struct Seg {
 /// band of `run` rows, all `group` columns' segments per band before
 /// moving down.
 ///
-/// Three regimes, finest last:
+/// Four regimes, finest last:
 /// * `group == 1` with a constant [`MatrixLayout::row_stride`] — one
 ///   segment per whole column (bands of one column concatenate into a
 ///   single arithmetic progression); this is the baseline strided sweep.
 /// * constant `row_stride` — one segment per (group, band, column).
-/// * no constant stride (block/tile seams) — one segment per element,
-///   preserving today's per-element walk exactly.
+/// * **whole-group blocks** — no constant stride, but the layout stores
+///   each aligned `group × run` cell contiguously
+///   ([`MatrixLayout::group_block_addr`]): one unit-stride segment per
+///   cell, O(1) instead of `group·run` element steps. This is the
+///   grouped block-DDL column phase — the walk that used to fall all
+///   the way through to the per-element regime and pay ~`N²` virtual
+///   address calls on both service paths.
+/// * no constant stride (tile seams, misaligned groups) — one segment
+///   per element, preserving today's per-element walk exactly.
 struct ColSegs<'a> {
     layout: &'a dyn MatrixLayout,
     n: usize,
     group: usize,
     run: usize,
     row_stride: Option<u64>,
+    /// Element size in bytes (the block regime's segment stride).
+    elem: u64,
+    /// Whole-group block regime engaged (see above).
+    block: bool,
     /// First column of the current group.
     g: usize,
     /// First row of the current band.
@@ -206,6 +217,27 @@ impl Iterator for ColSegs<'_> {
     fn next(&mut self) -> Option<Seg> {
         if self.done {
             return None;
+        }
+        if self.block {
+            // One contiguous segment per aligned (group, band) cell; the
+            // element expansion (base, base+e, …) is exactly the
+            // per-element regime's visit order, columns-outer /
+            // rows-inner — that is the `group_block_addr` contract.
+            let seg = Seg {
+                base: self
+                    .layout
+                    .group_block_addr(self.band, self.g, self.group)
+                    .expect("every aligned cell of an engaged block regime is contiguous"),
+                count: (self.group * self.run) as u64,
+                stride: self.elem,
+            };
+            self.band += self.run;
+            if self.band >= self.n {
+                self.band = 0;
+                self.g += self.group;
+                self.done = self.g >= self.n;
+            }
+            return Some(seg);
         }
         if let Some(stride) = self.row_stride {
             if self.group == 1 {
@@ -388,6 +420,58 @@ impl RequestSource for ColPhaseStream<'_> {
             self.run_len = 0;
             return Some(TraceRun::single(op));
         }
+        if self.pos == 0
+            && s.stride == self.e as u64
+            && s.count * self.e as u64 == MAX_BURST_BYTES as u64
+        {
+            // A fully-contiguous segment of exactly one maximum-size
+            // burst: nothing pending precedes it (checked above) and no
+            // later element can extend it (the cap is reached), so the
+            // coalescer would emit it verbatim — recognized here in
+            // O(1) instead of O(count) element steps. A train of
+            // equally-spaced such segments then folds into one
+            // multi-beat run of whole-row bursts: the shape the grouped
+            // block-DDL column phase emits and the memory system's
+            // cross-bank span fuser consumes.
+            let first = s.base;
+            self.pos = s.count;
+            let mut beats: u64 = 1;
+            let mut last = first;
+            let mut delta = 0u64;
+            while beats < u32::MAX as u64 {
+                let Some(next) = self.peek_segment() else {
+                    break;
+                };
+                if next.stride != self.e as u64
+                    || next.count * self.e as u64 != MAX_BURST_BYTES as u64
+                {
+                    break;
+                }
+                // The burst-to-burst step must be constant and forward;
+                // the block layouts' diagonal wrap-around seams show up
+                // as a backwards step and end the run here.
+                let Some(step) = next.base.checked_sub(last).filter(|&d| d > 0) else {
+                    break;
+                };
+                if beats == 1 {
+                    delta = step;
+                } else if step != delta {
+                    break;
+                }
+                self.pos = next.count;
+                last = next.base;
+                beats += 1;
+            }
+            return Some(TraceRun {
+                op: TraceOp {
+                    addr: first,
+                    bytes: MAX_BURST_BYTES,
+                    dir: self.dir,
+                },
+                beats: beats as u32,
+                stride: delta,
+            });
+        }
         let rem = s.count - self.pos;
         if rem >= 3 && s.stride != self.e as u64 {
             // No two elements of a non-unit-stride segment coalesce, so
@@ -432,13 +516,24 @@ pub fn col_phase_stream(
         group > 0 && n.is_multiple_of(group),
         "group {group} must divide n {n}"
     );
+    let run = layout.column_run().min(n);
+    let row_stride = layout.row_stride();
+    // The whole-group block regime needs unragged bands and a layout
+    // that stores the first aligned cell contiguously; by the
+    // `group_block_addr` contract (alignment-only conditions) every
+    // later cell of the walk is then contiguous too.
+    let block = row_stride.is_none()
+        && n.is_multiple_of(run)
+        && layout.group_block_addr(0, 0, group).is_some();
     ColPhaseStream {
         segs: ColSegs {
             layout,
             n,
             group,
-            run: layout.column_run().min(n),
-            row_stride: layout.row_stride(),
+            run,
+            row_stride,
+            elem: layout.elem_bytes() as u64,
+            block,
             g: 0,
             band: 0,
             c: 0,

@@ -153,7 +153,7 @@ impl VaultController {
     pub fn service(&mut self, req: Request) -> RequestOutcome {
         debug_assert_eq!(req.loc.vault, self.vault, "request routed to wrong vault");
         debug_assert!(
-            req.loc.col as usize + req.bytes as usize <= self.geom.row_bytes,
+            req.loc.col as u64 + req.bytes as u64 <= self.geom.row_bytes as u64,
             "request crosses a row boundary"
         );
 
@@ -232,7 +232,7 @@ impl VaultController {
     pub fn service_run(&mut self, first: Request, beats: u32) -> RequestOutcome {
         debug_assert!(beats >= 1, "empty run");
         debug_assert!(
-            first.loc.col as usize + beats as usize * first.bytes as usize <= self.geom.row_bytes,
+            first.loc.col as u64 + beats as u64 * first.bytes as u64 <= self.geom.row_bytes as u64,
             "run crosses a row boundary"
         );
         let out0 = self.service(first);
@@ -321,16 +321,21 @@ impl VaultController {
             "refresh windows would break the fused schedule"
         );
         debug_assert!(
-            loc.row + (beats as usize - 1) * row_step < self.geom.rows_per_bank,
+            loc.row as u64 + (beats as u64 - 1) * (row_step as u64)
+                < self.geom.rows_per_bank as u64,
             "run leaves its bank"
         );
         debug_assert!(
-            loc.col as usize + bytes as usize <= self.geom.row_bytes,
+            loc.col as u64 + bytes as u64 <= self.geom.row_bytes as u64,
             "beat crosses a row boundary"
         );
 
+        // Checked fs→ps conversion (shared with the driver): a bare
+        // `as u64` here would silently truncate the u128 femtosecond
+        // clock; `Picos::from_fs_clock` saturates instead, on both
+        // sides identically.
         let arrive = |t_fs: u128| {
-            Picos((t_fs.saturating_sub(pacing.window_fs) / FS_PER_PS) as u64).max(pacing.floor)
+            Picos::from_fs_clock(t_fs.saturating_sub(pacing.window_fs)).max(pacing.floor)
         };
 
         // Beat 0: the full scalar path, so an already-open row, a prior

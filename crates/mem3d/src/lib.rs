@@ -56,7 +56,15 @@
 //!   the controller replays the driver's exact per-beat arithmetic in a
 //!   fused register-resident loop — the paper's worst-case strided
 //!   column sweep drops from a full round trip per element to a few
-//!   arithmetic operations.
+//!   arithmetic operations;
+//! * **event-driven span classification** — the layer above:
+//!   [`MemorySystem::service_paced_span`] classifies a whole pulled run
+//!   against controller state and either fuses it (same-bank closed
+//!   form, or the cross-bank interleaved spans the optimized dynamic
+//!   layouts emit), asks the driver to step one scalar beat at a
+//!   contention boundary ([`SpanOutcome::Step`]), or declares the run
+//!   shape unfusable so the driver stops probing
+//!   ([`SpanOutcome::Scalar`] — the amortized run-probe gate).
 //!
 //! [`ServicePath`] selects between the fast path (the default) and the
 //! original scalar implementation; differential property tests assert
@@ -103,7 +111,7 @@ pub use error::{Error, Result};
 pub use geometry::{Geometry, Location};
 pub use request::{Direction, Request, RequestOutcome};
 pub use stats::{BandwidthReport, Stats};
-pub use system::{MemorySystem, ServicePath};
+pub use system::{MemorySystem, ServicePath, SpanOutcome};
 pub use timing::{Picos, TimingParams};
 pub use trace::{
     replay_stream, AccessTrace, RequestSource, StridedSource, TraceOp, TraceRun, TraceStats,

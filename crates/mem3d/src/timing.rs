@@ -51,6 +51,18 @@ impl Picos {
         Picos(self.0.saturating_sub(rhs.0))
     }
 
+    /// Converts a femtosecond clock reading (the driver's kernel clock
+    /// runs in integer femtoseconds, accumulated in `u128`) to whole
+    /// picoseconds, **saturating** at the `Picos` range ceiling instead
+    /// of silently truncating the high bits as a bare `as u64` cast
+    /// would. Every fs→ps conversion shared between the driver and the
+    /// paced fast paths must go through this one function so both sides
+    /// stay bit-identical even at the (unreachable in practice, ~213
+    /// simulated days) ceiling.
+    pub fn from_fs_clock(fs: u128) -> Picos {
+        Picos(u64::try_from(fs / 1_000).unwrap_or(u64::MAX))
+    }
+
     /// The larger of two times.
     pub fn max(self, other: Picos) -> Picos {
         Picos(self.0.max(other.0))

@@ -335,11 +335,15 @@ const R001_FN_ALLOW: &[(&str, &str)] = &[
 /// Target types an `as` cast may silently truncate into.
 const NARROWING: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
 
-/// R001: no bare narrowing `as` casts in address arithmetic.
+/// R001: no bare narrowing `as` casts in address or timing arithmetic.
 ///
 /// `addr as u32` silently truncates; address math must use
 /// `try_into()`/`try_from()` or prove the bound with an explicit mask
-/// in an allowlisted function.
+/// in an allowlisted function. The rule also covers the per-vault
+/// controller: its fused paced-run loops convert the driver's `u128`
+/// femtosecond clock to `u64` picoseconds, and a bare `as` there would
+/// silently wrap at the clock ceiling instead of saturating
+/// (`Picos::from_fs_clock`).
 pub struct R001;
 
 impl Rule for R001 {
@@ -347,10 +351,10 @@ impl Rule for R001 {
         "R001"
     }
     fn summary(&self) -> &'static str {
-        "no bare narrowing `as` casts in mem3d::address (use try_into/checked ops)"
+        "no bare narrowing `as` casts in mem3d address/timing code (use try_into/checked ops)"
     }
     fn applies_to(&self, path: &str) -> bool {
-        path == "crates/mem3d/src/address.rs"
+        path == "crates/mem3d/src/address.rs" || path == "crates/mem3d/src/controller.rs"
     }
     fn check(&self, f: &FileCheck) -> Vec<Diagnostic> {
         let mut out = Vec::new();
@@ -366,7 +370,7 @@ impl Rule for R001 {
                             self.id(),
                             i,
                             format!(
-                                "narrowing `as {}` in address arithmetic — use \
+                                "narrowing `as {}` in address/timing arithmetic — use \
                                  `try_into()` or a checked conversion",
                                 target.text
                             ),

@@ -1,0 +1,11 @@
+// simlint-fixture-path: crates/mem3d/src/controller.rs
+// Since the R001 extension the per-vault controller's timing code is
+// covered too: narrowing `as` casts on clock values are flagged, while
+// widening casts (the fused loops' u64 accumulations) stay allowed.
+
+fn arrive(t_fs: u128) -> u32 {
+    let ps = (t_fs / 1_000) as u32;
+    let wide = ps as u64;
+    let _ = wide;
+    ps
+}

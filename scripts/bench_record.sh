@@ -28,7 +28,12 @@ cat BENCH_sweep.json
 
 ./target/release/hotpath_bench | grep '^{' > BENCH_hotpath.json
 echo "wrote $(wc -l < BENCH_hotpath.json) records to BENCH_hotpath.json:"
-cat BENCH_hotpath.json
+# Gate the record before it can be committed: identical output on every
+# row, no row below 1.0x (a fast-path pessimization anywhere is a bug),
+# and per-arch floors — the optimized-arch column phase holds its own
+# 5x floor at full size (2x at smoke sizes, where fixed costs dominate).
+python3 scripts/check_hotpath.py BENCH_hotpath.json \
+  ${SIM_BENCH_FAST:+--smoke}
 
 ./target/release/stream_bench "${STREAM_BENCH_N:-8192}" | grep '^{' > BENCH_stream.json
 echo "wrote $(wc -l < BENCH_stream.json) records to BENCH_stream.json:"

@@ -1,0 +1,53 @@
+#!/usr/bin/env python3
+"""Gates a BENCH_hotpath.json record (usage: check_hotpath.py FILE [--smoke]).
+
+Floors, all hard failures:
+  * every row must have identical_output (the fast path never changes
+    results) and speedup >= 1.0 — a fast path slower than the reference
+    on *any* phase is a pessimization, which is exactly the bug the
+    skip-ahead core fixed (optimized/N=8192 sat at 0.974x while the
+    probe-and-fail overhead was paid per request);
+  * the strided baseline column phase: >= 2x at the largest recorded N;
+  * the optimized-arch column phase, gated as its own floor: >= 5x at
+    the largest recorded N (>= 2x under --smoke, where the problem is
+    small enough that fixed costs dominate both paths).
+"""
+import json
+import sys
+
+
+def main() -> None:
+    path = sys.argv[1]
+    smoke = "--smoke" in sys.argv[2:]
+    with open(path) as f:
+        rec = [json.loads(line) for line in f if line.strip()]
+    assert rec, f"{path} is empty"
+
+    for r in rec:
+        print(
+            f"{r['id']:<18} speedup={r['speedup']:8.2f}x "
+            f"identical={r['identical_output']}"
+        )
+        assert r["identical_output"], f"{r['id']}: fast path diverged"
+        assert r["speedup"] >= 1.0, (
+            f"{r['id']}: fast-path pessimization "
+            f"({r['speedup']:.3f}x < 1.0x)"
+        )
+
+    def floor(arch: str, lo: float) -> None:
+        rows = [r for r in rec if r["arch"] == arch]
+        assert rows, f"no {arch} rows in {path}"
+        top = max(rows, key=lambda r: r["n"])
+        assert top["speedup"] >= lo, (
+            f"{top['id']}: {arch} column phase {top['speedup']:.2f}x "
+            f"is below the {lo}x floor"
+        )
+        print(f"{arch} floor ok: {top['id']} at {top['speedup']:.2f}x >= {lo}x")
+
+    floor("baseline", 2.0)
+    floor("optimized", 2.0 if smoke else 5.0)
+    print("hotpath record ok")
+
+
+if __name__ == "__main__":
+    main()

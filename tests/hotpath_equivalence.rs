@@ -205,6 +205,125 @@ fn fast_and_reference_phases_are_byte_identical() {
 }
 
 #[test]
+fn event_core_fallback_boundaries_are_byte_identical() {
+    // The skip-ahead core's contention boundaries, each differentially
+    // proven against the Reference pipeline: refresh windows (always on
+    // here — the same-bank classifier declines, cross-bank spans stay
+    // fused *through* them), TSV-saturation crossings (kernel rates
+    // from far-memory-bound to far-kernel-bound, windows from a few
+    // beats to effectively unbounded) and non-power-of-two geometries
+    // (div/mod decode underneath the span classifier).
+    par_check!(cases: 64, |rng| {
+        let n = 1usize << rng.gen_range(4u32..8); // 16..=128
+        let cfg = DriverConfig {
+            // 0.5 ps/B: the kernel outruns the TSVs, every span is
+            // memory-bound and crosses the saturation boundary.
+            // 2000 ps/B: arrivals spread out, spans are conflict-free.
+            ps_per_byte: [0.5, 3.9, 125.0, 2000.0][rng.gen_range(0usize..4)],
+            window_bytes: 1u64 << rng.gen_range(3u32..22),
+            write_delay: Picos::from_ns(rng.gen_range(0u64..500)),
+            latency_probe_bytes: if rng.gen_bool() { (n * 4) as u64 } else { 0 },
+        };
+        let start = Picos(rng.gen_range(0u64..1 << 30));
+        let timing = TimingParams::default().with_refresh();
+
+        let (fast, reference, mem_fast, mem_ref) = match rng.gen_range(0usize..3) {
+            // Grouped block-DDL column phase: whole-row cross-bank runs
+            // fused through refresh windows.
+            0 => {
+                let geom = Geometry::default();
+                let p = LayoutParams::for_device(n, &geom, &timing);
+                let heights = p.valid_block_heights();
+                let h = heights[rng.gen_range(0usize..heights.len())];
+                let ddl = BlockDynamic::with_height(&p, h).expect("feasible height");
+                let r = phase_both_paths(
+                    geom,
+                    timing,
+                    &cfg,
+                    start,
+                    (
+                        &mut col_phase_stream(&ddl, Direction::Read, ddl.w),
+                        &mut col_phase_stream(&ddl, Direction::Read, ddl.w),
+                    ),
+                    ddl.map_kind(),
+                    None,
+                );
+                r
+            }
+            // Baseline strided sweep on a non-power-of-two geometry
+            // sized to hold the matrix: row-multiple strides fuse as
+            // cross-bank spans, the rest hits the run-probe gate.
+            1 => {
+                let vaults = rng.gen_range(1usize..12);
+                let layers = rng.gen_range(1usize..5);
+                let banks = rng.gen_range(1usize..7);
+                let row_bytes = 1usize << rng.gen_range(6u32..12);
+                let need = (n * n * 8) as u64;
+                let rows = (need.div_ceil((vaults * layers * banks * row_bytes) as u64) as usize)
+                    .max(2);
+                let geom = Geometry {
+                    vaults,
+                    layers,
+                    banks_per_layer: banks,
+                    rows_per_bank: rows,
+                    row_bytes,
+                };
+                let p = LayoutParams::for_device(n, &geom, &timing);
+                let l = RowMajor::new(&p);
+                let r = phase_both_paths(
+                    geom,
+                    timing,
+                    &cfg,
+                    start,
+                    (
+                        &mut col_phase_stream(&l, Direction::Read, 1),
+                        &mut col_phase_stream(&l, Direction::Read, 1),
+                    ),
+                    l.map_kind(),
+                    None,
+                );
+                r
+            }
+            // Interleaved strided sweep with a write side: the event
+            // driver must keep every beat scalar (writes need per-beat
+            // attention) and still match exactly.
+            _ => {
+                let geom = Geometry::default();
+                let p = LayoutParams::for_device(n, &geom, &timing);
+                let l = RowMajor::interleaved(&p);
+                let r = phase_both_paths(
+                    geom,
+                    timing,
+                    &cfg,
+                    start,
+                    (
+                        &mut col_phase_stream(&l, Direction::Read, 1),
+                        &mut col_phase_stream(&l, Direction::Read, 1),
+                    ),
+                    l.map_kind(),
+                    Some((
+                        &mut row_phase_stream(&l, Direction::Write) as &mut dyn RequestSource,
+                        &mut row_phase_stream(&l, Direction::Write) as &mut dyn RequestSource,
+                        l.map_kind(),
+                    )),
+                );
+                r
+            }
+        };
+        prop_assert!(
+            fast == reference,
+            "reports diverged for n = {n}:\n  fast:      {fast:?}\n  reference: {reference:?}"
+        );
+        prop_assert_eq!(
+            mem_fast.stats(),
+            mem_ref.stats(),
+            "device statistics diverged for n = {}",
+            n
+        );
+    });
+}
+
+#[test]
 fn per_burst_outcome_sequences_match_on_random_geometries() {
     // Below the driver: every single service_burst outcome — including
     // multi-fragment bursts, arbitrary arrival times and the error
