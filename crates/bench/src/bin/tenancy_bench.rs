@@ -1,0 +1,134 @@
+//! **Multi-tenant contention benchmark** — replays two service
+//! scenarios through `tenancy::run_suite` and records one JSON line per
+//! (scenario, policy, tenant) with the tenant's p50/p95/p99 latency,
+//! queue wait, achieved bandwidth and slowdown versus an isolated run.
+//! `scripts/bench_record.sh` redirects stdout to `BENCH_tenancy.json`
+//! and gates it with `scripts/check_tenancy.py`.
+//!
+//! Scenarios:
+//! * `mixed` — three tenants with different architectures, weights and
+//!   priorities all submitting at t = 0; replayed under **every**
+//!   arbitration policy, so the record shows how policy choice moves
+//!   each tenant's latency on identical traffic.
+//! * `fair` — three identical tenants under round-robin; their p50
+//!   spread is the fairness gate.
+//!
+//! Before publishing anything, the suite is run twice — once on the
+//! sequential reference executor and once on the env-configured pool —
+//! and every `ServiceReport` must be byte-identical; a non-empty
+//! record therefore implies the determinism contract held.
+//! `SIM_BENCH_FAST=1` shrinks problem sizes and job counts for smoke
+//! runs.
+
+use bench::common;
+use fft2d::Architecture;
+use sim_exec::ExecConfig;
+use tenancy::{
+    run_suite, ArbiterKind, Arrivals, JobShape, JobSpec, Scenario, ServiceReport, TenantSpec,
+    Traffic,
+};
+
+const SEED: u64 = 42;
+
+fn open(jobs: u64) -> Traffic {
+    Traffic::Open {
+        arrivals: Arrivals::Immediate,
+        jobs,
+    }
+}
+
+fn tenant(
+    name: &str,
+    arch: Architecture,
+    n: usize,
+    jobs: u64,
+    weight: u64,
+    priority: u8,
+) -> TenantSpec {
+    let mut t = TenantSpec::new(
+        name,
+        JobSpec {
+            arch,
+            n,
+            shape: JobShape::Column,
+        },
+        open(jobs),
+    );
+    t.weight = weight;
+    t.priority = priority;
+    t
+}
+
+/// Mixed-architecture contention: a bulk baseline tenant, a weighted
+/// high-priority optimized tenant, and a tiled tenant in between.
+fn mixed(n: usize, jobs: u64) -> Scenario {
+    Scenario::new(
+        vec![
+            tenant("bulk-baseline", Architecture::Baseline, n, jobs, 1, 0),
+            tenant("prio-optimized", Architecture::Optimized, n, jobs, 3, 2),
+            tenant("steady-tiled", Architecture::Tiled, n, jobs, 1, 1),
+        ],
+        SEED,
+    )
+}
+
+/// Three identical tenants: round-robin must keep their medians close.
+fn fair(n: usize, jobs: u64) -> Scenario {
+    Scenario::new(
+        vec![
+            tenant("peer-a", Architecture::Baseline, n, jobs, 1, 0),
+            tenant("peer-b", Architecture::Baseline, n, jobs, 1, 0),
+            tenant("peer-c", Architecture::Baseline, n, jobs, 1, 0),
+        ],
+        SEED,
+    )
+}
+
+/// Runs one scenario under `kinds` on both executors, asserts
+/// byte-identity, and returns the reference reports.
+fn run_checked(
+    label: &str,
+    scenario: &Scenario,
+    kinds: &[ArbiterKind],
+    exec: &ExecConfig,
+) -> Vec<ServiceReport> {
+    let reference = run_suite(scenario, kinds, &ExecConfig::sequential(), None)
+        .unwrap_or_else(|e| panic!("{label}: reference run failed: {e}"));
+    let pooled = run_suite(scenario, kinds, exec, None)
+        .unwrap_or_else(|e| panic!("{label}: pooled run failed: {e}"));
+    for (r, p) in reference.iter().zip(&pooled) {
+        assert_eq!(
+            r.to_json(),
+            p.to_json(),
+            "{label}/{}: pooled report diverged from the sequential reference",
+            r.policy
+        );
+    }
+    reference
+}
+
+fn emit(scenario_name: &str, reports: &[ServiceReport]) {
+    for rep in reports {
+        for qos in &rep.tenants {
+            println!("{}", qos.to_json(rep.policy, scenario_name, rep.seed));
+        }
+    }
+}
+
+fn main() {
+    let fast_mode = std::env::var("SIM_BENCH_FAST").is_ok_and(|v| v != "0");
+    let (n, jobs) = if fast_mode { (64, 2) } else { (256, 3) };
+    let exec = common::exec_config();
+    common::exec_banner(&exec, 2 * ArbiterKind::ALL.len());
+
+    let mixed_reports = run_checked("mixed", &mixed(n, jobs), &ArbiterKind::ALL, &exec);
+    emit("mixed", &mixed_reports);
+
+    let fair_reports = run_checked("fair", &fair(n, jobs), &[ArbiterKind::RoundRobin], &exec);
+    emit("fair", &fair_reports);
+
+    eprintln!(
+        "tenancy_bench: n={n} jobs/tenant={jobs} policies={} (fast_mode={fast_mode})",
+        ArbiterKind::ALL.len()
+    );
+}

@@ -60,5 +60,5 @@ pub use energy::{AppEnergyReport, PlatformEnergy};
 pub use error::Fft2dError;
 pub use explore::{pareto_front, DesignPoint, Exploration, ExploreFailure, SkipCounts};
 pub use image::MemoryImage;
-pub use phases::{run_phase, DriverConfig, PhaseReport};
+pub use phases::{run_phase, DriverConfig, PendingBeat, PhaseReport, ResumablePhase};
 pub use processor::ProcessorModel;

@@ -22,10 +22,23 @@
 //! into an exact integer rational with denominator 1000, accumulated in
 //! `u128`), so long phases suffer no floating-point precision loss —
 //! an `f64` clock silently drops picoseconds past 2⁵³ ps.
+//!
+//! Two consumption forms exist over the same beat body:
+//!
+//! * [`run_phase`] drives a whole phase to completion, choosing the
+//!   event-driven skip-ahead loop or the scalar reference pipeline by
+//!   [`ServicePath`];
+//! * [`ResumablePhase`] holds a phase **open between beats** so an
+//!   external scheduler (the `tenancy` service) can interleave many
+//!   concurrent phases on one shared [`MemorySystem`], stepping exactly
+//!   one beat at a time. A single resumable phase stepped to completion
+//!   is bit-identical to [`run_phase`] — the scalar beat body is the
+//!   authoritative pacing law on both paths, and the fused spans are
+//!   differentially proven equal to it.
 
 use mem3d::{
     AddressMapKind, MemorySystem, Picos, RequestSource, RunPacing, RunServed, ServicePath,
-    SpanOutcome, TraceOp,
+    SpanOutcome, Stats, TraceOp,
 };
 
 use crate::Fft2dError;
@@ -127,15 +140,15 @@ fn fs_to_picos(fs: u128) -> Picos {
 
 /// Everything one phase carries between beats: the kernel clock, the
 /// read frontier, the delayed write machinery and the report
-/// accumulators. The two drive loops ([`drive_reference`],
-/// [`drive_event`]) share this state and the scalar beat body, so the
-/// `Reference` pipeline and the event-driven skip-ahead path differ
-/// *only* in how they pull and classify work — never in what a beat
-/// does.
-struct PhaseDriver<'m, 'w> {
-    mem: &'m mut MemorySystem,
+/// accumulators. Deliberately **does not** hold the memory system or
+/// the streams — those are threaded through each call — so a phase can
+/// be suspended between beats ([`ResumablePhase`]) while many phases
+/// share one `&mut MemorySystem`. The two drive loops
+/// ([`drive_reference`], [`drive_event`]) and the resumable stepper
+/// share this state and the scalar beat body, so they differ *only* in
+/// how they pull and classify work — never in what a beat does.
+struct DriverState {
     read_map: AddressMapKind,
-    write_src: Option<&'w mut (dyn RequestSource + 'w)>,
     write_map: Option<AddressMapKind>,
     rate_fs: u128,
     window_fs: u128,
@@ -163,22 +176,61 @@ struct PhaseDriver<'m, 'w> {
     pending: std::collections::VecDeque<(Picos, AddressMapKind, TraceOp)>,
 }
 
-impl PhaseDriver<'_, '_> {
+impl DriverState {
+    fn new(
+        cfg: &DriverConfig,
+        read_map: AddressMapKind,
+        write_map: Option<AddressMapKind>,
+        start: Picos,
+    ) -> Result<Self, Fft2dError> {
+        let rate_fs = fs_per_byte(cfg.ps_per_byte)?;
+        Ok(DriverState {
+            read_map,
+            write_map,
+            rate_fs,
+            window_fs: cfg.window_bytes as u128 * rate_fs,
+            write_delay: cfg.write_delay,
+            latency_probe_bytes: cfg.latency_probe_bytes,
+            start,
+            t_kernel_fs: start.as_ps() as u128 * FS_PER_PS,
+            consumed: 0,
+            produced: 0,
+            probe_done: Picos::ZERO,
+            last_beat: start,
+            next_write: None,
+            pending: std::collections::VecDeque::new(),
+        })
+    }
+
+    /// When the *next* read burst will be issued: the prefetch window
+    /// ahead of the kernel consumption point, never before the phase
+    /// start. Pure arithmetic on driver state — peeking does not touch
+    /// the memory system.
+    fn next_arrive(&self) -> Picos {
+        fs_to_picos(self.t_kernel_fs.saturating_sub(self.window_fs)).max(self.start)
+    }
+
     /// One scalar beat: the authoritative per-request body both service
     /// paths share. Issues the read, advances the kernel clock, fires
-    /// the latency probe and schedules/releases delayed writes.
-    fn scalar_beat(&mut self, op: TraceOp) -> Result<(), Fft2dError> {
-        let arrive = fs_to_picos(self.t_kernel_fs.saturating_sub(self.window_fs)).max(self.start);
+    /// the latency probe and schedules/releases delayed writes. Returns
+    /// the read burst's completion time.
+    fn scalar_beat(
+        &mut self,
+        mem: &mut MemorySystem,
+        write_src: Option<&mut (dyn RequestSource + '_)>,
+        op: TraceOp,
+    ) -> Result<Picos, Fft2dError> {
+        let arrive = self.next_arrive();
         // Release writes scheduled before this read's issue point.
         while let Some(&(at, wmap, wop)) = self.pending.front() {
             if at > arrive {
                 break;
             }
             self.pending.pop_front();
-            let wout = self.mem.service_burst(wmap, wop, at)?;
+            let wout = mem.service_burst(wmap, wop, at)?;
             self.last_beat = self.last_beat.max(wout.done);
         }
-        let out = self.mem.service_burst(self.read_map, op, arrive)?;
+        let out = mem.service_burst(self.read_map, op, arrive)?;
         self.last_beat = self.last_beat.max(out.done);
         // The kernel consumes this burst only once it has arrived.
         self.t_kernel_fs = self.t_kernel_fs.max(out.done.as_ps() as u128 * FS_PER_PS)
@@ -192,7 +244,7 @@ impl PhaseDriver<'_, '_> {
         }
         // Schedule result bursts whose inputs have now been consumed,
         // pulling them off the write stream one at a time.
-        if let (Some(src), Some(wmap)) = (self.write_src.as_mut(), self.write_map) {
+        if let (Some(src), Some(wmap)) = (write_src, self.write_map) {
             loop {
                 if self.next_write.is_none() {
                     self.next_write = src.next();
@@ -207,7 +259,7 @@ impl PhaseDriver<'_, '_> {
                 self.next_write = None;
             }
         }
-        Ok(())
+        Ok(out.done)
     }
 
     /// Beat index (within a `beats`-long run of `bytes`-sized beats) the
@@ -248,8 +300,13 @@ impl PhaseDriver<'_, '_> {
     }
 
     /// Drains the write tail and assembles the report.
-    fn finish(mut self, before: mem3d::Stats) -> Result<PhaseReport, Fft2dError> {
-        if let (Some(src), Some(wmap)) = (self.write_src.as_mut(), self.write_map) {
+    fn finish(
+        mut self,
+        mem: &mut MemorySystem,
+        write_src: Option<&mut (dyn RequestSource + '_)>,
+        before: Stats,
+    ) -> Result<PhaseReport, Fft2dError> {
+        if let (Some(src), Some(wmap)) = (write_src, self.write_map) {
             while let Some(wop) = self.next_write.take().or_else(|| src.next()) {
                 self.pending.push_back((
                     fs_to_picos(self.t_kernel_fs) + self.write_delay,
@@ -258,31 +315,26 @@ impl PhaseDriver<'_, '_> {
                 ));
                 self.produced += wop.bytes as u64;
             }
-        }
-        for (at, wmap, wop) in std::mem::take(&mut self.pending) {
-            let wout = self.mem.service_burst(wmap, wop, at)?;
-            self.last_beat = self.last_beat.max(wout.done);
-        }
-        if let Some(src) = self.write_src.as_ref() {
             debug_assert_eq!(
                 self.produced,
                 src.total_bytes(),
                 "every write burst must have been scheduled"
             );
         }
+        for (at, wmap, wop) in std::mem::take(&mut self.pending) {
+            let wout = mem.service_burst(wmap, wop, at)?;
+            self.last_beat = self.last_beat.max(wout.done);
+        }
 
-        let after = self.mem.stats();
-        let acts = after.activations - before.activations;
-        let hits = after.row_hits - before.row_hits;
-        let misses = after.row_misses - before.row_misses;
+        let d = mem.stats().delta(&before);
         Ok(PhaseReport {
-            read_bytes: after.bytes_read - before.bytes_read,
-            write_bytes: after.bytes_written - before.bytes_written,
+            read_bytes: d.bytes_read,
+            write_bytes: d.bytes_written,
             start: self.start,
             end: self.last_beat.max(fs_to_picos(self.t_kernel_fs)),
             probe_done: self.probe_done,
-            activations: acts,
-            row_hit_rate: hit_rate(hits, misses),
+            activations: d.activations,
+            row_hit_rate: hit_rate(d.row_hits, d.row_misses),
         })
     }
 }
@@ -291,11 +343,13 @@ impl PhaseDriver<'_, '_> {
 /// beat body, pulled per-op — the historical driver, kept verbatim for
 /// the [`ServicePath::Reference`] path.
 fn drive_reference(
-    d: &mut PhaseDriver<'_, '_>,
+    d: &mut DriverState,
+    mem: &mut MemorySystem,
     reads: &mut dyn RequestSource,
+    mut write_src: Option<&mut (dyn RequestSource + '_)>,
 ) -> Result<(), Fft2dError> {
     for op in &mut *reads {
-        d.scalar_beat(op)?;
+        d.scalar_beat(mem, write_src.as_deref_mut(), op)?;
     }
     Ok(())
 }
@@ -311,16 +365,18 @@ fn drive_reference(
 /// pessimization this core replaces). Runs are only probed when
 /// nothing needs per-beat attention, i.e. there is no write side.
 fn drive_event(
-    d: &mut PhaseDriver<'_, '_>,
+    d: &mut DriverState,
+    mem: &mut MemorySystem,
     reads: &mut dyn RequestSource,
+    mut write_src: Option<&mut (dyn RequestSource + '_)>,
 ) -> Result<(), Fft2dError> {
     while let Some(mut run) = reads.next_run() {
-        let mut probe = run.op.bytes > 0 && d.write_src.is_none();
+        let mut probe = run.op.bytes > 0 && write_src.is_none();
         while run.beats > 0 {
             if probe && run.beats > 1 {
                 let probe_beat = d.probe_beat(run.op.bytes, run.beats);
                 let pacing = d.pacing(run.op.bytes, probe_beat);
-                match d.mem.service_paced_span(d.read_map, run, &pacing) {
+                match mem.service_paced_span(d.read_map, run, &pacing) {
                     SpanOutcome::Served(served) => {
                         d.apply_served(&served, run.op.bytes);
                         run.op.addr += served.beats as u64 * run.stride;
@@ -331,12 +387,156 @@ fn drive_event(
                     SpanOutcome::Scalar => probe = false,
                 }
             }
-            d.scalar_beat(run.op)?;
+            d.scalar_beat(mem, write_src.as_deref_mut(), run.op)?;
             run.op.addr += run.stride;
             run.beats -= 1;
         }
     }
     Ok(())
+}
+
+/// The next read burst a [`ResumablePhase`] would issue, and when —
+/// what an external arbiter needs to decide which of several contending
+/// phases gets the next grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PendingBeat {
+    /// When the burst will arrive at the controllers (the prefetch
+    /// window ahead of the kernel consumption point, floored at the
+    /// phase start).
+    pub arrive: Picos,
+    /// The burst itself (flat address, length, direction).
+    pub op: TraceOp,
+}
+
+/// One phase held **open between beats**: the same driver state, streams
+/// and scalar beat body as [`run_phase`], but with the memory system
+/// threaded per call instead of borrowed for the whole phase — so an
+/// external scheduler (the `tenancy` service) can interleave many
+/// concurrent phases on one shared [`MemorySystem`], one beat at a time.
+///
+/// The protocol is peek → step → … → finish:
+///
+/// * [`peek`](Self::peek) exposes the next read burst and its arrival
+///   time without touching the memory system;
+/// * [`step`](Self::step) executes exactly one scalar beat (releasing
+///   any due delayed writes first, exactly as `run_phase` would);
+/// * when `step` returns `Ok(None)` the read side is exhausted and
+///   [`finish`](Self::finish) drains the write tail and assembles the
+///   [`PhaseReport`].
+///
+/// A single resumable phase stepped to completion on an otherwise idle
+/// memory system is **bit-identical** to the same phase through
+/// [`run_phase`] — the property suite in `crates/tenancy` proves it
+/// across layouts and sizes. Note the report's byte/activation counters
+/// are measured as a delta on the shared system's statistics, so under
+/// concurrent tenants they include interleaved foreign traffic; the
+/// timing fields (`start`, `end`, `probe_done`) are always exact
+/// per-phase values.
+pub struct ResumablePhase<'s> {
+    state: DriverState,
+    before: Stats,
+    reads: Box<dyn RequestSource + 's>,
+    writes: Option<Box<dyn RequestSource + 's>>,
+    peeked: Option<TraceOp>,
+    read_total: u64,
+    write_total: u64,
+}
+
+impl<'s> ResumablePhase<'s> {
+    /// Opens a phase on `mem` (only its statistics snapshot is taken;
+    /// nothing is serviced yet). `reads`/`writes` are the same lazy
+    /// streams [`run_phase`] takes, boxed so the phase can own them
+    /// across suspension points.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Driver`] for an invalid kernel rate.
+    pub fn new(
+        mem: &MemorySystem,
+        cfg: &DriverConfig,
+        reads: Box<dyn RequestSource + 's>,
+        read_map: AddressMapKind,
+        writes: Option<(Box<dyn RequestSource + 's>, AddressMapKind)>,
+        start: Picos,
+    ) -> Result<Self, Fft2dError> {
+        let (writes, write_map) = match writes {
+            Some((src, map)) => (Some(src), Some(map)),
+            None => (None, None),
+        };
+        Ok(ResumablePhase {
+            state: DriverState::new(cfg, read_map, write_map, start)?,
+            before: mem.stats(),
+            read_total: reads.total_bytes(),
+            write_total: writes.as_ref().map_or(0, |w| w.total_bytes()),
+            reads,
+            writes,
+            peeked: None,
+        })
+    }
+
+    /// The address map the read side decodes through.
+    pub fn read_map(&self) -> AddressMapKind {
+        self.state.read_map
+    }
+
+    /// Total payload bytes this phase will move (read + write side),
+    /// known up front from the streams — the per-phase byte accounting
+    /// that stays exact under concurrent tenants, where the report's
+    /// statistics delta would be polluted by foreign traffic.
+    pub fn total_bytes(&self) -> u64 {
+        self.read_total + self.write_total
+    }
+
+    /// The next read burst and its arrival time, or `None` when the
+    /// read side is exhausted (call [`finish`](Self::finish)). Pulls at
+    /// most one op off the read stream; never touches the memory
+    /// system, so peeking is free to repeat between grants.
+    pub fn peek(&mut self) -> Option<PendingBeat> {
+        if self.peeked.is_none() {
+            self.peeked = self.reads.next();
+        }
+        let op = self.peeked?;
+        Some(PendingBeat {
+            arrive: self.state.next_arrive(),
+            op,
+        })
+    }
+
+    /// Executes exactly one scalar beat against `mem`, returning the
+    /// read burst's completion time — or `Ok(None)` when the read side
+    /// is exhausted and the phase is ready to [`finish`](Self::finish).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Mem`] if a request fails to decode.
+    pub fn step(&mut self, mem: &mut MemorySystem) -> Result<Option<Picos>, Fft2dError> {
+        if self.peeked.is_none() {
+            self.peeked = self.reads.next();
+        }
+        let Some(op) = self.peeked.take() else {
+            return Ok(None);
+        };
+        let done = self
+            .state
+            .scalar_beat(mem, self.writes.as_deref_mut(), op)?;
+        Ok(Some(done))
+    }
+
+    /// Drains the write tail and assembles the [`PhaseReport`], exactly
+    /// as [`run_phase`] would at end of stream.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Mem`] if a trailing write fails to decode.
+    pub fn finish(self, mem: &mut MemorySystem) -> Result<PhaseReport, Fft2dError> {
+        let ResumablePhase {
+            state,
+            before,
+            mut writes,
+            ..
+        } = self;
+        state.finish(mem, writes.as_deref_mut(), before)
+    }
 }
 
 /// Runs one phase: `reads` feed the kernel in order; `writes` (if any)
@@ -370,36 +570,17 @@ pub fn run_phase(
     start: Picos,
 ) -> Result<PhaseReport, Fft2dError> {
     let before = mem.stats();
-    let rate_fs = fs_per_byte(cfg.ps_per_byte)?;
-    let (write_src, write_map) = match writes {
+    let (mut write_src, write_map) = match writes {
         Some((src, map)) => (Some(src), Some(map)),
         None => (None, None),
     };
-    let event = mem.service_path() == ServicePath::Fast;
-    let mut driver = PhaseDriver {
-        mem,
-        read_map,
-        write_src,
-        write_map,
-        rate_fs,
-        window_fs: cfg.window_bytes as u128 * rate_fs,
-        write_delay: cfg.write_delay,
-        latency_probe_bytes: cfg.latency_probe_bytes,
-        start,
-        t_kernel_fs: start.as_ps() as u128 * FS_PER_PS,
-        consumed: 0,
-        produced: 0,
-        probe_done: Picos::ZERO,
-        last_beat: start,
-        next_write: None,
-        pending: std::collections::VecDeque::new(),
-    };
-    if event {
-        drive_event(&mut driver, reads)?;
+    let mut state = DriverState::new(cfg, read_map, write_map, start)?;
+    if mem.service_path() == ServicePath::Fast {
+        drive_event(&mut state, mem, reads, write_src.as_deref_mut())?;
     } else {
-        drive_reference(&mut driver, reads)?;
+        drive_reference(&mut state, mem, reads, write_src.as_deref_mut())?;
     }
-    driver.finish(before)
+    state.finish(mem, write_src, before)
 }
 
 #[cfg(test)]
@@ -601,5 +782,70 @@ mod tests {
             base.end.saturating_sub(base.start),
             "duration must not drift at large offsets"
         );
+    }
+
+    #[test]
+    fn resumable_phase_matches_run_phase_with_writes() {
+        // Step a write-carrying phase beat by beat and compare with the
+        // one-shot driver on a twin device: the report and the device
+        // statistics must be bit-identical.
+        let (mut mem, p) = setup(256);
+        let l = RowMajor::new(&p);
+        let mut writes = row_phase_stream(&l, Direction::Write);
+        let expected = run_phase(
+            &mut mem,
+            &driver(),
+            &mut row_phase_stream(&l, Direction::Read),
+            l.map_kind(),
+            Some((&mut writes, l.map_kind())),
+            Picos::ZERO,
+        )
+        .unwrap();
+
+        let (mut mem2, _) = setup(256);
+        let mut phase = ResumablePhase::new(
+            &mem2,
+            &driver(),
+            Box::new(row_phase_stream(&l, Direction::Read)),
+            l.map_kind(),
+            Some((
+                Box::new(row_phase_stream(&l, Direction::Write)),
+                l.map_kind(),
+            )),
+            Picos::ZERO,
+        )
+        .unwrap();
+        assert_eq!(phase.total_bytes(), 2 * 256 * 256 * 8);
+        let mut beats = 0u64;
+        while let Some(done) = phase.step(&mut mem2).unwrap() {
+            assert!(done > Picos::ZERO);
+            beats += 1;
+        }
+        assert!(beats > 0);
+        let got = phase.finish(&mut mem2).unwrap();
+        assert_eq!(got, expected);
+        assert_eq!(mem2.stats(), mem.stats());
+    }
+
+    #[test]
+    fn resumable_peek_is_stable_and_free() {
+        let (mut mem, p) = setup(64);
+        let l = RowMajor::interleaved(&p);
+        let mut phase = ResumablePhase::new(
+            &mem,
+            &driver(),
+            Box::new(row_phase_stream(&l, Direction::Read)),
+            l.map_kind(),
+            None,
+            Picos::ZERO,
+        )
+        .unwrap();
+        let a = phase.peek().unwrap();
+        let b = phase.peek().unwrap();
+        assert_eq!(a, b, "peek must not consume");
+        assert_eq!(mem.stats().requests, 0, "peek must not touch memory");
+        let done = phase.step(&mut mem).unwrap().unwrap();
+        assert!(done >= a.arrive);
+        assert_eq!(mem.stats().requests, 1);
     }
 }

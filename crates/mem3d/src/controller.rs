@@ -107,6 +107,14 @@ impl VaultController {
         &self.stats
     }
 
+    /// Earliest time the vault's TSV data link is free again — the
+    /// occupancy signal external schedulers (the tenancy service's
+    /// arbiters) use to decide which contending request stream gets the
+    /// next grant on this vault.
+    pub fn tsv_free_at(&self) -> Picos {
+        self.tsv_free_at
+    }
+
     /// Clears statistics but keeps row-buffer state.
     pub fn reset_stats(&mut self) {
         self.stats = Stats::default();

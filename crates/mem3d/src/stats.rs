@@ -99,6 +99,27 @@ impl Stats {
         self.last_beat = self.last_beat.max(done0 + transfer * extra);
     }
 
+    /// Counter-wise difference `self − before` for the monotonic
+    /// counters, keeping the interval fields (`latency_max`,
+    /// `first_beat`, `last_beat`) from `self` — the shape every
+    /// "stats since a snapshot" call site needs (phase reports, stream
+    /// replay summaries, per-tenant service accounting). Subtractions
+    /// saturate, so a mismatched snapshot can never panic mid-run.
+    pub fn delta(&self, before: &Stats) -> Stats {
+        Stats {
+            requests: self.requests.saturating_sub(before.requests),
+            bytes_read: self.bytes_read.saturating_sub(before.bytes_read),
+            bytes_written: self.bytes_written.saturating_sub(before.bytes_written),
+            activations: self.activations.saturating_sub(before.activations),
+            row_hits: self.row_hits.saturating_sub(before.row_hits),
+            row_misses: self.row_misses.saturating_sub(before.row_misses),
+            latency_sum: self.latency_sum.saturating_sub(before.latency_sum),
+            latency_max: self.latency_max,
+            first_beat: self.first_beat,
+            last_beat: self.last_beat,
+        }
+    }
+
     /// Merges another counter set into `self` (used to aggregate vaults).
     pub fn merge(&mut self, other: &Stats) {
         self.requests += other.requests;

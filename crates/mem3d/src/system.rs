@@ -150,6 +150,18 @@ impl MemorySystem {
         &self.controllers[vault]
     }
 
+    /// The vault that would serve a burst starting at flat address
+    /// `addr` under `map_kind` — the routing hook the tenancy service
+    /// uses to group contending request streams by vault controller
+    /// before a beat is actually submitted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::OutOfRange`] when `addr` is outside the device.
+    pub fn vault_of(&self, map_kind: AddressMapKind, addr: u64) -> Result<usize> {
+        Ok(self.maps[map_kind.index()].decode(addr)?.vault)
+    }
+
     /// Chunked-map linearization of a location, used for error reporting
     /// on the location-addressed API.
     fn chunked_flat(g: &Geometry, loc: Location) -> u64 {

@@ -290,17 +290,8 @@ pub fn replay_stream(
         last_done = last_done.max(out.done);
         idx += beats as u64;
     }
-    let after = mem.stats();
-    let mut delta = after;
-    delta.requests -= before.requests;
-    delta.bytes_read -= before.bytes_read;
-    delta.bytes_written -= before.bytes_written;
-    delta.activations -= before.activations;
-    delta.row_hits -= before.row_hits;
-    delta.row_misses -= before.row_misses;
-    delta.latency_sum = after.latency_sum.saturating_sub(before.latency_sum);
     Ok(TraceStats {
-        stats: delta,
+        stats: mem.stats().delta(&before),
         first_data: first_start.unwrap_or(Picos::ZERO),
         makespan: last_done,
     })

@@ -161,6 +161,7 @@ const D002_SCOPE: &[&str] = &[
     "crates/layout/",
     "crates/fpga-model/",
     "crates/sim-exec/",
+    "crates/tenancy/",
     "src/",
 ];
 
@@ -275,6 +276,8 @@ const P001_SCOPE: &[&str] = &[
     "crates/mem3d/src/system.rs",
     "crates/mem3d/src/controller.rs",
     "crates/core/src/phases.rs",
+    "crates/tenancy/src/service.rs",
+    "crates/tenancy/src/arbiter.rs",
 ];
 
 /// P001: no panicking constructs on the service path.
@@ -285,7 +288,7 @@ impl Rule for P001 {
         "P001"
     }
     fn summary(&self) -> &'static str {
-        "no unwrap/expect/panic!/unreachable! in mem3d service path or core::phases"
+        "no unwrap/expect/panic!/unreachable! in mem3d service path, core::phases or tenancy service"
     }
     fn applies_to(&self, path: &str) -> bool {
         P001_SCOPE.contains(&path)

@@ -1,0 +1,375 @@
+//! Vault-grant arbitration between contending tenants.
+//!
+//! The service resolves each memory beat to a vault before it is
+//! submitted ([`mem3d::MemorySystem::vault_of`]); when several
+//! tenants' next beats target the same vault and are all ready by the
+//! time the vault's TSV frees up, an [`Arbiter`] picks which one is
+//! granted. Everything here is on the service path: no panicking
+//! constructs (enforced by simlint rule P001).
+
+use mem3d::Picos;
+
+use crate::{TenancyError, TenantSpec};
+
+/// One contending beat, as the arbiter sees it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Contender {
+    /// Tenant identity (index into the scenario's tenant list).
+    pub tenant: usize,
+    /// Global job id (submission order) — the deterministic tiebreak.
+    pub job: u64,
+    /// The tenant's strict priority (higher wins under
+    /// [`StrictPriority`]).
+    pub priority: u8,
+    /// The tenant's fair-share weight (under [`DeficitWeighted`]).
+    pub weight: u64,
+    /// When this beat is ready to issue.
+    pub ready: Picos,
+    /// Beat size in bytes (the deficit currency).
+    pub bytes: u64,
+}
+
+/// A vault-grant arbitration policy.
+///
+/// `pick` receives the non-empty contender set for one vault and
+/// returns the index **into that slice** of the winner. Implementations
+/// must be deterministic functions of their own state and the slice —
+/// no clocks, no randomness — and must never panic; out-of-range
+/// returns are clamped by the service (defensively) to index 0.
+pub trait Arbiter {
+    /// Policy name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Chooses the winning contender (index into `c`).
+    fn pick(&mut self, vault: usize, c: &[Contender]) -> usize;
+}
+
+/// The built-in policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArbiterKind {
+    /// Cyclic fair-share over tenants, per vault.
+    RoundRobin,
+    /// Highest tenant priority wins; ties to the earliest-ready,
+    /// lowest-id beat.
+    StrictPriority,
+    /// Deficit round robin: byte credits refilled proportionally to
+    /// tenant weights.
+    DeficitWeighted,
+}
+
+impl ArbiterKind {
+    /// All built-in policies, for sweeps.
+    pub const ALL: [ArbiterKind; 3] = [
+        ArbiterKind::RoundRobin,
+        ArbiterKind::StrictPriority,
+        ArbiterKind::DeficitWeighted,
+    ];
+
+    /// Stable policy name (also the JSON `policy` field).
+    pub fn name(self) -> &'static str {
+        match self {
+            ArbiterKind::RoundRobin => "round_robin",
+            ArbiterKind::StrictPriority => "strict_priority",
+            ArbiterKind::DeficitWeighted => "deficit_weighted",
+        }
+    }
+
+    /// Parses a policy name as printed by [`name`](Self::name).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TenancyError::Config`] for an unknown name.
+    pub fn parse(s: &str) -> Result<ArbiterKind, TenancyError> {
+        match s {
+            "round_robin" => Ok(ArbiterKind::RoundRobin),
+            "strict_priority" => Ok(ArbiterKind::StrictPriority),
+            "deficit_weighted" => Ok(ArbiterKind::DeficitWeighted),
+            other => Err(TenancyError::Config(format!(
+                "unknown arbitration policy '{other}' \
+                 (round_robin | strict_priority | deficit_weighted)"
+            ))),
+        }
+    }
+
+    /// Instantiates the policy for a tenant set.
+    pub fn build(self, tenants: &[TenantSpec], vaults: usize) -> Box<dyn Arbiter> {
+        match self {
+            ArbiterKind::RoundRobin => Box::new(RoundRobin::new(tenants.len(), vaults)),
+            ArbiterKind::StrictPriority => Box::new(StrictPriority),
+            ArbiterKind::DeficitWeighted => Box::new(DeficitWeighted::new(
+                tenants.iter().map(|t| t.weight).collect(),
+                vaults,
+            )),
+        }
+    }
+}
+
+/// Per-vault cyclic order over tenant ids: after tenant `t` is granted,
+/// the next grant on that vault prefers tenant `t + 1`, wrapping. A
+/// tenant with several runnable jobs still gets one grant per cycle —
+/// fairness is per tenant, not per job. Ties within a tenant go to the
+/// lowest job id.
+pub struct RoundRobin {
+    tenants: usize,
+    /// Per vault: the tenant id the next grant starts scanning from.
+    cursor: Vec<usize>,
+}
+
+impl RoundRobin {
+    /// A round-robin arbiter for `tenants` tenants across `vaults`
+    /// vaults.
+    pub fn new(tenants: usize, vaults: usize) -> Self {
+        RoundRobin {
+            tenants: tenants.max(1),
+            cursor: vec![0; vaults.max(1)],
+        }
+    }
+}
+
+impl Arbiter for RoundRobin {
+    fn name(&self) -> &'static str {
+        "round_robin"
+    }
+
+    fn pick(&mut self, vault: usize, c: &[Contender]) -> usize {
+        let cur = self.cursor.get(vault).copied().unwrap_or(0);
+        // Distance from the cursor in cyclic tenant order; the closest
+        // tenant wins, its lowest job id within the tenant.
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, u64::MAX);
+        for (i, cand) in c.iter().enumerate() {
+            let dist = (cand.tenant + self.tenants - cur % self.tenants) % self.tenants;
+            let key = (dist, cand.job);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        if let (Some(slot), Some(winner)) = (self.cursor.get_mut(vault), c.get(best)) {
+            *slot = (winner.tenant + 1) % self.tenants;
+        }
+        best
+    }
+}
+
+/// Highest tenant priority wins; ties broken by earliest ready time,
+/// then lowest tenant id, then lowest job id. A starved low-priority
+/// tenant is the expected outcome — that is what the policy measures.
+pub struct StrictPriority;
+
+impl Arbiter for StrictPriority {
+    fn name(&self) -> &'static str {
+        "strict_priority"
+    }
+
+    fn pick(&mut self, _vault: usize, c: &[Contender]) -> usize {
+        let mut best = 0usize;
+        let mut best_key = (0u8, Picos(u64::MAX), usize::MAX, u64::MAX);
+        for (i, cand) in c.iter().enumerate() {
+            // Max priority, then min (ready, tenant, job): invert the
+            // priority so one lexicographic max works.
+            let key = (cand.priority, cand.ready, cand.tenant, cand.job);
+            let better = key.0 > best_key.0
+                || (key.0 == best_key.0
+                    && (key.1, key.2, key.3) < (best_key.1, best_key.2, best_key.3));
+            if i == 0 || better {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+/// Refill quantum multiplier: each refill adds `QUANTUM × weight` byte
+/// credits per tenant. One typical TSV burst is ≤ 8 KiB, so a weight-1
+/// tenant earns one typical beat per refill round.
+const QUANTUM_BYTES: u64 = 4096;
+
+/// Credits are capped at this many quanta × weight so an idle tenant
+/// cannot bank unbounded credit and then monopolize the vault.
+const CREDIT_CAP_QUANTA: u64 = 8;
+
+/// Refill rounds per `pick` before falling back to the deterministic
+/// tiebreak — bounds the loop without a panic on pathological inputs
+/// (e.g. a beat larger than any reachable credit).
+const MAX_REFILL_ROUNDS: u32 = 64;
+
+/// Deficit round robin (Shreedhar & Varghese) at byte granularity:
+/// every tenant holds a per-vault credit balance; a grant costs the
+/// beat's bytes; when nobody can afford their beat, all balances are
+/// refilled by `QUANTUM × weight`. Long-run vault bandwidth then
+/// converges to the weight ratio regardless of beat sizes.
+pub struct DeficitWeighted {
+    weights: Vec<u64>,
+    /// `credit[vault][tenant]`, saturating arithmetic throughout.
+    credit: Vec<Vec<u64>>,
+}
+
+impl DeficitWeighted {
+    /// A deficit-weighted arbiter for the given per-tenant weights.
+    pub fn new(weights: Vec<u64>, vaults: usize) -> Self {
+        let tenants = weights.len().max(1);
+        DeficitWeighted {
+            weights,
+            credit: vec![vec![0; tenants]; vaults.max(1)],
+        }
+    }
+}
+
+impl Arbiter for DeficitWeighted {
+    fn name(&self) -> &'static str {
+        "deficit_weighted"
+    }
+
+    fn pick(&mut self, vault: usize, c: &[Contender]) -> usize {
+        let Some(credit) = self.credit.get_mut(vault) else {
+            return 0;
+        };
+        for _ in 0..MAX_REFILL_ROUNDS {
+            // Richest affordable contender; ties to lowest (tenant, job).
+            let mut best: Option<(usize, u64)> = None;
+            for (i, cand) in c.iter().enumerate() {
+                let bal = credit.get(cand.tenant).copied().unwrap_or(0);
+                if bal < cand.bytes.max(1) {
+                    continue;
+                }
+                let better = match best {
+                    None => true,
+                    Some((bi, bb)) => {
+                        bal > bb
+                            || (bal == bb
+                                && c.get(bi)
+                                    .is_some_and(|b| (cand.tenant, cand.job) < (b.tenant, b.job)))
+                    }
+                };
+                if better {
+                    best = Some((i, bal));
+                }
+            }
+            if let Some((i, _)) = best {
+                if let Some(winner) = c.get(i) {
+                    if let Some(bal) = credit.get_mut(winner.tenant) {
+                        *bal = bal.saturating_sub(winner.bytes.max(1));
+                    }
+                }
+                return i;
+            }
+            // Nobody can afford their beat: refill every *contending*
+            // tenant proportionally to weight, up to the cap.
+            for cand in c {
+                let w = self.weights.get(cand.tenant).copied().unwrap_or(1).max(1);
+                if let Some(bal) = credit.get_mut(cand.tenant) {
+                    *bal = bal
+                        .saturating_add(QUANTUM_BYTES * w)
+                        .min(CREDIT_CAP_QUANTA * QUANTUM_BYTES * w);
+                }
+            }
+        }
+        // Pathological beat size: deterministic fallback, no panic.
+        let mut best = 0usize;
+        let mut best_key = (usize::MAX, u64::MAX);
+        for (i, cand) in c.iter().enumerate() {
+            let key = (cand.tenant, cand.job);
+            if key < best_key {
+                best_key = key;
+                best = i;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cont(tenant: usize, job: u64, priority: u8, weight: u64, bytes: u64) -> Contender {
+        Contender {
+            tenant,
+            job,
+            priority,
+            weight,
+            ready: Picos::ZERO,
+            bytes,
+        }
+    }
+
+    #[test]
+    fn round_robin_cycles_tenants() {
+        let mut rr = RoundRobin::new(3, 2);
+        let c = [
+            cont(0, 0, 0, 1, 64),
+            cont(1, 1, 0, 1, 64),
+            cont(2, 2, 0, 1, 64),
+        ];
+        let first = rr.pick(0, &c);
+        assert_eq!(c[first].tenant, 0);
+        let second = rr.pick(0, &c);
+        assert_eq!(c[second].tenant, 1);
+        let third = rr.pick(0, &c);
+        assert_eq!(c[third].tenant, 2);
+        let wrap = rr.pick(0, &c);
+        assert_eq!(c[wrap].tenant, 0);
+        // Vault 1 has its own cursor.
+        assert_eq!(c[rr.pick(1, &c)].tenant, 0);
+    }
+
+    #[test]
+    fn round_robin_skips_absent_tenants() {
+        let mut rr = RoundRobin::new(3, 1);
+        let c = [cont(2, 5, 0, 1, 64)];
+        assert_eq!(rr.pick(0, &c), 0);
+        // Cursor advanced past tenant 2 → back to 0.
+        let c2 = [cont(0, 6, 0, 1, 64), cont(2, 7, 0, 1, 64)];
+        assert_eq!(c2[rr.pick(0, &c2)].tenant, 0);
+    }
+
+    #[test]
+    fn strict_priority_prefers_high_then_ties_deterministically() {
+        let mut sp = StrictPriority;
+        let c = [
+            cont(0, 0, 1, 1, 64),
+            cont(1, 1, 3, 1, 64),
+            cont(2, 2, 3, 1, 64),
+        ];
+        let w = sp.pick(0, &c);
+        assert_eq!(c[w].tenant, 1, "highest priority, lowest tenant id");
+    }
+
+    #[test]
+    fn deficit_weighted_tracks_weight_ratio() {
+        // Weight 3 vs 1 on one vault, equal beats: tenant 0 should get
+        // ~3× the grants over a long horizon.
+        let mut dw = DeficitWeighted::new(vec![3, 1], 1);
+        let c = [cont(0, 0, 0, 3, 4096), cont(1, 1, 0, 1, 4096)];
+        let mut grants = [0u32; 2];
+        for _ in 0..400 {
+            let w = dw.pick(0, &c);
+            grants[c[w].tenant] += 1;
+        }
+        let ratio = grants[0] as f64 / grants[1] as f64;
+        assert!(
+            (2.5..=3.5).contains(&ratio),
+            "grant ratio {ratio} should track the 3:1 weights ({grants:?})"
+        );
+    }
+
+    #[test]
+    fn deficit_weighted_survives_huge_beats() {
+        // A beat larger than the credit cap can never be afforded; the
+        // bounded loop must fall back, not spin or panic.
+        let mut dw = DeficitWeighted::new(vec![1, 1], 1);
+        let c = [cont(1, 9, 0, 1, u64::MAX), cont(0, 3, 0, 1, u64::MAX)];
+        let w = dw.pick(0, &c);
+        assert_eq!(c[w].tenant, 0, "fallback is min (tenant, job)");
+    }
+
+    #[test]
+    fn kind_parse_round_trips() {
+        for k in ArbiterKind::ALL {
+            assert_eq!(ArbiterKind::parse(k.name()).unwrap(), k);
+        }
+        assert!(ArbiterKind::parse("lottery").is_err());
+    }
+}

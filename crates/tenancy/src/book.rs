@@ -1,0 +1,405 @@
+//! Per-tenant job recipes: the layouts, processor models and driver
+//! configurations each tenant's jobs run with.
+//!
+//! The recipes here mirror `fft2d::System::column_phase` and
+//! `fft2d::System::run_app` **exactly** — same layouts, same streams,
+//! same driver knobs, same write delays. The equivalence suite pins
+//! this: a single-tenant service run must be bit-identical to the
+//! direct `run_phase` calls, so any drift between the two recipe sets
+//! is a test failure, not a silent divergence.
+
+use fft2d::{Architecture, DriverConfig, ProcessorModel, ResumablePhase, SystemConfig};
+use layout::{
+    band_block_write_stream, col_phase_stream, optimal_h_bounded, row_phase_stream,
+    tile_band_write_stream, tile_sweep_stream, BlockDynamic, LayoutParams, MatrixLayout, ReorgCost,
+    RowMajor, Tiled,
+};
+use mem3d::{Direction, MemorySystem, Picos};
+
+use crate::{JobShape, OffsetSource, TenancyError, TenantSpec};
+
+/// One tenant's prepared runtime: everything needed to open a phase of
+/// one of its jobs against the shared memory system.
+struct Entry {
+    shape: JobShape,
+    arch: Architecture,
+    /// Row-major layout on the contiguous (chunked) map — the
+    /// baseline's input and intermediate array.
+    row: RowMajor,
+    /// Row-major layout on the vault-interleaved map — the optimized
+    /// and tiled architectures' input array.
+    inter: RowMajor,
+    /// The optimized architecture's block dynamic data layout.
+    ddl: Option<BlockDynamic>,
+    /// The tiled (Akin et al.) layout.
+    tiled: Option<Tiled>,
+    proc: ProcessorModel,
+    /// Phase-1 write delay (kernel latency, plus reorganization fill
+    /// for the reshaping architectures).
+    write_delay1: Picos,
+    /// One column of the matrix in bytes — the phase-2 latency probe.
+    col_bytes: u64,
+    /// Flat bytes of address space one matrix occupies.
+    footprint: u64,
+}
+
+/// The prepared scenario: per-tenant recipes plus the assigned arena
+/// base addresses. Lives for the whole service run; open phases borrow
+/// their layouts from it.
+pub(crate) struct SpecBook {
+    window_bytes: u64,
+    entries: Vec<Entry>,
+    bases: Vec<u64>,
+}
+
+impl SpecBook {
+    /// Prepares every tenant's recipe and assigns disjoint arenas.
+    pub(crate) fn build(
+        platform: &SystemConfig,
+        tenants: &[TenantSpec],
+    ) -> Result<SpecBook, TenancyError> {
+        let mut entries = Vec::with_capacity(tenants.len());
+        for t in tenants {
+            entries.push(Entry::build(platform, t)?);
+        }
+        // Arena assignment: explicit bases win; the rest are packed in
+        // tenant order after the largest explicit arena, aligned so no
+        // DRAM row (or bank set, under the chunked map) is shared
+        // between tenants. Tenant 0 defaults to address 0 so the
+        // degenerate single-tenant run matches the unoffset direct run.
+        let geom = &platform.geometry;
+        let align = (geom.row_bytes as u64)
+            .saturating_mul(geom.banks_per_layer as u64)
+            .saturating_mul(geom.layers as u64)
+            .max(1);
+        let round_up = |v: u64| v.div_ceil(align) * align;
+        let mut bases = vec![0u64; tenants.len()];
+        let mut cursor = 0u64;
+        for (i, t) in tenants.iter().enumerate() {
+            if let Some(b) = t.base_offset {
+                bases[i] = b;
+                cursor = cursor.max(round_up(b + entries[i].footprint));
+            }
+        }
+        for (i, t) in tenants.iter().enumerate() {
+            if t.base_offset.is_none() {
+                bases[i] = cursor;
+                cursor = round_up(cursor + entries[i].footprint);
+            }
+        }
+        let capacity = geom.capacity_bytes();
+        for (i, t) in tenants.iter().enumerate() {
+            let end = bases[i] + entries[i].footprint;
+            if end > capacity {
+                return Err(TenancyError::Config(format!(
+                    "tenant {i} ({}) arena [{}, {end}) exceeds the {capacity}-byte device",
+                    t.name, bases[i]
+                )));
+            }
+        }
+        Ok(SpecBook {
+            window_bytes: platform.window_bytes,
+            entries,
+            bases,
+        })
+    }
+
+    /// The flat base address of tenant `t`'s arena.
+    pub(crate) fn base(&self, t: usize) -> u64 {
+        self.bases.get(t).copied().unwrap_or(0)
+    }
+
+    /// Phases a job of tenant `t` runs through.
+    pub(crate) fn phases(&self, t: usize) -> usize {
+        self.entries.get(t).map_or(0, |e| e.shape.phases())
+    }
+
+    fn driver(&self, e: &Entry, write_delay: Picos, probe: u64) -> DriverConfig {
+        DriverConfig {
+            ps_per_byte: e.proc.ps_per_byte(),
+            window_bytes: self.window_bytes,
+            write_delay,
+            latency_probe_bytes: probe,
+        }
+    }
+
+    /// Opens phase `phase` of one of tenant `t`'s jobs at `start`,
+    /// rebased into the tenant's arena. The stream/layout/driver
+    /// combinations replicate `System::column_phase` / `run_app`
+    /// exactly (see module docs).
+    pub(crate) fn open_phase<'b>(
+        &'b self,
+        mem: &MemorySystem,
+        t: usize,
+        phase: usize,
+        start: Picos,
+    ) -> Result<ResumablePhase<'b>, TenancyError> {
+        let Some(e) = self.entries.get(t) else {
+            return Err(TenancyError::Config(format!("unknown tenant {t}")));
+        };
+        let base = self.base(t);
+        let cfg_col = |probe: u64| self.driver(e, Picos::ZERO, probe);
+        let phase = match (e.shape, phase, e.arch) {
+            // The column phase in isolation (Table 1's unit of work).
+            (JobShape::Column, 0, Architecture::Baseline) => ResumablePhase::new(
+                mem,
+                &cfg_col(0),
+                Box::new(OffsetSource::new(
+                    col_phase_stream(&e.row, Direction::Read, 1),
+                    base,
+                )),
+                e.row.map_kind(),
+                None,
+                start,
+            )?,
+            (JobShape::Column, 0, Architecture::Optimized) => {
+                let ddl = e.ddl()?;
+                ResumablePhase::new(
+                    mem,
+                    &cfg_col(0),
+                    Box::new(OffsetSource::new(
+                        col_phase_stream(ddl, Direction::Read, ddl.w),
+                        base,
+                    )),
+                    ddl.map_kind(),
+                    None,
+                    start,
+                )?
+            }
+            (JobShape::Column, 0, Architecture::Tiled) => {
+                let tiled = e.tiled()?;
+                ResumablePhase::new(
+                    mem,
+                    &cfg_col(0),
+                    Box::new(OffsetSource::new(
+                        tile_sweep_stream(tiled, Direction::Read),
+                        base,
+                    )),
+                    tiled.map_kind(),
+                    None,
+                    start,
+                )?
+            }
+            // The full application's row phase (reads input, writes the
+            // intermediate array through the architecture's layout).
+            (JobShape::App, 0, Architecture::Baseline) => ResumablePhase::new(
+                mem,
+                &self.driver(e, e.write_delay1, 0),
+                Box::new(OffsetSource::new(
+                    row_phase_stream(&e.row, Direction::Read),
+                    base,
+                )),
+                e.row.map_kind(),
+                Some((
+                    Box::new(OffsetSource::new(
+                        row_phase_stream(&e.row, Direction::Write),
+                        base,
+                    )),
+                    e.row.map_kind(),
+                )),
+                start,
+            )?,
+            (JobShape::App, 0, Architecture::Optimized) => {
+                let ddl = e.ddl()?;
+                ResumablePhase::new(
+                    mem,
+                    &self.driver(e, e.write_delay1, 0),
+                    Box::new(OffsetSource::new(
+                        row_phase_stream(&e.inter, Direction::Read),
+                        base,
+                    )),
+                    e.inter.map_kind(),
+                    Some((
+                        Box::new(OffsetSource::new(band_block_write_stream(ddl), base)),
+                        ddl.map_kind(),
+                    )),
+                    start,
+                )?
+            }
+            (JobShape::App, 0, Architecture::Tiled) => {
+                let tiled = e.tiled()?;
+                ResumablePhase::new(
+                    mem,
+                    &self.driver(e, e.write_delay1, 0),
+                    Box::new(OffsetSource::new(
+                        row_phase_stream(&e.inter, Direction::Read),
+                        base,
+                    )),
+                    e.inter.map_kind(),
+                    Some((
+                        Box::new(OffsetSource::new(tile_band_write_stream(tiled), base)),
+                        tiled.map_kind(),
+                    )),
+                    start,
+                )?
+            }
+            // The application's column phase, latency-probed on the
+            // first column.
+            (JobShape::App, 1, Architecture::Baseline) => ResumablePhase::new(
+                mem,
+                &cfg_col(e.col_bytes),
+                Box::new(OffsetSource::new(
+                    col_phase_stream(&e.row, Direction::Read, 1),
+                    base,
+                )),
+                e.row.map_kind(),
+                None,
+                start,
+            )?,
+            (JobShape::App, 1, Architecture::Optimized) => {
+                let ddl = e.ddl()?;
+                ResumablePhase::new(
+                    mem,
+                    &cfg_col(e.col_bytes),
+                    Box::new(OffsetSource::new(
+                        col_phase_stream(ddl, Direction::Read, ddl.w),
+                        base,
+                    )),
+                    ddl.map_kind(),
+                    None,
+                    start,
+                )?
+            }
+            (JobShape::App, 1, Architecture::Tiled) => {
+                let tiled = e.tiled()?;
+                ResumablePhase::new(
+                    mem,
+                    &cfg_col(e.col_bytes),
+                    Box::new(OffsetSource::new(
+                        tile_sweep_stream(tiled, Direction::Read),
+                        base,
+                    )),
+                    tiled.map_kind(),
+                    None,
+                    start,
+                )?
+            }
+            (shape, p, _) => {
+                return Err(TenancyError::Config(format!(
+                    "phase {p} out of range for a {} job",
+                    shape.name()
+                )))
+            }
+        };
+        Ok(phase)
+    }
+}
+
+impl Entry {
+    fn build(platform: &SystemConfig, t: &TenantSpec) -> Result<Entry, TenancyError> {
+        let n = t.job.n;
+        let params = LayoutParams::for_device(n, &platform.geometry, &platform.timing);
+        let row = RowMajor::new(&params);
+        let inter = RowMajor::interleaved(&params);
+        let (ddl, tiled, reorg_h) = match t.job.arch {
+            Architecture::Baseline => (None, None, 0),
+            Architecture::Optimized => {
+                let h = optimal_h_bounded(&params, platform.reorg_budget_bytes);
+                let ddl =
+                    BlockDynamic::with_height(&params, h).map_err(fft2d::Fft2dError::Layout)?;
+                (Some(ddl), None, h)
+            }
+            Architecture::Tiled => {
+                let tl = Tiled::row_buffer_sized(&params).map_err(fft2d::Fft2dError::Layout)?;
+                let h = tl.tile_rows();
+                (None, Some(tl), h)
+            }
+        };
+        let proc = ProcessorModel::new(&params, platform.lanes, reorg_h, &platform.budget)?;
+        let write_delay1 = match t.job.arch {
+            Architecture::Baseline => proc.kernel_latency(),
+            Architecture::Optimized | Architecture::Tiled => {
+                let reorg = ReorgCost::evaluate(&params, reorg_h, platform.lanes, proc.clock());
+                proc.kernel_latency() + reorg.fill_latency
+            }
+        };
+        let footprint = (n as u64) * (n as u64) * params.elem_bytes as u64;
+        Ok(Entry {
+            shape: t.job.shape,
+            arch: t.job.arch,
+            row,
+            inter,
+            ddl,
+            tiled,
+            proc,
+            write_delay1,
+            col_bytes: (n * params.elem_bytes) as u64,
+            footprint,
+        })
+    }
+
+    fn ddl(&self) -> Result<&BlockDynamic, TenancyError> {
+        self.ddl
+            .as_ref()
+            .ok_or_else(|| TenancyError::Config("optimized recipe without a block layout".into()))
+    }
+
+    fn tiled(&self) -> Result<&Tiled, TenancyError> {
+        self.tiled
+            .as_ref()
+            .ok_or_else(|| TenancyError::Config("tiled recipe without a tiled layout".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Arrivals, JobSpec, Traffic};
+
+    fn tenant(arch: Architecture, n: usize, shape: JobShape) -> TenantSpec {
+        TenantSpec::new(
+            "t",
+            JobSpec { arch, n, shape },
+            Traffic::Open {
+                arrivals: Arrivals::Immediate,
+                jobs: 1,
+            },
+        )
+    }
+
+    #[test]
+    fn arenas_are_disjoint_and_aligned() {
+        let platform = SystemConfig::default();
+        let tenants = vec![
+            tenant(Architecture::Baseline, 256, JobShape::Column),
+            tenant(Architecture::Optimized, 128, JobShape::App),
+            tenant(Architecture::Tiled, 64, JobShape::Column),
+        ];
+        let book = SpecBook::build(&platform, &tenants).unwrap();
+        assert_eq!(book.base(0), 0, "tenant 0 anchors at address 0");
+        let fp0 = 256u64 * 256 * 8;
+        assert!(book.base(1) >= fp0);
+        assert!(book.base(2) > book.base(1));
+        let align = platform.geometry.row_bytes as u64
+            * platform.geometry.banks_per_layer as u64
+            * platform.geometry.layers as u64;
+        assert_eq!(book.base(1) % align, 0);
+        assert_eq!(book.base(2) % align, 0);
+    }
+
+    #[test]
+    fn oversized_tenant_is_rejected() {
+        let platform = SystemConfig::default();
+        let mut t = tenant(Architecture::Baseline, 64, JobShape::Column);
+        t.base_offset = Some(platform.geometry.capacity_bytes());
+        assert!(matches!(
+            SpecBook::build(&platform, &[t]),
+            Err(TenancyError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn phase_counts_follow_shape() {
+        let platform = SystemConfig::default();
+        let tenants = vec![
+            tenant(Architecture::Baseline, 64, JobShape::Column),
+            tenant(Architecture::Baseline, 64, JobShape::App),
+        ];
+        let book = SpecBook::build(&platform, &tenants).unwrap();
+        assert_eq!(book.phases(0), 1);
+        assert_eq!(book.phases(1), 2);
+        let mem = MemorySystem::new(platform.geometry, platform.timing);
+        assert!(book.open_phase(&mem, 0, 1, Picos::ZERO).is_err());
+        assert!(book.open_phase(&mem, 1, 1, Picos::ZERO).is_ok());
+    }
+}

@@ -1,0 +1,82 @@
+//! Per-tenant address-space placement.
+//!
+//! Every layout generator in the workspace emits matrix-relative
+//! addresses starting at 0. To give each tenant a private arena on the
+//! shared device, the service wraps each job's streams in an
+//! [`OffsetSource`] that rebases every op — runs, strides and beat
+//! structure pass through untouched, so the event core's fusion
+//! opportunities are preserved bit-for-bit.
+
+use mem3d::{RequestSource, TraceOp, TraceRun};
+
+/// A [`RequestSource`] adapter adding a constant base address to every
+/// op. With `base = 0` it is a perfect no-op wrapper (the degenerate
+/// single-tenant equivalence relies on this).
+#[derive(Debug)]
+pub struct OffsetSource<S> {
+    inner: S,
+    base: u64,
+}
+
+impl<S: RequestSource> OffsetSource<S> {
+    /// Rebases `inner` by `base` bytes.
+    pub fn new(inner: S, base: u64) -> Self {
+        OffsetSource { inner, base }
+    }
+}
+
+impl<S: RequestSource> Iterator for OffsetSource<S> {
+    type Item = TraceOp;
+
+    fn next(&mut self) -> Option<TraceOp> {
+        self.inner.next().map(|op| TraceOp {
+            addr: op.addr + self.base,
+            ..op
+        })
+    }
+}
+
+impl<S: RequestSource> RequestSource for OffsetSource<S> {
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+
+    fn next_run(&mut self) -> Option<TraceRun> {
+        self.inner.next_run().map(|run| TraceRun {
+            op: TraceOp {
+                addr: run.op.addr + self.base,
+                ..run.op
+            },
+            ..run
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem3d::StridedSource;
+
+    #[test]
+    fn rebases_ops_and_runs() {
+        let mut src = OffsetSource::new(StridedSource::read(0, 8, 64, 4), 1 << 20);
+        assert_eq!(src.total_bytes(), 32);
+        assert_eq!(src.next().unwrap().addr, 1 << 20);
+        let run = src.next_run().unwrap();
+        assert_eq!(run.op.addr, (1 << 20) + 64);
+        assert_eq!(run.stride, 64);
+    }
+
+    #[test]
+    fn zero_base_is_identity() {
+        let mut plain = StridedSource::read(128, 8, 64, 4);
+        let mut wrapped = OffsetSource::new(StridedSource::read(128, 8, 64, 4), 0);
+        loop {
+            let (a, b) = (plain.next_run(), wrapped.next_run());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
+    }
+}

@@ -1,0 +1,223 @@
+//! Per-tenant quality-of-service accounting and the service report.
+//!
+//! All latency bookkeeping is integer picoseconds; floats appear only
+//! at the reporting boundary (bandwidth in GB/s, slowdown ratios) —
+//! the same discipline the rest of the workspace follows.
+
+use mem3d::{Picos, Stats};
+use sim_util::json::JsonObject;
+
+use crate::AdmissionCounts;
+
+/// One completed job's lifecycle timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobRecord {
+    /// Global job id (submission order).
+    pub job: u64,
+    /// Owning tenant (index into the scenario's tenant list).
+    pub tenant: usize,
+    /// Closed-loop client index within the tenant (0 for open loop).
+    pub client: usize,
+    /// When the traffic model submitted the job.
+    pub submitted: Picos,
+    /// When the job got a run slot.
+    pub admitted: Picos,
+    /// When the job's last phase ended (write tail drained).
+    pub completed: Picos,
+    /// Payload bytes the job moved (reads + writes, from the streams —
+    /// exact even under concurrent tenants).
+    pub bytes: u64,
+}
+
+impl JobRecord {
+    /// End-to-end latency: submission to completion (includes queue
+    /// wait).
+    pub fn latency(&self) -> Picos {
+        self.completed.saturating_sub(self.submitted)
+    }
+
+    /// Time spent waiting for a run slot.
+    pub fn queue_wait(&self) -> Picos {
+        self.admitted.saturating_sub(self.submitted)
+    }
+}
+
+/// Nearest-rank percentile over a **sorted ascending** slice; zero for
+/// an empty slice. `pct` is clamped to `[1, 100]`.
+pub fn percentile(sorted_ps: &[u64], pct: u64) -> Picos {
+    if sorted_ps.is_empty() {
+        return Picos::ZERO;
+    }
+    let pct = pct.clamp(1, 100);
+    let rank = (pct * sorted_ps.len() as u64).div_ceil(100).max(1) - 1;
+    let idx = (rank as usize).min(sorted_ps.len() - 1);
+    Picos(sorted_ps[idx])
+}
+
+/// One tenant's QoS summary over a service run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantQos {
+    /// Tenant display name.
+    pub name: String,
+    /// Tenant id.
+    pub tenant: usize,
+    /// Per-tenant admission ledger.
+    pub counts: AdmissionCounts,
+    /// Median job latency (submission → completion).
+    pub latency_p50: Picos,
+    /// 95th-percentile job latency.
+    pub latency_p95: Picos,
+    /// 99th-percentile job latency.
+    pub latency_p99: Picos,
+    /// Median queue wait.
+    pub queue_wait_p50: Picos,
+    /// Payload bytes moved by this tenant's completed jobs.
+    pub bytes: u64,
+    /// Tenant payload bytes over the whole run's makespan, in GB/s.
+    pub achieved_gbps: f64,
+    /// This tenant's single-job latency on an otherwise idle system
+    /// (same arena, same recipe).
+    pub isolated_latency: Picos,
+    /// `latency_p50 / isolated_latency` — how much the shared system
+    /// slowed the tenant down; 1.0 means no interference at all.
+    pub slowdown_p50: f64,
+}
+
+impl TenantQos {
+    /// One JSON line for this tenant under `policy` (the bench row
+    /// format recorded into `BENCH_tenancy.json`).
+    pub fn to_json(&self, policy: &str, scenario: &str, seed: u64) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("group", "tenancy");
+        o.field_str("scenario", scenario);
+        o.field_str("policy", policy);
+        o.field_u64("seed", seed);
+        o.field_str("tenant", &self.name);
+        o.field_u64("tenant_id", self.tenant as u64);
+        o.field_u64("submitted", self.counts.submitted);
+        o.field_u64("completed", self.counts.completed());
+        o.field_u64("rejected", self.counts.rejected);
+        o.field_u64("timed_out", self.counts.timed_out);
+        o.field_u64("p50_ps", self.latency_p50.as_ps());
+        o.field_u64("p95_ps", self.latency_p95.as_ps());
+        o.field_u64("p99_ps", self.latency_p99.as_ps());
+        o.field_u64("queue_wait_p50_ps", self.queue_wait_p50.as_ps());
+        o.field_u64("bytes", self.bytes);
+        o.field_f64("gbps", self.achieved_gbps);
+        o.field_u64("isolated_ps", self.isolated_latency.as_ps());
+        o.field_f64("slowdown_p50", self.slowdown_p50);
+        o.finish()
+    }
+}
+
+/// The complete result of one service run under one policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceReport {
+    /// Arbitration policy name.
+    pub policy: &'static str,
+    /// Scenario seed the traffic was generated from.
+    pub seed: u64,
+    /// Per-tenant QoS, in tenant-id order.
+    pub tenants: Vec<TenantQos>,
+    /// Every completed job, in completion order.
+    pub jobs: Vec<JobRecord>,
+    /// Whole-run admission ledger (sum of the tenants').
+    pub counts: AdmissionCounts,
+    /// Last completion time.
+    pub makespan: Picos,
+    /// The shared memory system's counters over the whole run.
+    pub system: Stats,
+}
+
+impl ServiceReport {
+    /// The whole report as one JSON line — the byte-identity artifact
+    /// the determinism suite and CI compare across thread counts.
+    pub fn to_json(&self) -> String {
+        let mut o = JsonObject::new();
+        o.field_str("policy", self.policy);
+        o.field_u64("seed", self.seed);
+        o.field_u64("makespan_ps", self.makespan.as_ps());
+        o.field_u64("submitted", self.counts.submitted);
+        o.field_u64("admitted", self.counts.admitted);
+        o.field_u64("rejected", self.counts.rejected);
+        o.field_u64("timed_out", self.counts.timed_out);
+        let tenants = self
+            .tenants
+            .iter()
+            .map(|t| t.to_json(self.policy, "-", self.seed));
+        o.field_raw("tenants", &sim_util::json::array(tenants));
+        let jobs = self.jobs.iter().map(|j| {
+            let mut jo = JsonObject::new();
+            jo.field_u64("job", j.job);
+            jo.field_u64("tenant", j.tenant as u64);
+            jo.field_u64("client", j.client as u64);
+            jo.field_u64("submitted_ps", j.submitted.as_ps());
+            jo.field_u64("admitted_ps", j.admitted.as_ps());
+            jo.field_u64("completed_ps", j.completed.as_ps());
+            jo.field_u64("bytes", j.bytes);
+            jo.finish()
+        });
+        o.field_raw("jobs", &sim_util::json::array(jobs));
+        o.field_raw("system", &self.system.to_json());
+        o.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 50), Picos(50));
+        assert_eq!(percentile(&v, 95), Picos(95));
+        assert_eq!(percentile(&v, 99), Picos(99));
+        assert_eq!(percentile(&v, 100), Picos(100));
+        assert_eq!(percentile(&[7], 50), Picos(7));
+        assert_eq!(percentile(&[], 50), Picos::ZERO);
+        // Nearest rank, not interpolation: p50 of [1, 2] is 1.
+        assert_eq!(percentile(&[1, 2], 50), Picos(1));
+    }
+
+    #[test]
+    fn job_record_latencies() {
+        let j = JobRecord {
+            job: 0,
+            tenant: 0,
+            client: 0,
+            submitted: Picos(100),
+            admitted: Picos(250),
+            completed: Picos(1100),
+            bytes: 64,
+        };
+        assert_eq!(j.latency(), Picos(1000));
+        assert_eq!(j.queue_wait(), Picos(150));
+    }
+
+    #[test]
+    fn tenant_json_has_gate_fields() {
+        let q = TenantQos {
+            name: "t0".into(),
+            tenant: 0,
+            counts: AdmissionCounts {
+                submitted: 3,
+                admitted: 3,
+                ..AdmissionCounts::default()
+            },
+            latency_p50: Picos(10),
+            latency_p95: Picos(20),
+            latency_p99: Picos(30),
+            queue_wait_p50: Picos(1),
+            bytes: 4096,
+            achieved_gbps: 1.5,
+            isolated_latency: Picos(8),
+            slowdown_p50: 1.25,
+        };
+        let line = q.to_json("round_robin", "mixed", 42);
+        let v = sim_util::json::parse(&line).unwrap();
+        assert_eq!(v.get("policy").unwrap().as_str().unwrap(), "round_robin");
+        assert_eq!(v.get("p50_ps").unwrap().as_i64().unwrap(), 10);
+        assert!(v.get("slowdown_p50").unwrap().as_f64().unwrap() > 1.0);
+    }
+}

@@ -1,0 +1,645 @@
+//! The multi-tenant service: one shared memory system, many concurrent
+//! jobs, beat-level arbitration.
+//!
+//! The scheduler is **event-driven on the simulated femtosecond
+//! clock**: each iteration picks the earliest of (a) the next traffic
+//! arrival, (b) the next queue admission (a run slot free and a job
+//! waiting), and (c) the earliest-granted next beat among running
+//! phases, where a beat's grant time is its driver-side arrival paced
+//! by the kernel clock, held back by the target vault's TSV occupancy
+//! ([`mem3d::VaultController::tsv_free_at`]). When several phases'
+//! beats target the same vault and are all ready by that grant time,
+//! the [`Arbiter`](crate::Arbiter) picks the winner. Ties are broken
+//! lexicographically (time, event class, vault, job index), so the
+//! whole run is a pure function of the scenario — byte-identical on
+//! any host, any thread count.
+//!
+//! Everything here is on the service path: no panicking constructs
+//! (simlint rule P001).
+
+use std::collections::VecDeque;
+
+use fft2d::ResumablePhase;
+use mem3d::{MemorySystem, Picos};
+use sim_exec::{par_map, CancelToken, ExecConfig, JobError};
+use sim_util::SimRng;
+
+use crate::{
+    book::SpecBook, percentile, traffic::ArrivalSource, AdmissionCounts, ArbiterKind, Contender,
+    JobRecord, Scenario, ServiceReport, TenancyError, TenantQos,
+};
+
+/// A job currently holding a run slot.
+struct Running<'b> {
+    job: u64,
+    tenant: usize,
+    client: usize,
+    submitted: Picos,
+    admitted: Picos,
+    phase_idx: usize,
+    /// Payload bytes of all phases opened so far (exact per-job
+    /// accounting — the shared system's counters mix tenants).
+    bytes: u64,
+    slot: usize,
+    phase: ResumablePhase<'b>,
+}
+
+/// A job waiting for a run slot.
+struct Queued {
+    job: u64,
+    tenant: usize,
+    client: usize,
+    submitted: Picos,
+}
+
+/// One run slot: `free_at` is when its last occupant finished, so a
+/// later admission knows the earliest time the slot was truly free.
+#[derive(Clone, Copy)]
+struct Slot {
+    free_at: Picos,
+    occupied: bool,
+}
+
+/// The next thing the service does, in simulated-time order. On equal
+/// times an arrival precedes a queue admission precedes a beat, so a
+/// job arriving exactly when a slot frees still queues behind earlier
+/// waiters.
+enum Next {
+    Arrival(Picos, usize, usize),
+    Admit(Picos, usize),
+    Beat(Picos, usize, usize),
+    Done,
+}
+
+fn fresh_mem(platform: &fft2d::SystemConfig) -> Result<MemorySystem, TenancyError> {
+    let mut mem = MemorySystem::try_new(platform.geometry, platform.timing)?;
+    mem.set_service_path(platform.service_path);
+    Ok(mem)
+}
+
+/// One tenant's single-job latency on an otherwise idle system — the
+/// denominator of the slowdown metric. Uses the same arena base and
+/// recipe as the shared run, stepped through the same resumable
+/// executor, so the only difference from the shared run is the absence
+/// of other tenants.
+pub fn run_isolated(scenario: &Scenario, tenant: usize) -> Result<Picos, TenancyError> {
+    scenario.validate()?;
+    let book = SpecBook::build(&scenario.platform, &scenario.tenants)?;
+    isolated_latency(&book, scenario, tenant)
+}
+
+fn isolated_latency(
+    book: &SpecBook,
+    scenario: &Scenario,
+    tenant: usize,
+) -> Result<Picos, TenancyError> {
+    let mut mem = fresh_mem(&scenario.platform)?;
+    let mut t = Picos::ZERO;
+    for p in 0..book.phases(tenant) {
+        let mut phase = book.open_phase(&mem, tenant, p, t)?;
+        while phase.step(&mut mem)?.is_some() {}
+        t = phase.finish(&mut mem)?.end;
+    }
+    Ok(t)
+}
+
+/// Runs the scenario under one arbitration policy.
+///
+/// # Errors
+///
+/// Returns [`TenancyError::Config`] for a malformed scenario,
+/// [`TenancyError::Cancelled`] if `cancel` fires (with the admission
+/// ledger at that point), [`TenancyError::NothingAdmitted`] when every
+/// job bounced, and [`TenancyError::Driver`] for simulator errors.
+pub fn run_scenario(
+    scenario: &Scenario,
+    kind: ArbiterKind,
+    cancel: Option<&CancelToken>,
+) -> Result<ServiceReport, TenancyError> {
+    scenario.validate()?;
+    let book = SpecBook::build(&scenario.platform, &scenario.tenants)?;
+    let isolated = (0..scenario.tenants.len())
+        .map(|t| isolated_latency(&book, scenario, t))
+        .collect::<Result<Vec<_>, _>>()?;
+    run_shared(scenario, &book, kind, cancel, &isolated)
+}
+
+/// Replays one scenario under several policies, one service run per
+/// policy, on the deterministic pool. The isolated baselines are
+/// computed once and shared. Results come back in `kinds` order
+/// regardless of thread count — each run is single-threaded and the
+/// pool only distributes whole runs.
+///
+/// # Errors
+///
+/// Propagates the first per-run error in `kinds` order; pool-level
+/// faults (a panicked worker) surface as [`TenancyError::Config`].
+pub fn run_suite(
+    scenario: &Scenario,
+    kinds: &[ArbiterKind],
+    exec: &ExecConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<Vec<ServiceReport>, TenancyError> {
+    scenario.validate()?;
+    let book = SpecBook::build(&scenario.platform, &scenario.tenants)?;
+    let isolated = (0..scenario.tenants.len())
+        .map(|t| isolated_latency(&book, scenario, t))
+        .collect::<Result<Vec<_>, _>>()?;
+    let results = par_map(exec, kinds, |kind, _ctx| {
+        run_shared(scenario, &book, *kind, cancel, &isolated)
+    });
+    let mut reports = Vec::with_capacity(results.len());
+    for r in results {
+        match r {
+            Ok(Ok(rep)) => reports.push(rep),
+            Ok(Err(e)) => return Err(e),
+            Err(JobError::Cancelled { .. }) => {
+                return Err(TenancyError::Cancelled {
+                    counts: AdmissionCounts::default(),
+                })
+            }
+            Err(e) => return Err(TenancyError::Config(format!("pool fault: {e}"))),
+        }
+    }
+    Ok(reports)
+}
+
+fn run_shared(
+    scenario: &Scenario,
+    book: &SpecBook,
+    kind: ArbiterKind,
+    cancel: Option<&CancelToken>,
+    isolated: &[Picos],
+) -> Result<ServiceReport, TenancyError> {
+    let tenants = &scenario.tenants;
+    let root = SimRng::seed_from_u64(scenario.seed);
+    let mut sources: Vec<ArrivalSource> = tenants
+        .iter()
+        .enumerate()
+        .map(|(i, t)| ArrivalSource::new(&root, i as u64, t.traffic))
+        .collect();
+    let mut mem = fresh_mem(&scenario.platform)?;
+    let mut arbiter = kind.build(tenants, scenario.platform.geometry.vaults);
+    let adm = scenario.admission;
+    let mut slots = vec![
+        Slot {
+            free_at: Picos::ZERO,
+            occupied: false,
+        };
+        adm.max_running
+    ];
+    let mut running: Vec<Running<'_>> = Vec::new();
+    let mut queue: VecDeque<Queued> = VecDeque::new();
+    let mut counts = vec![AdmissionCounts::default(); tenants.len()];
+    let mut records: Vec<JobRecord> = Vec::new();
+    let mut next_job_id = 0u64;
+
+    loop {
+        if cancel.is_some_and(|c| c.is_cancelled()) {
+            for r in &running {
+                bump(&mut counts, r.tenant, |c| c.cancelled += 1);
+            }
+            for q in &queue {
+                bump(&mut counts, q.tenant, |c| c.cancelled += 1);
+            }
+            return Err(TenancyError::Cancelled {
+                counts: total(&counts),
+            });
+        }
+
+        // Phase transitions and completions: any running job whose read
+        // side is exhausted is finished now (its completion time is in
+        // the past relative to every future beat — slot bookkeeping is
+        // time-stamped, so processing order cannot leak a slot early).
+        let mut i = 0;
+        while i < running.len() {
+            if running[i].phase.peek().is_some() {
+                i += 1;
+                continue;
+            }
+            let r = running.remove(i);
+            let rep = r.phase.finish(&mut mem)?;
+            if r.phase_idx + 1 < book.phases(r.tenant) {
+                let next = book.open_phase(&mem, r.tenant, r.phase_idx + 1, rep.end)?;
+                let bytes = r.bytes + next.total_bytes();
+                running.insert(
+                    i,
+                    Running {
+                        job: r.job,
+                        tenant: r.tenant,
+                        client: r.client,
+                        submitted: r.submitted,
+                        admitted: r.admitted,
+                        phase_idx: r.phase_idx + 1,
+                        bytes,
+                        slot: r.slot,
+                        phase: next,
+                    },
+                );
+                i += 1;
+            } else {
+                if let Some(s) = slots.get_mut(r.slot) {
+                    s.free_at = rep.end;
+                    s.occupied = false;
+                }
+                records.push(JobRecord {
+                    job: r.job,
+                    tenant: r.tenant,
+                    client: r.client,
+                    submitted: r.submitted,
+                    admitted: r.admitted,
+                    completed: rep.end,
+                    bytes: r.bytes,
+                });
+                if let Some(src) = sources.get_mut(r.tenant) {
+                    src.job_done(r.client, rep.end);
+                }
+            }
+        }
+
+        // The three event classes.
+        let mut arrival: Option<(Picos, usize, usize)> = None;
+        for (ti, s) in sources.iter().enumerate() {
+            if let Some((t, c)) = s.peek() {
+                let cand = (t, ti, c);
+                if arrival.is_none_or(|a| cand < a) {
+                    arrival = Some(cand);
+                }
+            }
+        }
+        let free_slot = slots
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| !s.occupied)
+            .map(|(si, s)| (s.free_at, si))
+            .min();
+        let admit = match (queue.front(), free_slot) {
+            (Some(h), Some((fa, si))) => Some((h.submitted.max(fa), si)),
+            _ => None,
+        };
+        let mut beat: Option<(Picos, usize, usize)> = None;
+        for (ri, r) in running.iter_mut().enumerate() {
+            let Some(pb) = r.phase.peek() else { continue };
+            let vault = mem.vault_of(r.phase.read_map(), pb.op.addr)?;
+            let grant = pb.arrive.max(mem.controller(vault).tsv_free_at());
+            let cand = (grant, vault, ri);
+            if beat.is_none_or(|b| cand < b) {
+                beat = Some(cand);
+            }
+        }
+
+        let mut next = Next::Done;
+        let mut key = (Picos(u64::MAX), u8::MAX);
+        if let Some((g, v, ri)) = beat {
+            if (g, 2) < key {
+                key = (g, 2);
+                next = Next::Beat(g, v, ri);
+            }
+        }
+        if let Some((t, si)) = admit {
+            if (t, 1) < key {
+                key = (t, 1);
+                next = Next::Admit(t, si);
+            }
+        }
+        if let Some((t, ti, c)) = arrival {
+            if (t, 0) < key {
+                next = Next::Arrival(t, ti, c);
+            }
+        }
+
+        match next {
+            Next::Done => break,
+            Next::Arrival(t, ti, client) => {
+                if let Some(src) = sources.get_mut(ti) {
+                    src.pop(client);
+                }
+                let job = next_job_id;
+                next_job_id += 1;
+                bump(&mut counts, ti, |c| c.submitted += 1);
+                let q = Queued {
+                    job,
+                    tenant: ti,
+                    client,
+                    submitted: t,
+                };
+                let free_now = slots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, s)| !s.occupied && s.free_at <= t)
+                    .map(|(si, s)| (s.free_at, si))
+                    .min();
+                match free_now {
+                    Some((_, si)) if queue.is_empty() => {
+                        admit_job(book, &mem, &mut running, &mut slots, &mut counts, q, t, si)?;
+                    }
+                    _ if queue.len() < adm.queue_depth => queue.push_back(q),
+                    _ => {
+                        bump(&mut counts, ti, |c| c.rejected += 1);
+                        if let Some(src) = sources.get_mut(ti) {
+                            src.job_done(client, t);
+                        }
+                    }
+                }
+            }
+            Next::Admit(t, si) => {
+                if let Some(h) = queue.pop_front() {
+                    let late = adm
+                        .max_queue_wait
+                        .is_some_and(|w| t.saturating_sub(h.submitted) > w);
+                    if late {
+                        bump(&mut counts, h.tenant, |c| c.timed_out += 1);
+                        if let Some(src) = sources.get_mut(h.tenant) {
+                            src.job_done(h.client, t);
+                        }
+                    } else {
+                        admit_job(book, &mem, &mut running, &mut slots, &mut counts, h, t, si)?;
+                    }
+                }
+            }
+            Next::Beat(grant, vault, ri) => {
+                let mut contenders: Vec<Contender> = Vec::new();
+                let mut owners: Vec<usize> = Vec::new();
+                for (i, r) in running.iter_mut().enumerate() {
+                    let Some(pb) = r.phase.peek() else { continue };
+                    if mem.vault_of(r.phase.read_map(), pb.op.addr)? != vault || pb.arrive > grant {
+                        continue;
+                    }
+                    let (priority, weight) = tenants
+                        .get(r.tenant)
+                        .map_or((0, 1), |t| (t.priority, t.weight));
+                    contenders.push(Contender {
+                        tenant: r.tenant,
+                        job: r.job,
+                        priority,
+                        weight,
+                        ready: pb.arrive,
+                        bytes: pb.op.bytes as u64,
+                    });
+                    owners.push(i);
+                }
+                let winner = if contenders.len() <= 1 {
+                    ri
+                } else {
+                    let k = arbiter.pick(vault, &contenders);
+                    owners.get(k).copied().unwrap_or(ri)
+                };
+                if let Some(r) = running.get_mut(winner) {
+                    r.phase.step(&mut mem)?;
+                }
+            }
+        }
+    }
+
+    let totals = total(&counts);
+    if records.is_empty() {
+        return Err(TenancyError::NothingAdmitted { counts: totals });
+    }
+    records.sort_by_key(|r| (r.completed, r.job));
+    let makespan = records
+        .iter()
+        .map(|r| r.completed)
+        .fold(Picos::ZERO, Picos::max);
+
+    let mut qos = Vec::with_capacity(tenants.len());
+    for (ti, t) in tenants.iter().enumerate() {
+        let mut lats: Vec<u64> = Vec::new();
+        let mut waits: Vec<u64> = Vec::new();
+        let mut bytes = 0u64;
+        for r in records.iter().filter(|r| r.tenant == ti) {
+            lats.push(r.latency().as_ps());
+            waits.push(r.queue_wait().as_ps());
+            bytes += r.bytes;
+        }
+        lats.sort_unstable();
+        waits.sort_unstable();
+        let p50 = percentile(&lats, 50);
+        let iso = isolated.get(ti).copied().unwrap_or(Picos::ZERO);
+        let slowdown = if iso == Picos::ZERO {
+            0.0
+        } else {
+            p50.as_ps() as f64 / iso.as_ps() as f64
+        };
+        let gbps = if makespan == Picos::ZERO {
+            0.0
+        } else {
+            bytes as f64 / makespan.as_ps() as f64 * 1_000.0
+        };
+        qos.push(TenantQos {
+            name: t.name.clone(),
+            tenant: ti,
+            counts: counts.get(ti).copied().unwrap_or_default(),
+            latency_p50: p50,
+            latency_p95: percentile(&lats, 95),
+            latency_p99: percentile(&lats, 99),
+            queue_wait_p50: percentile(&waits, 50),
+            bytes,
+            achieved_gbps: gbps,
+            isolated_latency: iso,
+            slowdown_p50: slowdown,
+        });
+    }
+
+    Ok(ServiceReport {
+        policy: kind.name(),
+        seed: scenario.seed,
+        tenants: qos,
+        jobs: records,
+        counts: totals,
+        makespan,
+        system: mem.stats(),
+    })
+}
+
+fn bump(counts: &mut [AdmissionCounts], tenant: usize, f: impl FnOnce(&mut AdmissionCounts)) {
+    if let Some(c) = counts.get_mut(tenant) {
+        f(c);
+    }
+}
+
+fn total(counts: &[AdmissionCounts]) -> AdmissionCounts {
+    let mut t = AdmissionCounts::default();
+    for c in counts {
+        t.submitted += c.submitted;
+        t.admitted += c.admitted;
+        t.rejected += c.rejected;
+        t.timed_out += c.timed_out;
+        t.cancelled += c.cancelled;
+    }
+    t
+}
+
+#[allow(clippy::too_many_arguments)]
+fn admit_job<'b>(
+    book: &'b SpecBook,
+    mem: &MemorySystem,
+    running: &mut Vec<Running<'b>>,
+    slots: &mut [Slot],
+    counts: &mut [AdmissionCounts],
+    q: Queued,
+    at: Picos,
+    slot: usize,
+) -> Result<(), TenancyError> {
+    let phase = book.open_phase(mem, q.tenant, 0, at)?;
+    let bytes = phase.total_bytes();
+    if let Some(s) = slots.get_mut(slot) {
+        s.occupied = true;
+    }
+    bump(counts, q.tenant, |c| c.admitted += 1);
+    running.push(Running {
+        job: q.job,
+        tenant: q.tenant,
+        client: q.client,
+        submitted: q.submitted,
+        admitted: at,
+        phase_idx: 0,
+        bytes,
+        slot,
+        phase,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Arrivals, JobShape, JobSpec, TenantSpec, Traffic};
+    use fft2d::Architecture;
+
+    fn spec(arch: Architecture, n: usize, shape: JobShape) -> JobSpec {
+        JobSpec { arch, n, shape }
+    }
+
+    fn scenario_3(seed: u64) -> Scenario {
+        let mk = |name: &str, arch, pri| TenantSpec {
+            priority: pri,
+            ..TenantSpec::new(
+                name,
+                spec(arch, 64, JobShape::Column),
+                Traffic::Open {
+                    arrivals: Arrivals::Immediate,
+                    jobs: 2,
+                },
+            )
+        };
+        Scenario::new(
+            vec![
+                mk("base", Architecture::Baseline, 0),
+                mk("opt", Architecture::Optimized, 2),
+                mk("tiled", Architecture::Tiled, 1),
+            ],
+            seed,
+        )
+    }
+
+    #[test]
+    fn contention_run_completes_all_jobs() {
+        let rep = run_scenario(&scenario_3(42), ArbiterKind::RoundRobin, None).unwrap();
+        assert_eq!(rep.counts.submitted, 6);
+        assert_eq!(rep.counts.admitted, 6);
+        assert_eq!(rep.jobs.len(), 6);
+        assert_eq!(rep.counts.rejected, 0);
+        for t in &rep.tenants {
+            assert!(t.latency_p50 > Picos::ZERO);
+            assert!(
+                t.slowdown_p50 >= 1.0,
+                "{}: contended p50 cannot beat the isolated run ({})",
+                t.name,
+                t.slowdown_p50
+            );
+        }
+    }
+
+    #[test]
+    fn policies_disagree_under_contention() {
+        let rr = run_scenario(&scenario_3(42), ArbiterKind::RoundRobin, None).unwrap();
+        let sp = run_scenario(&scenario_3(42), ArbiterKind::StrictPriority, None).unwrap();
+        // The high-priority tenant must not be worse off under strict
+        // priority than under round robin.
+        assert!(sp.tenants[1].latency_p50 <= rr.tenants[1].latency_p50);
+        assert_ne!(
+            rr.jobs, sp.jobs,
+            "policies must produce observably different schedules"
+        );
+    }
+
+    #[test]
+    fn admission_bounds_reject_overload() {
+        let mut s = scenario_3(7);
+        s.admission.max_running = 1;
+        s.admission.queue_depth = 1;
+        let rep = run_scenario(&s, ArbiterKind::RoundRobin, None).unwrap();
+        assert_eq!(rep.counts.submitted, 6);
+        assert!(
+            rep.counts.rejected > 0,
+            "bounded queue must bounce arrivals"
+        );
+        assert_eq!(
+            rep.counts.admitted + rep.counts.rejected + rep.counts.timed_out,
+            6
+        );
+        assert_eq!(rep.jobs.len(), rep.counts.admitted as usize);
+    }
+
+    #[test]
+    fn queue_timeout_drops_stale_jobs() {
+        let mut s = scenario_3(7);
+        s.admission.max_running = 1;
+        s.admission.queue_depth = 8;
+        s.admission.max_queue_wait = Some(Picos(1));
+        let rep = run_scenario(&s, ArbiterKind::RoundRobin, None).unwrap();
+        assert!(rep.counts.timed_out > 0, "1 ps of patience must time out");
+        assert_eq!(
+            rep.counts.admitted + rep.counts.timed_out + rep.counts.rejected,
+            6
+        );
+    }
+
+    #[test]
+    fn cancel_token_aborts_with_ledger() {
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let res = run_scenario(&scenario_3(1), ArbiterKind::RoundRobin, Some(&cancel));
+        assert!(
+            matches!(res, Err(TenancyError::Cancelled { .. })),
+            "expected Cancelled"
+        );
+    }
+
+    #[test]
+    fn closed_loop_self_regulates() {
+        let t = TenantSpec::new(
+            "closed",
+            spec(Architecture::Baseline, 64, JobShape::Column),
+            Traffic::Closed {
+                clients: 2,
+                jobs_per_client: 3,
+                think: Picos::from_ns(100),
+                think_jitter: Picos::from_ns(10),
+            },
+        );
+        let rep = run_scenario(&Scenario::new(vec![t], 9), ArbiterKind::RoundRobin, None).unwrap();
+        assert_eq!(rep.counts.submitted, 6);
+        assert_eq!(rep.counts.admitted, 6);
+        assert_eq!(rep.jobs.len(), 6);
+        // Clients are serial: never more than `clients` jobs in flight.
+        for w in rep.jobs.windows(1) {
+            assert!(w[0].completed >= w[0].admitted);
+        }
+    }
+
+    #[test]
+    fn suite_runs_policies_in_order() {
+        let reps = run_suite(
+            &scenario_3(5),
+            &ArbiterKind::ALL,
+            &ExecConfig::sequential(),
+            None,
+        )
+        .unwrap();
+        assert_eq!(reps.len(), 3);
+        assert_eq!(reps[0].policy, "round_robin");
+        assert_eq!(reps[1].policy, "strict_priority");
+        assert_eq!(reps[2].policy, "deficit_weighted");
+    }
+}

@@ -1,0 +1,316 @@
+//! Deterministic traffic generation: when each tenant's jobs arrive.
+//!
+//! All sampling is **integer arithmetic on forked [`SimRng`] streams**:
+//! tenant `i` draws from `root.fork(i)`, so adding, removing or
+//! reordering other tenants never perturbs a tenant's own arrival
+//! schedule, and the same scenario seed reproduces the same schedule on
+//! any thread count.
+
+use mem3d::Picos;
+use sim_util::SimRng;
+
+/// Inter-arrival process of an open-loop tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Arrivals {
+    /// All jobs submitted at time zero (a backlogged tenant).
+    Immediate,
+    /// Fixed period with uniform jitter in `[0, jitter]` per arrival.
+    Periodic {
+        /// Base inter-arrival gap.
+        period: Picos,
+        /// Uniform jitter added to each gap (0 for a strict clock).
+        jitter: Picos,
+    },
+    /// Independent uniform gaps in `[lo, hi]`.
+    Uniform {
+        /// Shortest gap.
+        lo: Picos,
+        /// Longest gap (inclusive).
+        hi: Picos,
+    },
+    /// Bursts of `burst` jobs `spacing` apart, bursts separated by
+    /// `gap` — the adversarial pattern for admission control.
+    Bursty {
+        /// Jobs per burst (≥ 1).
+        burst: u64,
+        /// Gap between jobs inside a burst.
+        spacing: Picos,
+        /// Gap between the last job of a burst and the first of the
+        /// next.
+        gap: Picos,
+    },
+}
+
+impl Arrivals {
+    /// The next inter-arrival gap. `index` is the 0-based arrival
+    /// number (the first job's gap is measured from time zero).
+    fn gap(&self, rng: &mut SimRng, index: u64) -> Picos {
+        match *self {
+            Arrivals::Immediate => Picos::ZERO,
+            Arrivals::Periodic { period, jitter } => {
+                let j = if jitter == Picos::ZERO {
+                    0
+                } else {
+                    rng.gen_range(0..=jitter.as_ps())
+                };
+                period + Picos(j)
+            }
+            Arrivals::Uniform { lo, hi } => {
+                let (lo, hi) = (lo.as_ps().min(hi.as_ps()), lo.as_ps().max(hi.as_ps()));
+                Picos(rng.gen_range(lo..=hi))
+            }
+            Arrivals::Bursty {
+                burst,
+                spacing,
+                gap,
+            } => {
+                let burst = burst.max(1);
+                if index.is_multiple_of(burst) && index > 0 {
+                    gap
+                } else if index == 0 {
+                    Picos::ZERO
+                } else {
+                    spacing
+                }
+            }
+        }
+    }
+}
+
+/// How a tenant generates load.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Traffic {
+    /// Open loop: `jobs` arrivals on a fixed schedule, regardless of
+    /// service progress (arrivals can pile up behind a slow policy —
+    /// that *is* the experiment).
+    Open {
+        /// The inter-arrival process.
+        arrivals: Arrivals,
+        /// Total jobs submitted.
+        jobs: u64,
+    },
+    /// Closed loop: `clients` clients each submit a job, wait for its
+    /// completion (or rejection), think, and submit the next —
+    /// `jobs_per_client` times. Load self-regulates with service speed.
+    Closed {
+        /// Concurrent clients.
+        clients: u64,
+        /// Jobs each client submits in sequence.
+        jobs_per_client: u64,
+        /// Fixed think time between a completion and the next
+        /// submission.
+        think: Picos,
+        /// Uniform jitter in `[0, think_jitter]` added to each think.
+        think_jitter: Picos,
+    },
+}
+
+impl Traffic {
+    /// Total jobs this tenant will submit over the whole run.
+    pub fn total_jobs(&self) -> u64 {
+        match *self {
+            Traffic::Open { jobs, .. } => jobs,
+            Traffic::Closed {
+                clients,
+                jobs_per_client,
+                ..
+            } => clients * jobs_per_client,
+        }
+    }
+}
+
+/// One tenant's live arrival source: pre-materialized times for open
+/// traffic, completion-driven resubmission state for closed traffic.
+/// All randomness is drawn from the tenant's forked stream in a fixed
+/// order, so the schedule is a pure function of `(seed, tenant_id)`.
+#[derive(Debug)]
+pub(crate) struct ArrivalSource {
+    rng: SimRng,
+    kind: Traffic,
+    /// Open loop: remaining arrival times, ascending (drained from the
+    /// front). Closed loop: next submission time per client, `None`
+    /// once the client is done or waiting on a completion.
+    open: std::collections::VecDeque<Picos>,
+    clients: Vec<ClientState>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ClientState {
+    next_at: Option<Picos>,
+    remaining: u64,
+}
+
+impl ArrivalSource {
+    /// Builds tenant `tenant_id`'s source from the scenario's root rng.
+    pub(crate) fn new(root: &SimRng, tenant_id: u64, kind: Traffic) -> ArrivalSource {
+        let mut rng = root.fork(tenant_id);
+        let mut open = std::collections::VecDeque::new();
+        let mut clients = Vec::new();
+        match kind {
+            Traffic::Open { arrivals, jobs } => {
+                let mut t = Picos::ZERO;
+                for i in 0..jobs {
+                    t += arrivals.gap(&mut rng, i);
+                    open.push_back(t);
+                }
+            }
+            Traffic::Closed {
+                clients: n,
+                jobs_per_client,
+                ..
+            } => {
+                for _ in 0..n {
+                    clients.push(ClientState {
+                        next_at: (jobs_per_client > 0).then_some(Picos::ZERO),
+                        remaining: jobs_per_client,
+                    });
+                }
+            }
+        }
+        ArrivalSource {
+            rng,
+            kind,
+            open,
+            clients,
+        }
+    }
+
+    /// The earliest pending arrival, as `(time, client)`; `None` when
+    /// nothing is currently pending (closed-loop clients may all be
+    /// waiting on completions).
+    pub(crate) fn peek(&self) -> Option<(Picos, usize)> {
+        if let Some(&t) = self.open.front() {
+            return Some((t, 0));
+        }
+        self.clients
+            .iter()
+            .enumerate()
+            .filter_map(|(c, s)| s.next_at.map(|t| (t, c)))
+            .min()
+    }
+
+    /// Consumes the arrival returned by [`peek`](Self::peek).
+    pub(crate) fn pop(&mut self, client: usize) {
+        if self.open.pop_front().is_some() {
+            return;
+        }
+        if let Some(s) = self.clients.get_mut(client) {
+            s.next_at = None;
+            s.remaining = s.remaining.saturating_sub(1);
+        }
+    }
+
+    /// Closed loop only: client `client`'s job finished (or was
+    /// dropped) at `at`; schedule its next submission after the think
+    /// time. Open-loop sources ignore this.
+    pub(crate) fn job_done(&mut self, client: usize, at: Picos) {
+        let Traffic::Closed {
+            think,
+            think_jitter,
+            ..
+        } = self.kind
+        else {
+            return;
+        };
+        let Some(s) = self.clients.get_mut(client) else {
+            return;
+        };
+        if s.remaining == 0 {
+            return;
+        }
+        let j = if think_jitter == Picos::ZERO {
+            0
+        } else {
+            self.rng.gen_range(0..=think_jitter.as_ps())
+        };
+        s.next_at = Some(at + think + Picos(j));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_schedules_are_monotonic_and_reproducible() {
+        let root = SimRng::seed_from_u64(7);
+        let kind = Traffic::Open {
+            arrivals: Arrivals::Uniform {
+                lo: Picos(10),
+                hi: Picos(100),
+            },
+            jobs: 20,
+        };
+        let mut a = ArrivalSource::new(&root, 3, kind);
+        let mut b = ArrivalSource::new(&root, 3, kind);
+        let mut last = Picos::ZERO;
+        for _ in 0..20 {
+            let (ta, ca) = a.peek().unwrap();
+            let (tb, _) = b.peek().unwrap();
+            assert_eq!(ta, tb, "same (seed, tenant) must reproduce");
+            assert!(ta >= last);
+            last = ta;
+            a.pop(ca);
+            b.pop(ca);
+        }
+        assert!(a.peek().is_none());
+    }
+
+    #[test]
+    fn forked_tenants_differ() {
+        let root = SimRng::seed_from_u64(7);
+        let kind = Traffic::Open {
+            arrivals: Arrivals::Uniform {
+                lo: Picos(10),
+                hi: Picos(1_000_000),
+            },
+            jobs: 4,
+        };
+        let a = ArrivalSource::new(&root, 0, kind);
+        let b = ArrivalSource::new(&root, 1, kind);
+        assert_ne!(a.peek(), b.peek(), "distinct tenants get distinct streams");
+    }
+
+    #[test]
+    fn bursty_pattern_gaps() {
+        let root = SimRng::seed_from_u64(1);
+        let kind = Traffic::Open {
+            arrivals: Arrivals::Bursty {
+                burst: 2,
+                spacing: Picos(5),
+                gap: Picos(100),
+            },
+            jobs: 4,
+        };
+        let mut src = ArrivalSource::new(&root, 0, kind);
+        let mut times = Vec::new();
+        while let Some((t, c)) = src.peek() {
+            times.push(t.as_ps());
+            src.pop(c);
+        }
+        assert_eq!(times, vec![0, 5, 105, 110]);
+    }
+
+    #[test]
+    fn closed_loop_waits_for_completions() {
+        let root = SimRng::seed_from_u64(1);
+        let kind = Traffic::Closed {
+            clients: 2,
+            jobs_per_client: 2,
+            think: Picos(50),
+            think_jitter: Picos::ZERO,
+        };
+        let mut src = ArrivalSource::new(&root, 0, kind);
+        // Both clients pending at t = 0; client 0 sorts first.
+        assert_eq!(src.peek(), Some((Picos::ZERO, 0)));
+        src.pop(0);
+        assert_eq!(src.peek(), Some((Picos::ZERO, 1)));
+        src.pop(1);
+        assert_eq!(src.peek(), None, "all clients in flight");
+        src.job_done(0, Picos(1000));
+        assert_eq!(src.peek(), Some((Picos(1050), 0)));
+        src.pop(0);
+        src.job_done(0, Picos(3000));
+        assert_eq!(src.peek(), None, "client 0 exhausted its budget");
+    }
+}

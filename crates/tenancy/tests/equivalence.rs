@@ -1,0 +1,186 @@
+//! Degenerate-case equivalence: a service run with ONE tenant
+//! submitting ONE job must be **bit-identical** — in completion time
+//! and in the shared device's counters — to driving the same phase(s)
+//! directly through `fft2d::run_phase` / `System::run_app`.
+//!
+//! This is the contract that makes every multi-tenant number
+//! trustworthy: the service adds arbitration and admission *around*
+//! the proven phase executor, never a different pacing law inside it.
+
+use fft2d::{
+    run_phase, Architecture, DriverConfig, PhaseReport, ProcessorModel, System, SystemConfig,
+};
+use layout::{
+    col_phase_stream, optimal_h_bounded, tile_sweep_stream, BlockDynamic, LayoutParams,
+    MatrixLayout, RowMajor, Tiled,
+};
+use mem3d::{Direction, MemorySystem, Picos, Stats};
+use sim_util::{par_check, prop_assert};
+use tenancy::{
+    run_scenario, ArbiterKind, Arrivals, JobShape, JobSpec, Scenario, TenantSpec, Traffic,
+};
+
+fn one_tenant(arch: Architecture, n: usize, shape: JobShape) -> Scenario {
+    Scenario::new(
+        vec![TenantSpec::new(
+            "solo",
+            JobSpec { arch, n, shape },
+            Traffic::Open {
+                arrivals: Arrivals::Immediate,
+                jobs: 1,
+            },
+        )],
+        0,
+    )
+}
+
+/// The column-phase recipe exactly as `System::column_phase` runs it,
+/// but returning the raw report and device counters.
+fn direct_column(arch: Architecture, n: usize) -> (PhaseReport, Stats) {
+    let cfg = SystemConfig::default();
+    let params = LayoutParams::for_device(n, &cfg.geometry, &cfg.timing);
+    let mut mem = MemorySystem::try_new(cfg.geometry, cfg.timing).unwrap();
+    mem.set_service_path(cfg.service_path);
+    let driver = |proc: &ProcessorModel| DriverConfig {
+        ps_per_byte: proc.ps_per_byte(),
+        window_bytes: cfg.window_bytes,
+        write_delay: Picos::ZERO,
+        latency_probe_bytes: 0,
+    };
+    let rep = match arch {
+        Architecture::Baseline => {
+            let proc = ProcessorModel::new(&params, cfg.lanes, 0, &cfg.budget).unwrap();
+            let l = RowMajor::new(&params);
+            let mut s = col_phase_stream(&l, Direction::Read, 1);
+            run_phase(
+                &mut mem,
+                &driver(&proc),
+                &mut s,
+                l.map_kind(),
+                None,
+                Picos::ZERO,
+            )
+            .unwrap()
+        }
+        Architecture::Optimized => {
+            let h = optimal_h_bounded(&params, cfg.reorg_budget_bytes);
+            let proc = ProcessorModel::new(&params, cfg.lanes, h, &cfg.budget).unwrap();
+            let l = BlockDynamic::with_height(&params, h).unwrap();
+            let mut s = col_phase_stream(&l, Direction::Read, l.w);
+            run_phase(
+                &mut mem,
+                &driver(&proc),
+                &mut s,
+                l.map_kind(),
+                None,
+                Picos::ZERO,
+            )
+            .unwrap()
+        }
+        Architecture::Tiled => {
+            let l = Tiled::row_buffer_sized(&params).unwrap();
+            let proc = ProcessorModel::new(&params, cfg.lanes, l.tile_rows(), &cfg.budget).unwrap();
+            let mut s = tile_sweep_stream(&l, Direction::Read);
+            run_phase(
+                &mut mem,
+                &driver(&proc),
+                &mut s,
+                l.map_kind(),
+                None,
+                Picos::ZERO,
+            )
+            .unwrap()
+        }
+    };
+    (rep, mem.stats())
+}
+
+#[test]
+fn single_tenant_column_service_is_bit_identical_to_run_phase() {
+    par_check!(cases: 12, |rng| {
+        let arch = Architecture::ALL[rng.gen_range(0usize..3)];
+        let n = [64usize, 128, 256][rng.gen_range(0usize..3)];
+        let (direct, direct_stats) = direct_column(arch, n);
+        let rep = run_scenario(&one_tenant(arch, n, JobShape::Column), ArbiterKind::RoundRobin, None)
+            .unwrap_or_else(|e| panic!("{arch:?} n={n}: {e}"));
+        prop_assert!(rep.jobs.len() == 1, "{arch:?} n={n}: one job expected");
+        let job = rep.jobs[0];
+        prop_assert!(
+            job.completed == direct.end,
+            "{arch:?} n={n}: service completion {} != run_phase end {}",
+            job.completed.as_ps(),
+            direct.end.as_ps()
+        );
+        prop_assert!(
+            job.submitted == Picos::ZERO && job.admitted == Picos::ZERO,
+            "{arch:?} n={n}: immediate solo job admits at t=0"
+        );
+        prop_assert!(
+            job.bytes == direct.read_bytes,
+            "{arch:?} n={n}: byte accounting {} != {}",
+            job.bytes,
+            direct.read_bytes
+        );
+        prop_assert!(
+            rep.system == direct_stats,
+            "{arch:?} n={n}: device counters diverge:\n service: {:?}\n direct:  {:?}",
+            rep.system,
+            direct_stats
+        );
+        prop_assert!(
+            rep.tenants[0].latency_p50 == direct.end,
+            "{arch:?} n={n}: p50 of one job is its latency"
+        );
+        prop_assert!(
+            (rep.tenants[0].slowdown_p50 - 1.0).abs() < 1e-12,
+            "{arch:?} n={n}: a solo run has slowdown exactly 1.0, got {}",
+            rep.tenants[0].slowdown_p50
+        );
+    });
+}
+
+#[test]
+fn single_tenant_app_service_is_bit_identical_to_run_app() {
+    let sys = System::default();
+    for arch in Architecture::ALL {
+        let n = 128;
+        let app = sys.run_app(arch, n).unwrap();
+        let rep = run_scenario(
+            &one_tenant(arch, n, JobShape::App),
+            ArbiterKind::RoundRobin,
+            None,
+        )
+        .unwrap();
+        assert_eq!(rep.jobs.len(), 1);
+        let job = rep.jobs[0];
+        assert_eq!(
+            job.completed,
+            app.phase2.end,
+            "{}: service app completion must equal run_app's phase-2 end",
+            arch.name()
+        );
+        assert_eq!(
+            job.bytes,
+            app.phase1.read_bytes + app.phase1.write_bytes + app.phase2.read_bytes,
+            "{}: app job moves both phases' traffic",
+            arch.name()
+        );
+        assert_eq!(rep.makespan, app.total, "{}", arch.name());
+    }
+}
+
+#[test]
+fn solo_runs_are_policy_invariant() {
+    // With one tenant there is never >1 contender, so every arbitration
+    // policy must produce the very same schedule and counters.
+    let scenario = one_tenant(Architecture::Optimized, 128, JobShape::Column);
+    let reports: Vec<_> = ArbiterKind::ALL
+        .iter()
+        .map(|k| run_scenario(&scenario, *k, None).unwrap())
+        .collect();
+    for r in &reports[1..] {
+        assert_eq!(r.jobs, reports[0].jobs);
+        assert_eq!(r.system, reports[0].system);
+        assert_eq!(r.makespan, reports[0].makespan);
+    }
+}

@@ -8,6 +8,9 @@
 #   BENCH_hotpath.json  request-servicing before/after: the same column
 #                       phases on the Reference and Fast service paths,
 #                       wall clocks and their ratio (hotpath_bench)
+#   BENCH_tenancy.json  multi-tenant contention: per-tenant p50/p95/p99
+#                       latency, bandwidth and slowdown-vs-isolated
+#                       under each arbitration policy (tenancy_bench)
 #
 # sweep_bench verifies that every N-thread sweep is bit-identical to
 # the 1-thread reference, and hotpath_bench that the fast path's phase
@@ -21,7 +24,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p bench \
-  --bin sweep_bench --bin stream_bench --bin hotpath_bench
+  --bin sweep_bench --bin stream_bench --bin hotpath_bench --bin tenancy_bench
 ./target/release/sweep_bench | grep '^{' > BENCH_sweep.json
 echo "wrote $(wc -l < BENCH_sweep.json) records to BENCH_sweep.json:"
 cat BENCH_sweep.json
@@ -38,3 +41,13 @@ python3 scripts/check_hotpath.py BENCH_hotpath.json \
 ./target/release/stream_bench "${STREAM_BENCH_N:-8192}" | grep '^{' > BENCH_stream.json
 echo "wrote $(wc -l < BENCH_stream.json) records to BENCH_stream.json:"
 cat BENCH_stream.json
+
+./target/release/tenancy_bench | grep '^{' > BENCH_tenancy.json
+echo "wrote $(wc -l < BENCH_tenancy.json) records to BENCH_tenancy.json:"
+# Gate the record: sharing never beats isolation (slowdown >= 1.0x on
+# every row), the admission ledger balances, identical round-robin
+# tenants stay within a 1.30x p50 spread, and strict priority moves at
+# least one tenant's p50 by >= 2% versus round-robin — the policies
+# must produce measurably different QoS or the arbiter isn't arbitrating.
+python3 scripts/check_tenancy.py BENCH_tenancy.json \
+  ${SIM_BENCH_FAST:+--smoke}

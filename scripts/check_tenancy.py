@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Gates a BENCH_tenancy.json record (usage: check_tenancy.py FILE [--smoke]).
+
+The record has one row per (scenario, policy, tenant) emitted by
+tenancy_bench, which only prints after verifying the pooled run is
+byte-identical to the sequential reference — so a non-empty record
+already implies the determinism contract held.
+
+Gates, all hard failures:
+  * every row: slowdown_p50 >= 1.0 — sharing the memory system can
+    never make a tenant *faster* than its isolated run; below 1.0 the
+    isolated baseline or the service clock is wrong;
+  * every row: submitted == completed + rejected + timed_out (the
+    admission ledger balances);
+  * fairness: in the `fair` scenario (identical tenants, round-robin)
+    the p50 spread max/min must stay under 1.30x;
+  * policy differentiation: in the `mixed` scenario, at least one
+    tenant's p50 must move by >= 2% between round_robin and
+    strict_priority on identical traffic — if policies don't produce
+    measurably different QoS, the arbiter isn't actually arbitrating.
+
+--smoke relaxes nothing today (the gates are scale-free ratios) but is
+accepted so bench_record.sh can pass it uniformly.
+"""
+import json
+import sys
+
+
+def main() -> None:
+    path = sys.argv[1]
+    with open(path) as f:
+        rec = [json.loads(line) for line in f if line.strip()]
+    assert rec, f"{path} is empty"
+
+    for r in rec:
+        key = f"{r['scenario']}/{r['policy']}/{r['tenant']}"
+        print(
+            f"{key:<42} p50={r['p50_ps']:>12}ps "
+            f"slowdown={r['slowdown_p50']:6.2f}x gbps={r['gbps']:.3f}"
+        )
+        assert r["slowdown_p50"] >= 1.0, (
+            f"{key}: slowdown {r['slowdown_p50']:.4f}x < 1.0x — a shared "
+            f"run beat the isolated baseline"
+        )
+        balance = r["completed"] + r["rejected"] + r["timed_out"]
+        assert r["submitted"] == balance, (
+            f"{key}: admission ledger does not balance "
+            f"({r['submitted']} submitted vs {balance} accounted)"
+        )
+
+    fair = [r for r in rec if r["scenario"] == "fair" and r["policy"] == "round_robin"]
+    assert len(fair) >= 2, f"no fair-scenario rows in {path}"
+    p50s = [r["p50_ps"] for r in fair]
+    spread = max(p50s) / min(p50s)
+    assert spread <= 1.30, (
+        f"fair/round_robin p50 spread {spread:.3f}x exceeds 1.30x "
+        f"across identical tenants"
+    )
+    print(f"fairness ok: p50 spread {spread:.4f}x <= 1.30x over {len(fair)} peers")
+
+    by_tenant: dict[str, dict[str, int]] = {}
+    for r in rec:
+        if r["scenario"] == "mixed" and r["policy"] in ("round_robin", "strict_priority"):
+            by_tenant.setdefault(r["tenant"], {})[r["policy"]] = r["p50_ps"]
+    moves = {
+        t: abs(p["strict_priority"] - p["round_robin"]) / p["round_robin"]
+        for t, p in by_tenant.items()
+        if "round_robin" in p and "strict_priority" in p
+    }
+    assert moves, f"no mixed-scenario policy pairs in {path}"
+    best = max(moves, key=lambda t: moves[t])
+    assert moves[best] >= 0.02, (
+        f"strict_priority vs round_robin moves no tenant's p50 by >= 2% "
+        f"(best: {best} at {moves[best] * 100:.2f}%) — arbitration has no "
+        f"measurable effect"
+    )
+    print(
+        f"policy differentiation ok: {best} p50 moves "
+        f"{moves[best] * 100:.1f}% under strict_priority"
+    )
+    print("tenancy record ok")
+
+
+if __name__ == "__main__":
+    main()
