@@ -1,67 +1,34 @@
-//! **Ablation A** — layout sweep: column-phase bandwidth of every layout
-//! family (row-major baseline, column-major, Akin et al. tiling, and the
-//! block DDL across all feasible heights).
+//! **Ablation A** — layout sweep: column-phase bandwidth of every
+//! candidate the layout-family registry enumerates (row-major baseline,
+//! column-major, Akin et al. tiling, the block DDL across all feasible
+//! heights, and the burst-interleaved and irredundant competitors).
 //!
 //! Shows *why* the paper's layout wins: tiling amortizes some
 //! activations, but only DRAM-row-sized blocks with vault rotation reach
-//! the device's parallelism. Every candidate layout is one independent
-//! simulation job on the `sim-exec` pool.
+//! the device's parallelism. The candidate list is
+//! [`layout::enumerate_candidates`] — the same registry the design-space
+//! explorer races — so a newly registered family shows up here with no
+//! bench changes. Every candidate is one independent simulation job on
+//! the `sim-exec` pool.
 
 use bench::{common, gbps, pct, Table};
-use layout::{
-    col_phase_stream, BlockDynamic, ColMajor, LayoutParams, MatrixLayout, RowMajor, Tiled,
-};
+use layout::{enumerate_candidates, FamilySpec, LayoutParams};
 use mem3d::{replay_stream, Direction, Geometry, MemorySystem, TimingParams};
 
-/// One candidate layout, constructible inside a worker from the shared
-/// parameters (layouts themselves are built per-job, not shared).
-#[derive(Debug, Clone, Copy)]
-enum Candidate {
-    RowMajor,
-    RowMajorInterleaved,
-    ColMajor,
-    Tiled,
-    BlockDdl { h: usize },
-}
-
-impl Candidate {
-    fn build(self, params: &LayoutParams) -> (Box<dyn MatrixLayout>, usize, String) {
-        match self {
-            Candidate::RowMajor => (
-                Box::new(RowMajor::new(params)),
-                1,
-                "row-major (baseline)".into(),
-            ),
-            Candidate::RowMajorInterleaved => (
-                Box::new(RowMajor::interleaved(params)),
-                1,
-                "row-major interleaved".into(),
-            ),
-            Candidate::ColMajor => (Box::new(ColMajor::new(params)), 1, "col-major".into()),
-            Candidate::Tiled => (
-                Box::new(Tiled::row_buffer_sized(params).expect("tiled layout")),
-                1,
-                "tiled (Akin et al.)".into(),
-            ),
-            Candidate::BlockDdl { h } => {
-                let ddl = BlockDynamic::with_height(params, h).expect("feasible height");
-                let (w, group) = (ddl.w, ddl.w);
-                (Box::new(ddl), group, format!("block-ddl h={h:4} w={w:4}"))
-            }
-        }
-    }
-}
-
 fn measure(
-    layout: &dyn MatrixLayout,
-    group: usize,
+    spec: FamilySpec,
+    params: &LayoutParams,
     geom: Geometry,
     timing: TimingParams,
-) -> (f64, u64) {
+) -> (String, f64, u64) {
+    let family = spec
+        .build(params)
+        .expect("registry candidates are feasible");
     let mut mem = MemorySystem::new(geom, timing);
-    let mut stream = col_phase_stream(layout, Direction::Read, group);
-    let stats = replay_stream(&mut stream, &mut mem, layout.map_kind(), None).expect("replay");
-    (stats.bandwidth_gbps(), stats.stats.activations)
+    let mut stream = family.col_stream(Direction::Read);
+    let stats = replay_stream(stream.as_mut(), &mut mem, family.map_kind(), None).expect("replay");
+    let label = format!("{} p={:4}", family.name(), family.param());
+    (label, stats.bandwidth_gbps(), stats.stats.activations)
 }
 
 fn main() {
@@ -71,25 +38,12 @@ fn main() {
     let params = LayoutParams::for_device(n, &geom, &timing);
     let peak = common::peak_gbps(&geom, &timing);
 
-    let mut candidates = vec![
-        Candidate::RowMajor,
-        Candidate::RowMajorInterleaved,
-        Candidate::ColMajor,
-        Candidate::Tiled,
-    ];
-    candidates.extend(
-        params
-            .valid_block_heights()
-            .into_iter()
-            .map(|h| Candidate::BlockDdl { h }),
-    );
+    let candidates = enumerate_candidates(&params);
 
     let exec = common::exec_config();
     common::exec_banner(&exec, candidates.len());
-    let results = sim_exec::par_map(&exec, &candidates, |&cand, _ctx| {
-        let (layout, group, label) = cand.build(&params);
-        let (bw, acts) = measure(layout.as_ref(), group, geom, timing);
-        (label, bw, acts)
+    let results = sim_exec::par_map(&exec, &candidates, |&spec, _ctx| {
+        measure(spec, &params, geom, timing)
     });
     let labels: Vec<String> = candidates.iter().map(|c| format!("{c:?}")).collect();
     common::warn_failures(&labels, &results);
@@ -98,6 +52,6 @@ fn main() {
     for (label, bw, acts) in results.into_iter().flatten() {
         table.row(&[&label, &gbps(bw), &pct(bw / peak), &acts]);
     }
-    println!("Ablation A: column-phase bandwidth by layout (N = {n}, open loop)");
+    println!("Ablation A: column-phase bandwidth by layout family (N = {n}, open loop)");
     println!("{}", table.render());
 }

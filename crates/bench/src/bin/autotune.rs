@@ -1,12 +1,12 @@
 //! **Design-space exploration** — the paper's future-work "design
 //! framework … which enables automatic data layout optimizations".
 //!
-//! Sweeps kernel lane counts and dynamic-layout block heights for one
-//! problem size on the `sim-exec` pool (`SIM_EXEC_THREADS` controls the
-//! worker count; output is identical at any setting), and prints the
-//! throughput-vs-resources Pareto front on the target device — plus an
-//! account of every candidate that was skipped or failed, so truncated
-//! coverage is visible.
+//! Sweeps kernel lane counts against the full layout-family registry
+//! for one problem size on the `sim-exec` pool (`SIM_EXEC_THREADS`
+//! controls the worker count; output is identical at any setting), and
+//! prints the throughput-vs-resources Pareto front on the target device
+//! — plus an account of every candidate that was skipped or failed, so
+//! truncated coverage is visible.
 
 use bench::{common, gbps, Table};
 use fft2d::pareto_front;
@@ -24,13 +24,17 @@ fn main() {
         ex.skipped,
     );
     for f in &ex.failures {
-        eprintln!("FAILED lanes={} h={}: {}", f.lanes, f.h, f.error);
+        eprintln!(
+            "FAILED lanes={} family={} h={}: {}",
+            f.lanes, f.family, f.h, f.error
+        );
     }
 
     let front = pareto_front(&ex.points);
     let mut table = Table::new(&[
         "lanes",
-        "block h",
+        "family",
+        "param",
         "throughput (GB/s)",
         "clock MHz",
         "LUT",
@@ -40,6 +44,7 @@ fn main() {
     for p in &front {
         table.row(&[
             &p.lanes,
+            &p.family,
             &p.h,
             &gbps(p.throughput_gbps),
             &format!("{:.0}", p.clock_mhz),

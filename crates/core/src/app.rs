@@ -5,9 +5,8 @@
 use fft_kernel::Cplx;
 use fpga_model::{resources::devices::VIRTEX7_690T, Resources};
 use layout::{
-    band_block_write_stream, col_phase_stream, optimal_h_bounded, row_phase_stream,
-    tile_band_write_stream, tile_sweep_stream, BlockDynamic, LayoutParams, MatrixLayout, ReorgCost,
-    RowMajor, Tiled,
+    optimal_h_bounded, row_phase_stream, FamilyId, LayoutFamily, LayoutParams, MatrixLayout,
+    ReorgCost, RowMajor, Tiled,
 };
 use mem3d::{Direction, Geometry, MemorySystem, Picos, ServicePath, TimingParams};
 
@@ -215,6 +214,33 @@ impl System {
         }
     }
 
+    /// The layout family each architecture stores its intermediate
+    /// (row-FFT-output) array in: row-major for the baseline, the
+    /// SRAM-bounded optimal-height DDL for the optimized architecture,
+    /// row-buffer tiles for the tiled comparator.
+    ///
+    /// This is the single recipe every layer shares — the phase
+    /// measurements here, the tenancy book's per-tenant entries — so
+    /// "same architecture, same `n`" always means bit-identical streams.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Layout`] when the architecture's layout is
+    /// infeasible for `n`.
+    pub fn intermediate_family(
+        &self,
+        arch: Architecture,
+        n: usize,
+    ) -> Result<Box<dyn LayoutFamily>, Fft2dError> {
+        let params = self.layout_params(n);
+        let (id, param) = match arch {
+            Architecture::Baseline => (FamilyId::RowMajor, 0),
+            Architecture::Optimized => (FamilyId::BlockDynamic, self.block_height(n)),
+            Architecture::Tiled => (FamilyId::Tiled, Tiled::row_buffer_rows(&params)),
+        };
+        id.build(&params, param).map_err(Fft2dError::Layout)
+    }
+
     /// Measures the column-wise FFT phase in isolation (Table 1).
     ///
     /// # Errors
@@ -226,49 +252,18 @@ impl System {
         n: usize,
     ) -> Result<ColumnPhaseResult, Fft2dError> {
         let params = self.layout_params(n);
+        let family = self.intermediate_family(arch, n)?;
         let mut mem = self.fresh_mem()?;
-        let (report, block_h) = match arch {
-            Architecture::Baseline => {
-                let proc = self.processor(&params, 0)?;
-                let l = RowMajor::new(&params);
-                let rep = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, Picos::ZERO, 0),
-                    &mut col_phase_stream(&l, Direction::Read, 1),
-                    l.map_kind(),
-                    None,
-                    Picos::ZERO,
-                )?;
-                (rep, 1)
-            }
-            Architecture::Optimized => {
-                let h = self.block_height(n);
-                let proc = self.processor(&params, h)?;
-                let l = BlockDynamic::with_height(&params, h).map_err(Fft2dError::Layout)?;
-                let rep = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, Picos::ZERO, 0),
-                    &mut col_phase_stream(&l, Direction::Read, l.w),
-                    l.map_kind(),
-                    None,
-                    Picos::ZERO,
-                )?;
-                (rep, h)
-            }
-            Architecture::Tiled => {
-                let l = Tiled::row_buffer_sized(&params).map_err(Fft2dError::Layout)?;
-                let proc = self.processor(&params, l.tile_rows())?;
-                let rep = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, Picos::ZERO, 0),
-                    &mut tile_sweep_stream(&l, Direction::Read),
-                    l.map_kind(),
-                    None,
-                    Picos::ZERO,
-                )?;
-                (rep, l.tile_rows())
-            }
-        };
+        let proc = self.processor(&params, family.reorg_rows())?;
+        let mut reads = family.col_stream(Direction::Read);
+        let report = run_phase(
+            &mut mem,
+            &self.driver(&proc, Picos::ZERO, 0),
+            reads.as_mut(),
+            family.map_kind(),
+            None,
+            Picos::ZERO,
+        )?;
         Ok(ColumnPhaseResult {
             arch,
             n,
@@ -276,7 +271,7 @@ impl System {
             peak_gbps: mem.peak_bandwidth_gbps(),
             activations: report.activations,
             row_hit_rate: report.row_hit_rate,
-            block_h,
+            block_h: family.block_rows(),
         })
     }
 
@@ -292,88 +287,45 @@ impl System {
     /// Returns [`Fft2dError`] on invalid configurations.
     pub fn run_app(&self, arch: Architecture, n: usize) -> Result<AppResult, Fft2dError> {
         let params = self.layout_params(n);
+        let family = self.intermediate_family(arch, n)?;
         let mut mem = self.fresh_mem()?;
-        let input = RowMajor::new(&params);
         let col_bytes = (n * params.elem_bytes) as u64;
-
-        match arch {
-            Architecture::Baseline => {
-                let proc = self.processor(&params, 0)?;
-                let kernel_lat = proc.kernel_latency();
-                let mut writes1 = row_phase_stream(&input, Direction::Write);
-                let p1 = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, kernel_lat, 0),
-                    &mut row_phase_stream(&input, Direction::Read),
-                    input.map_kind(),
-                    Some((&mut writes1, input.map_kind())),
-                    Picos::ZERO,
-                )?;
-                let p2 = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, Picos::ZERO, col_bytes),
-                    &mut col_phase_stream(&input, Direction::Read, 1),
-                    input.map_kind(),
-                    None,
-                    p1.end,
-                )?;
-                Ok(self.summarize(arch, n, &proc, p1, p2, col_bytes))
-            }
-            Architecture::Optimized => {
-                let h = self.block_height(n);
-                let proc = self.processor(&params, h)?;
-                let ddl = BlockDynamic::with_height(&params, h).map_err(Fft2dError::Layout)?;
-                // The optimized architecture allocates its input
-                // vault-interleaved, so the row phase engages all vaults.
-                let input = RowMajor::interleaved(&params);
-                let reorg = ReorgCost::evaluate(&params, h, self.cfg.lanes, proc.clock());
-                let write_delay = proc.kernel_latency() + reorg.fill_latency;
-                let mut writes1 = band_block_write_stream(&ddl);
-                let p1 = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, write_delay, 0),
-                    &mut row_phase_stream(&input, Direction::Read),
-                    input.map_kind(),
-                    Some((&mut writes1, ddl.map_kind())),
-                    Picos::ZERO,
-                )?;
-                let p2 = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, Picos::ZERO, col_bytes),
-                    &mut col_phase_stream(&ddl, Direction::Read, ddl.w),
-                    ddl.map_kind(),
-                    None,
-                    p1.end,
-                )?;
-                Ok(self.summarize(arch, n, &proc, p1, p2, col_bytes))
-            }
-            Architecture::Tiled => {
-                let tiled = Tiled::row_buffer_sized(&params).map_err(Fft2dError::Layout)?;
-                let proc = self.processor(&params, tiled.tile_rows())?;
-                let input = RowMajor::interleaved(&params);
-                let reorg =
-                    ReorgCost::evaluate(&params, tiled.tile_rows(), self.cfg.lanes, proc.clock());
-                let write_delay = proc.kernel_latency() + reorg.fill_latency;
-                let mut writes1 = tile_band_write_stream(&tiled);
-                let p1 = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, write_delay, 0),
-                    &mut row_phase_stream(&input, Direction::Read),
-                    input.map_kind(),
-                    Some((&mut writes1, tiled.map_kind())),
-                    Picos::ZERO,
-                )?;
-                let p2 = run_phase(
-                    &mut mem,
-                    &self.driver(&proc, Picos::ZERO, col_bytes),
-                    &mut tile_sweep_stream(&tiled, Direction::Read),
-                    tiled.map_kind(),
-                    None,
-                    p1.end,
-                )?;
-                Ok(self.summarize(arch, n, &proc, p1, p2, col_bytes))
-            }
-        }
+        let reorg_h = family.reorg_rows();
+        let proc = self.processor(&params, reorg_h)?;
+        // Families that reorganize allocate their *input* vault-
+        // interleaved so the row phase engages all vaults; the baseline
+        // keeps the naive chunked allocation the paper measures.
+        let input = if reorg_h > 0 {
+            RowMajor::interleaved(&params)
+        } else {
+            RowMajor::new(&params)
+        };
+        let write_delay = if reorg_h > 0 {
+            let reorg = ReorgCost::evaluate(&params, reorg_h, self.cfg.lanes, proc.clock());
+            proc.kernel_latency() + reorg.fill_latency
+        } else {
+            proc.kernel_latency()
+        };
+        let mut writes1 = family.write_stream();
+        let p1 = run_phase(
+            &mut mem,
+            &self.driver(&proc, write_delay, 0),
+            &mut row_phase_stream(&input, Direction::Read),
+            input.map_kind(),
+            Some((writes1.as_mut(), family.map_kind())),
+            Picos::ZERO,
+        )?;
+        drop(writes1);
+        let mut reads2 = family.col_stream(Direction::Read);
+        let p2 = run_phase(
+            &mut mem,
+            &self.driver(&proc, Picos::ZERO, col_bytes),
+            reads2.as_mut(),
+            family.map_kind(),
+            None,
+            p1.end,
+        )?;
+        Ok(self.summarize(arch, n, &proc, p1, p2, col_bytes))
     }
 
     /// Simulates `frames` back-to-back 2D FFTs (a streaming workload)
@@ -506,24 +458,8 @@ impl System {
         }
         let params = self.layout_params(n);
         let input = RowMajor::new(&params);
-        let mid_ddl;
-        let mid_row;
-        let mid_tiled;
-        let mid: &dyn MatrixLayout = match arch {
-            Architecture::Baseline => {
-                mid_row = RowMajor::new(&params);
-                &mid_row
-            }
-            Architecture::Optimized => {
-                let h = self.block_height(n);
-                mid_ddl = BlockDynamic::with_height(&params, h).map_err(Fft2dError::Layout)?;
-                &mid_ddl
-            }
-            Architecture::Tiled => {
-                mid_tiled = Tiled::row_buffer_sized(&params).map_err(Fft2dError::Layout)?;
-                &mid_tiled
-            }
-        };
+        let family = self.intermediate_family(arch, n)?;
+        let mid: &dyn MatrixLayout = family.layout();
         let proc = self.processor(&params, 0)?;
 
         // Phase 1: row-wise FFTs, written through the intermediate layout.

@@ -11,7 +11,7 @@ pub enum Fft2dError {
     /// The FFT kernel rejected a configuration or stream.
     Kernel(fft_kernel::KernelError),
     /// A layout could not be constructed.
-    Layout(String),
+    Layout(layout::LayoutError),
     /// The closed-loop phase driver rejected a configuration (e.g. a
     /// NaN or negative kernel rate that would otherwise saturate into a
     /// bogus integer clock step).
@@ -30,7 +30,7 @@ impl fmt::Display for Fft2dError {
         match self {
             Fft2dError::Mem(e) => write!(f, "memory system: {e}"),
             Fft2dError::Kernel(e) => write!(f, "fft kernel: {e}"),
-            Fft2dError::Layout(msg) => write!(f, "layout: {msg}"),
+            Fft2dError::Layout(e) => write!(f, "layout: {e}"),
             Fft2dError::Driver(msg) => write!(f, "driver: {msg}"),
             Fft2dError::Shape { expected, got } => {
                 write!(f, "expected {expected} elements, got {got}")
@@ -44,6 +44,7 @@ impl std::error::Error for Fft2dError {
         match self {
             Fft2dError::Mem(e) => Some(e),
             Fft2dError::Kernel(e) => Some(e),
+            Fft2dError::Layout(e) => Some(e),
             _ => None,
         }
     }
@@ -73,9 +74,9 @@ mod tests {
         assert!(m.to_string().contains("memory system"));
         let k: Fft2dError = fft_kernel::KernelError::NotPowerOfTwo { n: 3 }.into();
         assert!(k.source().is_some());
-        let l = Fft2dError::Layout("bad".into());
-        assert!(l.source().is_none());
-        assert!(l.to_string().contains("bad"));
+        let l = Fft2dError::Layout(layout::LayoutError::Zero { what: "h" });
+        assert!(l.source().is_some());
+        assert!(l.to_string().contains("h must be non-zero"));
         let d = Fft2dError::Driver("NaN rate".into());
         assert!(d.source().is_none());
         assert!(d.to_string().contains("driver: NaN rate"));

@@ -2,12 +2,19 @@
 //! framework targeted at throughput-oriented signal processing kernels,
 //! which enables automatic data layout optimizations".
 //!
-//! [`explore`](System::explore) sweeps kernel lane counts and block
-//! heights for a problem size, simulates each candidate's column phase
-//! **in parallel** on the `sim-exec` work-stealing pool, costs it on the
+//! [`explore`](System::explore) sweeps kernel lane counts against the
+//! full layout-family registry ([`layout::enumerate_candidates`]) for a
+//! problem size, simulates each candidate's column phase **in
+//! parallel** on the `sim-exec` work-stealing pool, costs it on the
 //! FPGA, and returns the candidates with their throughput/resource
 //! trade-off. [`pareto_front`] filters them to the throughput-vs-DSP
 //! Pareto set.
+//!
+//! The sweep is layout-oblivious: no concrete layout type appears here.
+//! Candidates are [`FamilySpec`]s from the registry, built through
+//! [`layout::FamilyId::build`], and simulated through the
+//! [`layout::LayoutFamily`] trait — registering a new family makes the
+//! explorer race it with zero changes in this module.
 //!
 //! Three contracts the sweep upholds:
 //!
@@ -22,7 +29,7 @@
 //!   while every other point completes.
 
 use fpga_model::Resources;
-use layout::{BlockDynamic, LayoutParams, MatrixLayout};
+use layout::{enumerate_candidates, FamilyId, FamilySpec, LayoutError, LayoutParams};
 use mem3d::{Direction, Picos};
 use sim_exec::ExecConfig;
 use sim_util::json::{self, JsonObject};
@@ -34,7 +41,11 @@ use crate::{run_phase, DriverConfig, Fft2dError, ProcessorModel, System};
 pub struct DesignPoint {
     /// Kernel lanes (elements per cycle).
     pub lanes: usize,
-    /// Block height of the dynamic layout.
+    /// Which layout family this point raced.
+    pub family: FamilyId,
+    /// The family's swept parameter (block height for the block
+    /// families, tile rows for the tiled one, map variant for
+    /// row-major).
     pub h: usize,
     /// Column-phase throughput in GB/s (closed loop, kernel-coupled).
     pub throughput_gbps: f64,
@@ -51,6 +62,7 @@ impl DesignPoint {
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("lanes", self.lanes as u64);
+        o.field_str("family", self.family.name());
         o.field_u64("h", self.h as u64);
         o.field_f64("throughput_gbps", self.throughput_gbps);
         o.field_f64("clock_mhz", self.clock_mhz);
@@ -68,10 +80,16 @@ pub struct SkipCounts {
     /// Lane *values* rejected up front (zero, not a power of two, or
     /// larger than the problem size); each bad value counts once.
     pub invalid_lanes: usize,
-    /// `(lanes, h)` candidates whose block layout is infeasible.
+    /// `(lanes, family)` candidates whose layout is infeasible.
     pub infeasible_layout: usize,
-    /// `(lanes, h)` candidates whose processor cannot be constructed.
+    /// `(lanes, family)` candidates whose processor cannot be
+    /// constructed.
     pub infeasible_processor: usize,
+    /// The structured reason of the most recent layout skip (which
+    /// constructor parameter was infeasible), threaded up from
+    /// [`LayoutError`] so skip accounting names the constraint, not
+    /// just a count.
+    pub last_layout_skip: Option<LayoutError>,
 }
 
 impl SkipCounts {
@@ -86,6 +104,9 @@ impl SkipCounts {
         o.field_u64("invalid_lanes", self.invalid_lanes as u64);
         o.field_u64("infeasible_layout", self.infeasible_layout as u64);
         o.field_u64("infeasible_processor", self.infeasible_processor as u64);
+        if let Some(e) = &self.last_layout_skip {
+            o.field_str("last_layout_skip", &e.to_string());
+        }
         o.finish()
     }
 }
@@ -100,7 +121,11 @@ impl std::fmt::Display for SkipCounts {
             self.invalid_lanes,
             self.infeasible_layout,
             self.infeasible_processor
-        )
+        )?;
+        if let Some(e) = &self.last_layout_skip {
+            write!(f, "; last layout skip: {e}")?;
+        }
+        Ok(())
     }
 }
 
@@ -110,7 +135,9 @@ impl std::fmt::Display for SkipCounts {
 pub struct ExploreFailure {
     /// Kernel lanes of the failed candidate.
     pub lanes: usize,
-    /// Block height of the failed candidate.
+    /// Layout family of the failed candidate.
+    pub family: FamilyId,
+    /// Family parameter of the failed candidate.
     pub h: usize,
     /// What went wrong, stringified.
     pub error: String,
@@ -121,6 +148,7 @@ impl ExploreFailure {
     pub fn to_json(&self) -> String {
         let mut o = JsonObject::new();
         o.field_u64("lanes", self.lanes as u64);
+        o.field_str("family", self.family.name());
         o.field_u64("h", self.h as u64);
         o.field_str("error", &self.error);
         o.finish()
@@ -162,7 +190,7 @@ impl Exploration {
 /// [`Exploration`].
 enum Eval {
     Point(DesignPoint),
-    SkipLayout,
+    SkipLayout(LayoutError),
     SkipProcessor,
     Failed(String),
 }
@@ -196,32 +224,42 @@ impl System {
     ) -> Result<Exploration, Fft2dError> {
         let params = self.layout_params_pub(n);
         let mut skipped = SkipCounts::default();
-        let mut candidates: Vec<(usize, usize)> = Vec::new();
+        let specs = enumerate_candidates(&params);
+        let mut candidates: Vec<(usize, FamilySpec)> = Vec::new();
         for &lanes in lane_options {
             if lanes == 0 || !lanes.is_power_of_two() || lanes > n {
                 skipped.invalid_lanes += 1;
                 continue;
             }
-            for h in params.valid_block_heights() {
-                candidates.push((lanes, h));
+            for &spec in &specs {
+                candidates.push((lanes, spec));
             }
         }
 
-        let results = sim_exec::par_map(exec, &candidates, |&(lanes, h), _ctx| {
-            self.evaluate(&params, lanes, h)
+        let results = sim_exec::par_map(exec, &candidates, |&(lanes, spec), _ctx| {
+            self.evaluate(&params, lanes, spec)
         });
 
         let mut points = Vec::new();
         let mut failures = Vec::new();
-        for ((lanes, h), result) in candidates.into_iter().zip(results) {
+        for ((lanes, spec), result) in candidates.into_iter().zip(results) {
             match result {
                 Ok(Eval::Point(p)) => points.push(p),
-                Ok(Eval::SkipLayout) => skipped.infeasible_layout += 1,
+                Ok(Eval::SkipLayout(e)) => {
+                    skipped.infeasible_layout += 1;
+                    skipped.last_layout_skip = Some(e);
+                }
                 Ok(Eval::SkipProcessor) => skipped.infeasible_processor += 1,
-                Ok(Eval::Failed(error)) => failures.push(ExploreFailure { lanes, h, error }),
+                Ok(Eval::Failed(error)) => failures.push(ExploreFailure {
+                    lanes,
+                    family: spec.id,
+                    h: spec.param,
+                    error,
+                }),
                 Err(job_error) => failures.push(ExploreFailure {
                     lanes,
-                    h,
+                    family: spec.id,
+                    h: spec.param,
                     error: job_error.to_string(),
                 }),
             }
@@ -233,15 +271,18 @@ impl System {
         })
     }
 
-    /// Evaluates one `(lanes, h)` candidate: closed-loop column-phase
-    /// simulation plus FPGA costing. Pure per-candidate — no shared
+    /// Evaluates one `(lanes, family)` candidate: closed-loop
+    /// column-phase simulation plus FPGA costing, entirely through the
+    /// [`layout::LayoutFamily`] trait. Pure per-candidate — no shared
     /// mutable state — which is what makes the parallel sweep
     /// deterministic.
-    fn evaluate(&self, params: &LayoutParams, lanes: usize, h: usize) -> Eval {
-        let Ok(layout) = BlockDynamic::with_height(params, h) else {
-            return Eval::SkipLayout;
+    fn evaluate(&self, params: &LayoutParams, lanes: usize, spec: FamilySpec) -> Eval {
+        let family = match spec.build(params) {
+            Ok(f) => f,
+            Err(e) => return Eval::SkipLayout(e),
         };
-        let Ok(proc) = ProcessorModel::new(params, lanes, h, &self.config().budget) else {
+        let reorg = family.reorg_rows();
+        let Ok(proc) = ProcessorModel::new(params, lanes, reorg, &self.config().budget) else {
             return Eval::SkipProcessor;
         };
         let mut mem = match self.fresh_mem() {
@@ -250,7 +291,7 @@ impl System {
         };
         // Lazy stream: the sweep's per-candidate memory is O(1), not
         // O(N²), so wide explorations never materialize a trace.
-        let mut reads = layout::col_phase_stream(&layout, Direction::Read, layout.w);
+        let mut reads = family.col_stream(Direction::Read);
         let cfg = DriverConfig {
             ps_per_byte: proc.ps_per_byte(),
             window_bytes: self.config().window_bytes,
@@ -260,14 +301,15 @@ impl System {
         match run_phase(
             &mut mem,
             &cfg,
-            &mut reads,
-            layout.map_kind(),
+            reads.as_mut(),
+            family.map_kind(),
             None,
             Picos::ZERO,
         ) {
             Ok(rep) => Eval::Point(DesignPoint {
                 lanes,
-                h,
+                family: spec.id,
+                h: spec.param,
                 throughput_gbps: rep.read_bandwidth_gbps(),
                 resources: proc.fpga().resources,
                 clock_mhz: proc.fpga().clock_mhz,
@@ -340,6 +382,23 @@ mod tests {
     }
 
     #[test]
+    fn explore_races_every_registered_family() {
+        let sys = System::default();
+        let ex = sys.explore(512, &[8]).unwrap();
+        assert!(ex.failures.is_empty(), "failures: {:?}", ex.failures);
+        for id in FamilyId::ALL {
+            assert!(
+                ex.points.iter().any(|p| p.family == id),
+                "family {id} missing from sweep"
+            );
+        }
+        // The family name is part of the JSON emission.
+        let text = ex.to_json();
+        assert!(text.contains("\"family\":\"block-ddl\""), "got: {text}");
+        assert!(text.contains("\"family\":\"irredundant\""));
+    }
+
+    #[test]
     fn pareto_front_is_monotone() {
         let sys = System::default();
         let ex = sys.explore(512, &[2, 4, 8]).unwrap();
@@ -357,6 +416,7 @@ mod tests {
         // `partial_cmp(..).expect("finite")`.
         let point = |dsp48: u64, gbps: f64| DesignPoint {
             lanes: 8,
+            family: FamilyId::BlockDynamic,
             h: 4,
             throughput_gbps: gbps,
             resources: Resources {

@@ -153,7 +153,7 @@ pub fn measure_height(
     mem: &MemorySystem,
     h: usize,
 ) -> Result<HeightMeasurement, String> {
-    let layout = BlockDynamic::with_height(params, h)?;
+    let layout = BlockDynamic::with_height(params, h).map_err(|e| e.to_string())?;
     let mut sim = MemorySystem::new(*mem.geometry(), *mem.timing());
     let mut stream = col_phase_stream(&layout, Direction::Read, layout.w);
     let stats: TraceStats =

@@ -1,0 +1,84 @@
+//! Structured layout-construction errors.
+//!
+//! Every layout constructor used to return `Result<Self, String>`; the
+//! explorer could only count those failures, never classify them. The
+//! [`LayoutError`] variants carry the offending parameter so callers
+//! (the explorer's skip accounting, the tenancy recipe builder, error
+//! displays) can react to *which* constraint failed instead of pattern
+//! matching on prose.
+
+use std::fmt;
+
+/// Why a layout could not be constructed from its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LayoutError {
+    /// A dimension that must be non-zero was zero.
+    Zero {
+        /// Which parameter was zero (e.g. `"tile_rows"`, `"h"`).
+        what: &'static str,
+    },
+    /// A block/tile dimension does not evenly divide the quantity it
+    /// must tile.
+    NotDivisor {
+        /// Which parameter failed (e.g. `"h"`, `"tile_cols"`).
+        what: &'static str,
+        /// Its offending value.
+        value: usize,
+        /// What it must divide (e.g. `"s"`, `"n"`).
+        of: &'static str,
+        /// The value it must divide.
+        of_value: usize,
+    },
+}
+
+impl LayoutError {
+    /// The name of the offending parameter.
+    pub fn parameter(&self) -> &'static str {
+        match self {
+            LayoutError::Zero { what } => what,
+            LayoutError::NotDivisor { what, .. } => what,
+        }
+    }
+}
+
+impl fmt::Display for LayoutError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LayoutError::Zero { what } => write!(f, "{what} must be non-zero"),
+            LayoutError::NotDivisor {
+                what,
+                value,
+                of,
+                of_value,
+            } => write!(f, "{what} = {value} does not divide {of} = {of_value}"),
+        }
+    }
+}
+
+impl std::error::Error for LayoutError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_parameter() {
+        let e = LayoutError::NotDivisor {
+            what: "h",
+            value: 3,
+            of: "s",
+            of_value: 1024,
+        };
+        assert_eq!(e.to_string(), "h = 3 does not divide s = 1024");
+        assert_eq!(e.parameter(), "h");
+        let z = LayoutError::Zero { what: "tile_rows" };
+        assert!(z.to_string().contains("tile_rows"));
+        assert_eq!(z.parameter(), "tile_rows");
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync + std::error::Error>() {}
+        assert_send_sync::<LayoutError>();
+    }
+}

@@ -40,21 +40,33 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod burst;
 mod ddl;
+mod error;
+mod family;
+mod irredundant;
 mod matrix;
 mod params;
 mod reorg;
 mod trace;
 
+pub use burst::BurstInterleaved;
 pub use ddl::{
     measure_height, optimal_h, optimal_h_bounded, regime, search_optimal_h, HeightMeasurement,
     Regime,
 };
+pub use error::LayoutError;
+pub use family::{
+    enumerate_candidates, BlockDynamicFamily, ColMajorFamily, FamilyId, FamilySpec, LayoutFamily,
+    RowMajorFamily, TiledFamily,
+};
+pub use irredundant::Irredundant;
 pub use matrix::{BlockDynamic, ColMajor, MatrixLayout, RowMajor, Tiled};
 pub use params::LayoutParams;
 pub use reorg::ReorgCost;
 pub use trace::{
-    band_block_write_stream, band_block_write_trace, col_bursts_per_column, col_phase_stream,
-    col_phase_trace, row_phase_stream, row_phase_trace, tile_band_write_stream,
-    tile_band_write_trace, tile_sweep_stream, tile_sweep_trace, Coalescer, MAX_BURST_BYTES,
+    band_block_write_stream, band_block_write_trace, block_write_stream, col_bursts_per_column,
+    col_phase_stream, col_phase_trace, collect_stream, row_phase_stream, row_phase_trace,
+    tile_band_write_stream, tile_band_write_trace, tile_sweep_stream, tile_sweep_trace, Coalescer,
+    MAX_BURST_BYTES,
 };

@@ -8,7 +8,7 @@
 
 use mem3d::AddressMapKind;
 
-use crate::LayoutParams;
+use crate::{LayoutError, LayoutParams};
 
 /// A mapping from matrix coordinates to memory addresses.
 ///
@@ -210,17 +210,34 @@ impl Tiled {
     ///
     /// # Errors
     ///
-    /// Returns an error message if the tile does not evenly divide the
-    /// matrix.
-    pub fn new(params: &LayoutParams, tile_rows: usize, tile_cols: usize) -> Result<Self, String> {
-        if tile_rows == 0 || tile_cols == 0 {
-            return Err("tile dimensions must be non-zero".into());
+    /// Returns [`LayoutError`] if a tile dimension is zero or does not
+    /// evenly divide the matrix.
+    pub fn new(
+        params: &LayoutParams,
+        tile_rows: usize,
+        tile_cols: usize,
+    ) -> Result<Self, LayoutError> {
+        if tile_rows == 0 {
+            return Err(LayoutError::Zero { what: "tile_rows" });
         }
-        if !params.n.is_multiple_of(tile_rows) || !params.n.is_multiple_of(tile_cols) {
-            return Err(format!(
-                "tile {tile_rows}x{tile_cols} does not divide matrix {0}x{0}",
-                params.n
-            ));
+        if tile_cols == 0 {
+            return Err(LayoutError::Zero { what: "tile_cols" });
+        }
+        if !params.n.is_multiple_of(tile_rows) {
+            return Err(LayoutError::NotDivisor {
+                what: "tile_rows",
+                value: tile_rows,
+                of: "n",
+                of_value: params.n,
+            });
+        }
+        if !params.n.is_multiple_of(tile_cols) {
+            return Err(LayoutError::NotDivisor {
+                what: "tile_cols",
+                value: tile_cols,
+                of: "n",
+                of_value: params.n,
+            });
         }
         Ok(Tiled {
             n: params.n,
@@ -230,16 +247,24 @@ impl Tiled {
         })
     }
 
+    /// The tile height of the square-ish row-buffer-sized tile
+    /// ([`Tiled::row_buffer_sized`]), before capping at `n` — the
+    /// canonical family parameter for the Akin tiling.
+    pub fn row_buffer_rows(params: &LayoutParams) -> usize {
+        let mut tr = 1usize;
+        while tr * tr < params.s {
+            tr *= 2;
+        }
+        tr
+    }
+
     /// The square-ish tile filling one row buffer (`√s × s/√s`).
     ///
     /// # Errors
     ///
     /// As for [`Tiled::new`].
-    pub fn row_buffer_sized(params: &LayoutParams) -> Result<Self, String> {
-        let mut tr = 1usize;
-        while tr * tr < params.s {
-            tr *= 2;
-        }
+    pub fn row_buffer_sized(params: &LayoutParams) -> Result<Self, LayoutError> {
+        let tr = Self::row_buffer_rows(params);
         let tc = params.s / tr;
         Self::new(params, tr.min(params.n), tc.min(params.n))
     }
@@ -308,18 +333,36 @@ impl BlockDynamic {
     ///
     /// # Errors
     ///
-    /// Returns an error message unless `h` divides both `s` and `n`, and
+    /// Returns [`LayoutError`] unless `h` divides both `s` and `n`, and
     /// the resulting width divides `n`.
-    pub fn with_height(params: &LayoutParams, h: usize) -> Result<Self, String> {
-        if h == 0 || !params.s.is_multiple_of(h) {
-            return Err(format!("h = {h} does not divide s = {}", params.s));
+    pub fn with_height(params: &LayoutParams, h: usize) -> Result<Self, LayoutError> {
+        if h == 0 {
+            return Err(LayoutError::Zero { what: "h" });
+        }
+        if !params.s.is_multiple_of(h) {
+            return Err(LayoutError::NotDivisor {
+                what: "h",
+                value: h,
+                of: "s",
+                of_value: params.s,
+            });
         }
         let w = (params.s / h).min(params.n);
-        if !params.n.is_multiple_of(h) || !params.n.is_multiple_of(w) {
-            return Err(format!(
-                "block {w}x{h} does not tile the {0}x{0} matrix",
-                params.n
-            ));
+        if !params.n.is_multiple_of(h) {
+            return Err(LayoutError::NotDivisor {
+                what: "h",
+                value: h,
+                of: "n",
+                of_value: params.n,
+            });
+        }
+        if !params.n.is_multiple_of(w) {
+            return Err(LayoutError::NotDivisor {
+                what: "w",
+                value: w,
+                of: "n",
+                of_value: params.n,
+            });
         }
         Ok(BlockDynamic {
             n: params.n,

@@ -550,20 +550,35 @@ pub fn col_phase_stream(
     }
 }
 
+/// The banded write-back stream shared by every block family: after the
+/// permutation network has buffered a band of `h` matrix rows, whole
+/// `w × h` blocks are emitted left to right, band by band, in the
+/// within-block *column-major* order the block families store — so each
+/// block coalesces into one contiguous burst wherever the layout keeps
+/// it contiguous.
+///
+/// [`band_block_write_stream`] is the [`crate::BlockDynamic`]
+/// instantiation; the burst-interleaved and irredundant families reuse
+/// the same walk with their own `(w, h)`.
+pub fn block_write_stream(
+    layout: &dyn MatrixLayout,
+    w: usize,
+    h: usize,
+) -> impl RequestSource + '_ {
+    let n = layout.n();
+    let e = layout.elem_bytes() as u32;
+    let walk = Walk4::new([n / h, n / w, w, h], move |i: &[usize; 4]| {
+        (layout.addr(i[0] * h + i[3], i[1] * w + i[2]), e)
+    });
+    Coalescer::new(walk, Direction::Write, matrix_bytes(layout))
+}
+
 /// The write-back stream of the optimized row phase: after the
 /// permutation network has buffered a band of `h` matrix rows, it emits
 /// whole `w × h` blocks — full memory rows — left to right, band by
 /// band. Every burst is one contiguous DRAM row.
 pub fn band_block_write_stream(layout: &crate::BlockDynamic) -> impl RequestSource + '_ {
-    let n = layout.n();
-    let e = layout.elem_bytes() as u32;
-    let (w, h) = (layout.w, layout.h);
-    // Within-block column-major emission order = ascending addresses =
-    // one coalesced burst per block.
-    let walk = Walk4::new([n / h, n / w, w, h], move |i: &[usize; 4]| {
-        (layout.addr(i[0] * h + i[3], i[1] * w + i[2]), e)
-    });
-    Coalescer::new(walk, Direction::Write, matrix_bytes(layout))
+    block_write_stream(layout, layout.w, layout.h)
 }
 
 /// The column phase of the tiled (Akin et al.) architecture as a lazy
@@ -594,9 +609,22 @@ pub fn tile_band_write_stream(layout: &crate::Tiled) -> impl RequestSource + '_ 
     Coalescer::new(walk, Direction::Write, matrix_bytes(layout))
 }
 
+/// The one generic stream→trace collector. Every `*_trace` view — the
+/// free functions below and the [`crate::LayoutFamily`] trace methods —
+/// is a thin wrapper over this helper, so "trace ≡ collected stream"
+/// holds by construction for every family rather than by five
+/// hand-maintained pairs.
+pub fn collect_stream(src: &mut dyn RequestSource) -> AccessTrace {
+    let mut trace = AccessTrace::new();
+    for op in &mut *src {
+        trace.push(op.addr, op.bytes, op.dir);
+    }
+    trace
+}
+
 /// [`row_phase_stream`], materialized.
 pub fn row_phase_trace(layout: &dyn MatrixLayout, dir: Direction) -> AccessTrace {
-    row_phase_stream(layout, dir).collect_trace()
+    collect_stream(&mut row_phase_stream(layout, dir))
 }
 
 /// [`col_phase_stream`], materialized.
@@ -605,22 +633,22 @@ pub fn row_phase_trace(layout: &dyn MatrixLayout, dir: Direction) -> AccessTrace
 ///
 /// Panics if `group` is zero or does not divide `n`.
 pub fn col_phase_trace(layout: &dyn MatrixLayout, dir: Direction, group: usize) -> AccessTrace {
-    col_phase_stream(layout, dir, group).collect_trace()
+    collect_stream(&mut col_phase_stream(layout, dir, group))
 }
 
 /// [`band_block_write_stream`], materialized.
 pub fn band_block_write_trace(layout: &crate::BlockDynamic) -> AccessTrace {
-    band_block_write_stream(layout).collect_trace()
+    collect_stream(&mut band_block_write_stream(layout))
 }
 
 /// [`tile_sweep_stream`], materialized.
 pub fn tile_sweep_trace(layout: &crate::Tiled, dir: Direction) -> AccessTrace {
-    tile_sweep_stream(layout, dir).collect_trace()
+    collect_stream(&mut tile_sweep_stream(layout, dir))
 }
 
 /// [`tile_band_write_stream`], materialized.
 pub fn tile_band_write_trace(layout: &crate::Tiled) -> AccessTrace {
-    tile_band_write_stream(layout).collect_trace()
+    collect_stream(&mut tile_band_write_stream(layout))
 }
 
 /// Convenience: the number of burst requests the column phase generates

@@ -115,6 +115,16 @@ impl<S: RequestSource + ?Sized> RequestSource for &mut S {
     }
 }
 
+impl<S: RequestSource + ?Sized> RequestSource for Box<S> {
+    fn total_bytes(&self) -> u64 {
+        (**self).total_bytes()
+    }
+
+    fn next_run(&mut self) -> Option<TraceRun> {
+        (**self).next_run()
+    }
+}
+
 /// A strided request stream: `count` chunks of `bytes`, consecutive
 /// chunk addresses `stride` bytes apart. O(1) state — the streaming
 /// counterpart of [`AccessTrace::strided_read`].

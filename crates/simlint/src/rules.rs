@@ -272,12 +272,19 @@ impl Rule for D003 {
 
 /// The request service path plus the phase engine: errors here must
 /// flow through the crates' `Error` enums, not abort the simulation.
+/// The layout-family registry and the two competitor layouts are in
+/// scope too — `FamilyId::build` is how the explorer probes infeasible
+/// candidates, so a panic there aborts a whole design-space sweep
+/// instead of landing in `SkipCounts`.
 const P001_SCOPE: &[&str] = &[
     "crates/mem3d/src/system.rs",
     "crates/mem3d/src/controller.rs",
     "crates/core/src/phases.rs",
     "crates/tenancy/src/service.rs",
     "crates/tenancy/src/arbiter.rs",
+    "crates/layout/src/family.rs",
+    "crates/layout/src/burst.rs",
+    "crates/layout/src/irredundant.rs",
 ];
 
 /// P001: no panicking constructs on the service path.
@@ -288,7 +295,7 @@ impl Rule for P001 {
         "P001"
     }
     fn summary(&self) -> &'static str {
-        "no unwrap/expect/panic!/unreachable! in mem3d service path, core::phases or tenancy service"
+        "no unwrap/expect/panic!/unreachable! in mem3d service path, core::phases, tenancy service or the layout-family registry"
     }
     fn applies_to(&self, path: &str) -> bool {
         P001_SCOPE.contains(&path)
@@ -338,6 +345,19 @@ const R001_FN_ALLOW: &[(&str, &str)] = &[
 /// Target types an `as` cast may silently truncate into.
 const NARROWING: &[&str] = &["u8", "u16", "u32", "usize", "i8", "i16", "i32", "isize"];
 
+/// Address-arithmetic files R001 covers: the mem3d decode/timing core,
+/// plus the layout files whose `addr()` bijections feed it — the
+/// family registry and the two competitor layouts compute flat byte
+/// addresses in `u64`, and a narrowing cast there wraps silently on
+/// large-N matrices.
+const R001_SCOPE: &[&str] = &[
+    "crates/mem3d/src/address.rs",
+    "crates/mem3d/src/controller.rs",
+    "crates/layout/src/family.rs",
+    "crates/layout/src/burst.rs",
+    "crates/layout/src/irredundant.rs",
+];
+
 /// R001: no bare narrowing `as` casts in address or timing arithmetic.
 ///
 /// `addr as u32` silently truncates; address math must use
@@ -354,10 +374,10 @@ impl Rule for R001 {
         "R001"
     }
     fn summary(&self) -> &'static str {
-        "no bare narrowing `as` casts in mem3d address/timing code (use try_into/checked ops)"
+        "no bare narrowing `as` casts in mem3d/layout address arithmetic (use try_into/checked ops)"
     }
     fn applies_to(&self, path: &str) -> bool {
-        path == "crates/mem3d/src/address.rs" || path == "crates/mem3d/src/controller.rs"
+        R001_SCOPE.contains(&path)
     }
     fn check(&self, f: &FileCheck) -> Vec<Diagnostic> {
         let mut out = Vec::new();

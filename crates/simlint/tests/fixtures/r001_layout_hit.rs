@@ -1,0 +1,9 @@
+// simlint-fixture-path: crates/layout/src/irredundant.rs
+// Since the R001 extension the competitor layouts' address bijections
+// are covered: a narrowing cast in `addr()` arithmetic wraps silently
+// on large-N matrices, while widening to u64 stays allowed.
+
+fn addr(block: u64, elem_bytes: usize) -> u32 {
+    let flat = block * elem_bytes as u64;
+    flat as u32
+}

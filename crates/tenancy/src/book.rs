@@ -2,18 +2,16 @@
 //! configurations each tenant's jobs run with.
 //!
 //! The recipes here mirror `fft2d::System::column_phase` and
-//! `fft2d::System::run_app` **exactly** — same layouts, same streams,
-//! same driver knobs, same write delays. The equivalence suite pins
-//! this: a single-tenant service run must be bit-identical to the
-//! direct `run_phase` calls, so any drift between the two recipe sets
-//! is a test failure, not a silent divergence.
+//! `fft2d::System::run_app` **exactly** — each entry's layout family
+//! comes from the same [`fft2d::System::intermediate_family`] recipe,
+//! so streams, driver knobs and write delays are shared by
+//! construction. The equivalence suite pins this: a single-tenant
+//! service run must be bit-identical to the direct `run_phase` calls,
+//! so any drift between the two recipe sets is a test failure, not a
+//! silent divergence.
 
-use fft2d::{Architecture, DriverConfig, ProcessorModel, ResumablePhase, SystemConfig};
-use layout::{
-    band_block_write_stream, col_phase_stream, optimal_h_bounded, row_phase_stream,
-    tile_band_write_stream, tile_sweep_stream, BlockDynamic, LayoutParams, MatrixLayout, ReorgCost,
-    RowMajor, Tiled,
-};
+use fft2d::{DriverConfig, ProcessorModel, ResumablePhase, System, SystemConfig};
+use layout::{row_phase_stream, LayoutFamily, LayoutParams, MatrixLayout, ReorgCost, RowMajor};
 use mem3d::{Direction, MemorySystem, Picos};
 
 use crate::{JobShape, OffsetSource, TenancyError, TenantSpec};
@@ -22,20 +20,18 @@ use crate::{JobShape, OffsetSource, TenancyError, TenantSpec};
 /// one of its jobs against the shared memory system.
 struct Entry {
     shape: JobShape,
-    arch: Architecture,
     /// Row-major layout on the contiguous (chunked) map — the
-    /// baseline's input and intermediate array.
+    /// baseline's input array.
     row: RowMajor,
-    /// Row-major layout on the vault-interleaved map — the optimized
-    /// and tiled architectures' input array.
+    /// Row-major layout on the vault-interleaved map — the input array
+    /// of every family that reorganizes.
     inter: RowMajor,
-    /// The optimized architecture's block dynamic data layout.
-    ddl: Option<BlockDynamic>,
-    /// The tiled (Akin et al.) layout.
-    tiled: Option<Tiled>,
+    /// The architecture's intermediate layout family; provides the
+    /// column-phase and write-back streams and the address map.
+    family: Box<dyn LayoutFamily>,
     proc: ProcessorModel,
     /// Phase-1 write delay (kernel latency, plus reorganization fill
-    /// for the reshaping architectures).
+    /// for the reshaping families).
     write_delay1: Picos,
     /// One column of the matrix in bytes — the phase-2 latency probe.
     col_bytes: u64,
@@ -126,7 +122,9 @@ impl SpecBook {
     /// Opens phase `phase` of one of tenant `t`'s jobs at `start`,
     /// rebased into the tenant's arena. The stream/layout/driver
     /// combinations replicate `System::column_phase` / `run_app`
-    /// exactly (see module docs).
+    /// exactly (see module docs) — and since every stream comes from
+    /// the entry's [`LayoutFamily`], the match is per *phase shape*,
+    /// not per architecture.
     pub(crate) fn open_phase<'b>(
         &'b self,
         mem: &MemorySystem,
@@ -138,150 +136,60 @@ impl SpecBook {
             return Err(TenancyError::Config(format!("unknown tenant {t}")));
         };
         let base = self.base(t);
-        let cfg_col = |probe: u64| self.driver(e, Picos::ZERO, probe);
-        let phase = match (e.shape, phase, e.arch) {
-            // The column phase in isolation (Table 1's unit of work).
-            (JobShape::Column, 0, Architecture::Baseline) => ResumablePhase::new(
-                mem,
-                &cfg_col(0),
-                Box::new(OffsetSource::new(
-                    col_phase_stream(&e.row, Direction::Read, 1),
-                    base,
-                )),
-                e.row.map_kind(),
-                None,
-                start,
-            )?,
-            (JobShape::Column, 0, Architecture::Optimized) => {
-                let ddl = e.ddl()?;
+        let opened = match (e.shape, phase) {
+            // The column phase: Table 1's unit of work (probe-less) and
+            // the application's phase 2 (latency-probed on the first
+            // column).
+            (JobShape::Column, 0) | (JobShape::App, 1) => {
+                let probe = if e.shape == JobShape::App {
+                    e.col_bytes
+                } else {
+                    0
+                };
                 ResumablePhase::new(
                     mem,
-                    &cfg_col(0),
+                    &self.driver(e, Picos::ZERO, probe),
                     Box::new(OffsetSource::new(
-                        col_phase_stream(ddl, Direction::Read, ddl.w),
+                        e.family.col_stream(Direction::Read),
                         base,
                     )),
-                    ddl.map_kind(),
+                    e.family.map_kind(),
                     None,
                     start,
                 )?
             }
-            (JobShape::Column, 0, Architecture::Tiled) => {
-                let tiled = e.tiled()?;
-                ResumablePhase::new(
-                    mem,
-                    &cfg_col(0),
-                    Box::new(OffsetSource::new(
-                        tile_sweep_stream(tiled, Direction::Read),
-                        base,
-                    )),
-                    tiled.map_kind(),
-                    None,
-                    start,
-                )?
-            }
-            // The full application's row phase (reads input, writes the
-            // intermediate array through the architecture's layout).
-            (JobShape::App, 0, Architecture::Baseline) => ResumablePhase::new(
-                mem,
-                &self.driver(e, e.write_delay1, 0),
-                Box::new(OffsetSource::new(
-                    row_phase_stream(&e.row, Direction::Read),
-                    base,
-                )),
-                e.row.map_kind(),
-                Some((
-                    Box::new(OffsetSource::new(
-                        row_phase_stream(&e.row, Direction::Write),
-                        base,
-                    )),
-                    e.row.map_kind(),
-                )),
-                start,
-            )?,
-            (JobShape::App, 0, Architecture::Optimized) => {
-                let ddl = e.ddl()?;
+            // The application's row phase: reads the input array,
+            // writes the intermediate array through the family's
+            // write-back stream.
+            (JobShape::App, 0) => {
+                let input: &RowMajor = if e.family.reorg_rows() > 0 {
+                    &e.inter
+                } else {
+                    &e.row
+                };
                 ResumablePhase::new(
                     mem,
                     &self.driver(e, e.write_delay1, 0),
                     Box::new(OffsetSource::new(
-                        row_phase_stream(&e.inter, Direction::Read),
+                        row_phase_stream(input, Direction::Read),
                         base,
                     )),
-                    e.inter.map_kind(),
+                    input.map_kind(),
                     Some((
-                        Box::new(OffsetSource::new(band_block_write_stream(ddl), base)),
-                        ddl.map_kind(),
+                        Box::new(OffsetSource::new(e.family.write_stream(), base)),
+                        e.family.map_kind(),
                     )),
                     start,
                 )?
             }
-            (JobShape::App, 0, Architecture::Tiled) => {
-                let tiled = e.tiled()?;
-                ResumablePhase::new(
-                    mem,
-                    &self.driver(e, e.write_delay1, 0),
-                    Box::new(OffsetSource::new(
-                        row_phase_stream(&e.inter, Direction::Read),
-                        base,
-                    )),
-                    e.inter.map_kind(),
-                    Some((
-                        Box::new(OffsetSource::new(tile_band_write_stream(tiled), base)),
-                        tiled.map_kind(),
-                    )),
-                    start,
-                )?
-            }
-            // The application's column phase, latency-probed on the
-            // first column.
-            (JobShape::App, 1, Architecture::Baseline) => ResumablePhase::new(
-                mem,
-                &cfg_col(e.col_bytes),
-                Box::new(OffsetSource::new(
-                    col_phase_stream(&e.row, Direction::Read, 1),
-                    base,
-                )),
-                e.row.map_kind(),
-                None,
-                start,
-            )?,
-            (JobShape::App, 1, Architecture::Optimized) => {
-                let ddl = e.ddl()?;
-                ResumablePhase::new(
-                    mem,
-                    &cfg_col(e.col_bytes),
-                    Box::new(OffsetSource::new(
-                        col_phase_stream(ddl, Direction::Read, ddl.w),
-                        base,
-                    )),
-                    ddl.map_kind(),
-                    None,
-                    start,
-                )?
-            }
-            (JobShape::App, 1, Architecture::Tiled) => {
-                let tiled = e.tiled()?;
-                ResumablePhase::new(
-                    mem,
-                    &cfg_col(e.col_bytes),
-                    Box::new(OffsetSource::new(
-                        tile_sweep_stream(tiled, Direction::Read),
-                        base,
-                    )),
-                    tiled.map_kind(),
-                    None,
-                    start,
-                )?
-            }
-            (shape, p, _) => {
+            (shape, p) => {
                 return Err(TenancyError::Config(format!(
                     "phase {p} out of range for a {} job",
                     shape.name()
                 )))
             }
         };
-        Ok(phase)
+        Ok(opened)
     }
 }
 
@@ -291,53 +199,28 @@ impl Entry {
         let params = LayoutParams::for_device(n, &platform.geometry, &platform.timing);
         let row = RowMajor::new(&params);
         let inter = RowMajor::interleaved(&params);
-        let (ddl, tiled, reorg_h) = match t.job.arch {
-            Architecture::Baseline => (None, None, 0),
-            Architecture::Optimized => {
-                let h = optimal_h_bounded(&params, platform.reorg_budget_bytes);
-                let ddl =
-                    BlockDynamic::with_height(&params, h).map_err(fft2d::Fft2dError::Layout)?;
-                (Some(ddl), None, h)
-            }
-            Architecture::Tiled => {
-                let tl = Tiled::row_buffer_sized(&params).map_err(fft2d::Fft2dError::Layout)?;
-                let h = tl.tile_rows();
-                (None, Some(tl), h)
-            }
-        };
+        // The one shared recipe: the same System the direct runs use
+        // picks the family, so tenancy can never drift from it.
+        let family = System::new(*platform).intermediate_family(t.job.arch, n)?;
+        let reorg_h = family.reorg_rows();
         let proc = ProcessorModel::new(&params, platform.lanes, reorg_h, &platform.budget)?;
-        let write_delay1 = match t.job.arch {
-            Architecture::Baseline => proc.kernel_latency(),
-            Architecture::Optimized | Architecture::Tiled => {
-                let reorg = ReorgCost::evaluate(&params, reorg_h, platform.lanes, proc.clock());
-                proc.kernel_latency() + reorg.fill_latency
-            }
+        let write_delay1 = if reorg_h > 0 {
+            let reorg = ReorgCost::evaluate(&params, reorg_h, platform.lanes, proc.clock());
+            proc.kernel_latency() + reorg.fill_latency
+        } else {
+            proc.kernel_latency()
         };
         let footprint = (n as u64) * (n as u64) * params.elem_bytes as u64;
         Ok(Entry {
             shape: t.job.shape,
-            arch: t.job.arch,
             row,
             inter,
-            ddl,
-            tiled,
+            family,
             proc,
             write_delay1,
             col_bytes: (n * params.elem_bytes) as u64,
             footprint,
         })
-    }
-
-    fn ddl(&self) -> Result<&BlockDynamic, TenancyError> {
-        self.ddl
-            .as_ref()
-            .ok_or_else(|| TenancyError::Config("optimized recipe without a block layout".into()))
-    }
-
-    fn tiled(&self) -> Result<&Tiled, TenancyError> {
-        self.tiled
-            .as_ref()
-            .ok_or_else(|| TenancyError::Config("tiled recipe without a tiled layout".into()))
     }
 }
 
@@ -345,6 +228,7 @@ impl Entry {
 mod tests {
     use super::*;
     use crate::{Arrivals, JobSpec, Traffic};
+    use fft2d::Architecture;
 
     fn tenant(arch: Architecture, n: usize, shape: JobShape) -> TenantSpec {
         TenantSpec::new(
@@ -401,5 +285,25 @@ mod tests {
         let mem = MemorySystem::new(platform.geometry, platform.timing);
         assert!(book.open_phase(&mem, 0, 1, Picos::ZERO).is_err());
         assert!(book.open_phase(&mem, 1, 1, Picos::ZERO).is_ok());
+    }
+
+    #[test]
+    fn entries_carry_the_system_recipe_family() {
+        let platform = SystemConfig::default();
+        let tenants = vec![
+            tenant(Architecture::Baseline, 128, JobShape::Column),
+            tenant(Architecture::Optimized, 128, JobShape::Column),
+            tenant(Architecture::Tiled, 128, JobShape::Column),
+        ];
+        let book = SpecBook::build(&platform, &tenants).unwrap();
+        assert_eq!(book.entries[0].family.name(), "row-major");
+        assert_eq!(book.entries[1].family.name(), "block-ddl");
+        assert_eq!(book.entries[2].family.name(), "tiled");
+        let sys = System::new(platform);
+        assert_eq!(
+            book.entries[1].family.param(),
+            sys.block_height(128),
+            "tenancy and direct runs must pick the same block height"
+        );
     }
 }

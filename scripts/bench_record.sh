@@ -11,6 +11,11 @@
 #   BENCH_tenancy.json  multi-tenant contention: per-tenant p50/p95/p99
 #                       latency, bandwidth and slowdown-vs-isolated
 #                       under each arbitration policy (tenancy_bench)
+#   BENCH_layouts.json  layout-family race: open-loop column-phase
+#                       throughput and reorg-SRAM cost of every
+#                       registered family across sizes and geometries,
+#                       with the per-(N, geometry) Pareto front marked
+#                       (layout_bench)
 #
 # sweep_bench verifies that every N-thread sweep is bit-identical to
 # the 1-thread reference, and hotpath_bench that the fast path's phase
@@ -24,7 +29,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p bench \
-  --bin sweep_bench --bin stream_bench --bin hotpath_bench --bin tenancy_bench
+  --bin sweep_bench --bin stream_bench --bin hotpath_bench --bin tenancy_bench \
+  --bin layout_bench
 ./target/release/sweep_bench | grep '^{' > BENCH_sweep.json
 echo "wrote $(wc -l < BENCH_sweep.json) records to BENCH_sweep.json:"
 cat BENCH_sweep.json
@@ -50,4 +56,15 @@ echo "wrote $(wc -l < BENCH_tenancy.json) records to BENCH_tenancy.json:"
 # least one tenant's p50 by >= 2% versus round-robin — the policies
 # must produce measurably different QoS or the arbiter isn't arbitrating.
 python3 scripts/check_tenancy.py BENCH_tenancy.json \
+  ${SIM_BENCH_FAST:+--smoke}
+
+./target/release/layout_bench | grep '^{' > BENCH_layouts.json
+echo "wrote $(wc -l < BENCH_layouts.json) records to BENCH_layouts.json:"
+# Gate the record: every registered family raced in every (N, geometry)
+# group, all rows within device peak, the published Pareto marking
+# matches a recomputation, at least one non-DDL family on a front, the
+# competitor families inside the DDL class, and (full runs) the
+# block-DDL open-loop rows at or above the kernel-coupled hotpath
+# throughput they must be able to feed.
+python3 scripts/check_layouts.py BENCH_layouts.json \
   ${SIM_BENCH_FAST:+--smoke}

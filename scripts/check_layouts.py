@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Gates a BENCH_layouts.json record (usage: check_layouts.py FILE [--smoke]).
+
+The layout-family race contract, all hard failures:
+  * every registered family appears in every (N, geometry) group — a
+    family silently missing from the race is truncated coverage;
+  * every row's throughput is positive and within device peak;
+  * the recorded Pareto marking is exactly the front recomputed from
+    the (sram_bytes, throughput) columns — the bench may not publish a
+    front it did not earn;
+  * at least one non-DDL family sits on the front somewhere — the
+    virtualization layer exists to *race* families, and a race the
+    incumbent wins at every point with every budget means the
+    competitors are miswired;
+  * the two competitor families (burst-interleaved, irredundant) hold
+    sane bounds: each within a 2x of the block-DDL row of its group —
+    they are reorganizing layouts and must land in the DDL's class,
+    not degenerate to the naive column sweep;
+  * (full runs only) the block-DDL open-loop rows on the default
+    16-vault geometry do not regress below the kernel-coupled
+    optimized-arch throughput recorded in BENCH_hotpath.json: the
+    memory-bound ceiling must stay above the closed-loop point, or the
+    layout lost bandwidth the application is already using. --smoke
+    skips this (smoke sizes have no hotpath counterpart).
+"""
+import json
+import os
+import sys
+
+FAMILIES = [
+    "row-major",
+    "col-major",
+    "tiled",
+    "block-ddl",
+    "burst-interleaved",
+    "irredundant",
+]
+
+
+def front_of(rows):
+    """Indices on the SRAM-vs-throughput Pareto front: ascending SRAM,
+    strictly increasing throughput, ties kept on the cheaper/earlier
+    point — the same law layout_bench::mark_front applies."""
+    order = sorted(
+        range(len(rows)),
+        key=lambda i: (rows[i]["sram_bytes"], -rows[i]["throughput_gbps"]),
+    )
+    best, front = float("-inf"), set()
+    for i in order:
+        if rows[i]["throughput_gbps"] > best:
+            best = rows[i]["throughput_gbps"]
+            front.add(i)
+    return front
+
+
+def main() -> None:
+    path = sys.argv[1]
+    smoke = "--smoke" in sys.argv[2:]
+    with open(path) as f:
+        rec = [json.loads(line) for line in f if line.strip()]
+    assert rec, f"{path} is empty"
+
+    groups = {}
+    for r in rec:
+        groups.setdefault((r["n"], r["vaults"]), []).append(r)
+
+    non_ddl_on_front = []
+    for (n, vaults), rows in sorted(groups.items()):
+        fams = [r["family"] for r in rows]
+        assert sorted(fams) == sorted(FAMILIES), (
+            f"N={n} v={vaults}: families {sorted(fams)} != registry"
+        )
+        for r in rows:
+            assert 0.0 < r["throughput_gbps"] <= r["peak_gbps"] * 1.001, (
+                f"{r['id']}: {r['throughput_gbps']:.2f} GB/s outside "
+                f"(0, {r['peak_gbps']:.1f}] device peak"
+            )
+        front = front_of(rows)
+        for i, r in enumerate(rows):
+            assert r["on_front"] == (i in front), (
+                f"{r['id']}: on_front={r['on_front']} but recomputed "
+                f"front says {i in front}"
+            )
+        assert front, f"N={n} v={vaults}: empty Pareto front"
+        by = {r["family"]: r for r in rows}
+        ddl = by["block-ddl"]["throughput_gbps"]
+        for fam in ("burst-interleaved", "irredundant"):
+            bw = by[fam]["throughput_gbps"]
+            assert bw >= 0.5 * ddl, (
+                f"{by[fam]['id']}: {bw:.2f} GB/s is outside the DDL "
+                f"class ({ddl:.2f} GB/s block-ddl)"
+            )
+        for i in front:
+            if rows[i]["family"] != "block-ddl":
+                non_ddl_on_front.append(rows[i]["id"])
+        best = max(rows, key=lambda r: r["throughput_gbps"])
+        print(
+            f"N={n:<5} v={vaults:<2} families={len(rows)} "
+            f"front={len(front)} best={best['family']} "
+            f"at {best['throughput_gbps']:6.2f}/{best['peak_gbps']:.0f} GB/s"
+        )
+
+    assert non_ddl_on_front, "no non-DDL family on any Pareto front"
+    print(f"non-DDL front points: {', '.join(non_ddl_on_front[:4])} ...")
+
+    hotpath = os.path.join(os.path.dirname(path) or ".", "BENCH_hotpath.json")
+    if smoke:
+        print("smoke run: skipping hotpath floor comparison")
+    else:
+        assert os.path.exists(hotpath), f"{hotpath} missing"
+        with open(hotpath) as f:
+            floors = {
+                h["n"]: h["throughput_gbps"]
+                for h in (json.loads(line) for line in f if line.strip())
+                if h["arch"] == "optimized"
+            }
+        checked = 0
+        for r in rec:
+            if r["family"] != "block-ddl" or r["vaults"] != 16:
+                continue
+            if r["n"] not in floors:
+                continue
+            assert r["throughput_gbps"] >= floors[r["n"]], (
+                f"{r['id']}: open-loop {r['throughput_gbps']:.2f} GB/s "
+                f"below the kernel-coupled floor {floors[r['n']]:.2f}"
+            )
+            checked += 1
+            print(
+                f"ddl floor ok: {r['id']} {r['throughput_gbps']:6.2f} "
+                f">= hotpath {floors[r['n']]:.2f} GB/s"
+            )
+        assert checked, "no block-ddl row matched a hotpath floor"
+    print("layouts record ok")
+
+
+if __name__ == "__main__":
+    main()
