@@ -17,14 +17,17 @@ fn main() {
     let exec = common::exec_config();
     common::exec_banner(&exec, T_DIFF_NS.len());
 
+    let cache = common::SweepCache::from_env();
     let results = sim_exec::par_map(&exec, &T_DIFF_NS, |&t_diff_ns, _ctx| {
         let timing = common::timing_with_row_penalty_ns(t_diff_ns);
         let sys = common::system_with_timing(timing);
-        let b = sys
-            .column_phase(Architecture::Baseline, n)
+        // Each timing point hashes to its own cache key (the content
+        // key covers every timing field), so replays stay exact.
+        let b = cache
+            .column_phase(&sys, Architecture::Baseline, n)
             .expect("baseline");
-        let o = sys
-            .column_phase(Architecture::Optimized, n)
+        let o = cache
+            .column_phase(&sys, Architecture::Optimized, n)
             .expect("optimized");
         [
             t_diff_ns.to_string(),
@@ -40,6 +43,7 @@ fn main() {
             ),
         ]
     });
+    cache.report("ablation_timing");
     let labels: Vec<String> = T_DIFF_NS.iter().map(|t| format!("t_diff={t}ns")).collect();
     common::warn_failures(&labels, &results);
 

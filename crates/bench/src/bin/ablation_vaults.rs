@@ -17,15 +17,18 @@ fn main() {
     let exec = common::exec_config();
     common::exec_banner(&exec, VAULTS.len());
 
+    let cache = common::SweepCache::from_env();
     let results = sim_exec::par_map(&exec, &VAULTS, |&vaults, _ctx| {
         let geometry = common::geometry_with_vaults(vaults);
         let sys = common::system_with_geometry(geometry);
         let peak = common::peak_gbps(&geometry, &sys.config().timing);
-        let b = sys
-            .column_phase(Architecture::Baseline, n)
+        // Each geometry hashes to its own cache key (the content key
+        // covers every geometry field), so replays stay exact.
+        let b = cache
+            .column_phase(&sys, Architecture::Baseline, n)
             .expect("baseline");
-        let o = sys
-            .column_phase(Architecture::Optimized, n)
+        let o = cache
+            .column_phase(&sys, Architecture::Optimized, n)
             .expect("optimized");
         [
             vaults.to_string(),
@@ -35,6 +38,7 @@ fn main() {
             pct(o.utilization()),
         ]
     });
+    cache.report("ablation_vaults");
     let labels: Vec<String> = VAULTS.iter().map(|v| format!("vaults={v}")).collect();
     common::warn_failures(&labels, &results);
 

@@ -15,9 +15,14 @@ fn main() {
     let n = common::parse_n(1024);
     let sys = common::default_system();
     let exec = common::exec_config();
-    let ex = sys
-        .explore_with(&exec, n, &[2, 4, 8, 16, 32])
+    // With FFT2D_EXPLORE_CACHE=<path> set, previously-evaluated design
+    // points replay from the JSONL cache instead of re-simulating; the
+    // printed tables are byte-identical either way.
+    let cache = common::SweepCache::from_env();
+    let ex = cache
+        .explore(&sys, &exec, n, &[2, 4, 8, 16, 32])
         .expect("exploration");
+    cache.report("autotune");
     println!(
         "explored {} design points for N = {n} on a Virtex-7 690T ({})",
         ex.points.len(),

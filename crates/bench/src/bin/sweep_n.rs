@@ -13,14 +13,17 @@ use fft2d::{improvement, Architecture, System};
 
 const SIZES: [usize; 6] = [128, 256, 512, 1024, 2048, 4096];
 
-/// One fully-simulated row: all three architectures at one size.
-fn simulate(sys: &System, n: usize) -> [String; 6] {
-    let b = sys
-        .column_phase(Architecture::Baseline, n)
+/// One fully-simulated row: all three architectures at one size
+/// (replayed from the exploration cache when one is active).
+fn simulate(sys: &System, cache: &common::SweepCache, n: usize) -> [String; 6] {
+    let b = cache
+        .column_phase(sys, Architecture::Baseline, n)
         .expect("baseline");
-    let t = sys.column_phase(Architecture::Tiled, n).expect("tiled");
-    let o = sys
-        .column_phase(Architecture::Optimized, n)
+    let t = cache
+        .column_phase(sys, Architecture::Tiled, n)
+        .expect("tiled");
+    let o = cache
+        .column_phase(sys, Architecture::Optimized, n)
         .expect("optimized");
     [
         n.to_string(),
@@ -37,7 +40,9 @@ fn main() {
     let exec = common::exec_config();
     common::exec_banner(&exec, SIZES.len());
 
-    let results = sim_exec::par_map(&exec, &SIZES, |&n, _ctx| simulate(&sys, n));
+    let cache = common::SweepCache::from_env();
+    let results = sim_exec::par_map(&exec, &SIZES, |&n, _ctx| simulate(&sys, &cache, n));
+    cache.report("sweep_n");
     let labels: Vec<String> = SIZES.iter().map(|n| format!("N = {n}")).collect();
     let failed = common::warn_failures(&labels, &results);
 

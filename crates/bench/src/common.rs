@@ -9,7 +9,12 @@
 //! (`SIM_EXEC_THREADS=1` is the sequential reference run; see
 //! DESIGN.md).
 
-use fft2d::{System, SystemConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use fft2d::{
+    Architecture, ColumnPhaseResult, Exploration, ExploreCache, Fft2dError, System, SystemConfig,
+};
 use mem3d::{Geometry, Picos, TimingParams};
 use sim_exec::ExecConfig;
 
@@ -77,6 +82,121 @@ pub fn exec_config() -> ExecConfig {
     ExecConfig::from_env()
 }
 
+/// The persistent exploration cache a sweep binary consults when
+/// `FFT2D_EXPLORE_CACHE=<path>` is set.
+///
+/// Active, every column-phase and design-space evaluation is answered
+/// from the JSONL file at that path when its content key is present and
+/// appended after simulation otherwise, so an interrupted or repeated
+/// sweep only pays for the points it has not yet seen. Unset, every
+/// call falls through to a plain simulation. Either way stdout is
+/// byte-identical — the cache changes the wall clock and the stderr
+/// hit/miss report, never the published tables (the contract
+/// `explore_cached` and `column_phase_cached` guarantee and
+/// `crates/core/tests/explore_cache.rs` pins).
+pub struct SweepCache {
+    cache: Option<Mutex<ExploreCache>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl SweepCache {
+    /// Opens the cache named by `FFT2D_EXPLORE_CACHE`, or an inert
+    /// pass-through when the variable is unset.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the named cache file exists but cannot be opened —
+    /// a sweep silently running cold against a typo'd path would
+    /// defeat the point of asking for the cache.
+    pub fn from_env() -> Self {
+        let cache = std::env::var_os("FFT2D_EXPLORE_CACHE").map(|path| {
+            let c = ExploreCache::open(&path)
+                .unwrap_or_else(|e| panic!("FFT2D_EXPLORE_CACHE={}: {e}", path.to_string_lossy()));
+            eprintln!(
+                "explore cache: {} with {} entries",
+                path.to_string_lossy(),
+                c.len()
+            );
+            Mutex::new(c)
+        });
+        SweepCache {
+            cache,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Whether a persistent cache is active.
+    pub fn is_active(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// [`System::column_phase`] through the cache — a plain simulation
+    /// when inactive. Safe to call from `par_map` workers: cold
+    /// candidates serialize on the cache lock (the file append must be
+    /// ordered anyway), while a warm run holds it only for a lookup.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying simulation or cache append returns.
+    pub fn column_phase(
+        &self,
+        sys: &System,
+        arch: Architecture,
+        n: usize,
+    ) -> Result<ColumnPhaseResult, Fft2dError> {
+        match &self.cache {
+            None => sys.column_phase(arch, n),
+            Some(m) => {
+                let mut cache = m.lock().expect("cache lock");
+                let (r, hit) = sys.column_phase_cached(&mut cache, arch, n)?;
+                let ctr = if hit { &self.hits } else { &self.misses };
+                ctr.fetch_add(1, Ordering::Relaxed);
+                Ok(r)
+            }
+        }
+    }
+
+    /// [`System::explore_with`] through the cache — an uncached sweep
+    /// when inactive.
+    ///
+    /// # Errors
+    ///
+    /// Whatever the underlying sweep or cache append returns.
+    pub fn explore(
+        &self,
+        sys: &System,
+        exec: &ExecConfig,
+        n: usize,
+        lane_options: &[usize],
+    ) -> Result<Exploration, Fft2dError> {
+        match &self.cache {
+            None => sys.explore_with(exec, n, lane_options),
+            Some(m) => {
+                let mut cache = m.lock().expect("cache lock");
+                let (ex, stats) = sys.explore_cached(exec, n, lane_options, &mut cache)?;
+                self.hits.fetch_add(stats.hits, Ordering::Relaxed);
+                self.misses.fetch_add(stats.misses, Ordering::Relaxed);
+                Ok(ex)
+            }
+        }
+    }
+
+    /// Prints the run's hit/miss account to stderr. Silent when
+    /// inactive — an uncached run has nothing to report, and stderr
+    /// stays identical to the pre-cache binaries.
+    pub fn report(&self, what: &str) {
+        if self.is_active() {
+            eprintln!(
+                "explore cache: {what}: {} hits, {} misses",
+                self.hits.load(Ordering::Relaxed),
+                self.misses.load(Ordering::Relaxed)
+            );
+        }
+    }
+}
+
 /// One-line run description for stderr (stdout belongs to the tables /
 /// JSON protocol, and must stay identical across thread counts).
 pub fn exec_banner(exec: &ExecConfig, jobs: usize) {
@@ -123,6 +243,41 @@ mod tests {
             assert!(g.banks_per_layer >= 1);
         }
         assert_eq!(geometry_with_vaults(32).banks_per_layer, 1);
+    }
+
+    #[test]
+    fn sweep_cache_inactive_is_pass_through() {
+        let cache = SweepCache {
+            cache: None,
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        };
+        assert!(!cache.is_active());
+        let sys = default_system();
+        let direct = sys.column_phase(Architecture::Baseline, 32).unwrap();
+        let through = cache
+            .column_phase(&sys, Architecture::Baseline, 32)
+            .unwrap();
+        assert_eq!(direct, through);
+    }
+
+    #[test]
+    fn sweep_cache_active_counts_hits_and_misses() {
+        let cache = SweepCache {
+            cache: Some(Mutex::new(ExploreCache::in_memory())),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        };
+        let sys = default_system();
+        let cold = cache
+            .column_phase(&sys, Architecture::Baseline, 32)
+            .unwrap();
+        let warm = cache
+            .column_phase(&sys, Architecture::Baseline, 32)
+            .unwrap();
+        assert_eq!(cold, warm, "cached replay is exact");
+        assert_eq!(cache.hits.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.misses.load(Ordering::Relaxed), 1);
     }
 
     #[test]

@@ -1,0 +1,408 @@
+//! Content-hashed persistent cache for design-space exploration.
+//!
+//! A full autotune is a multi-thousand-point sweep, and most of those
+//! points were already measured by a previous run: the simulator is
+//! deterministic, so a design point's result is a pure function of its
+//! content — memory geometry and timing, FPGA budget, datapath
+//! configuration, layout family, family parameter, problem size, and
+//! (for whole-phase measurements) the architecture. This module hashes
+//! exactly that content with the stable in-repo hasher
+//! ([`sim_util::hash::StableHasher`]) and replays previously-evaluated
+//! points from a JSON-lines cache file instead of re-simulating them.
+//!
+//! **Hash inputs.** Every key starts from the *configuration
+//! fingerprint*: [`CACHE_VERSION`], the five [`mem3d::Geometry`]
+//! fields, the nine [`mem3d::TimingParams`] fields, the four
+//! [`fpga_model::Resources`] budget components, `lanes`,
+//! `window_bytes`, `reorg_budget_bytes`, the
+//! [`mem3d::ServicePath`] discriminant, and `n`. On top of that a
+//! design-point key adds the candidate's `lanes`, family name, and
+//! family parameter; a column-phase key adds the architecture name.
+//! All inputs are integers or interned names — no float formatting is
+//! involved — so keys are identical across hosts and toolchains.
+//!
+//! **Invalidation is automatic:** changing any configuration knob (or
+//! bumping [`CACHE_VERSION`] when the simulator's semantics change)
+//! changes every fingerprint, so stale entries are simply never looked
+//! up again. The file needs no eviction or migration — old lines are
+//! dead weight, not wrong answers.
+//!
+//! **Resume safety.** Entries are appended through the `sim-exec`
+//! ordered sink ([`sim_exec::JsonlSink`]), one JSON object per line,
+//! flushed per batch. A sweep killed mid-run leaves at worst one
+//! truncated trailing line, which [`ExploreCache::open`] skips; the
+//! restarted sweep replays every complete line and evaluates only the
+//! missing points.
+
+use std::collections::BTreeMap;
+use std::fs::OpenOptions;
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use layout::FamilyId;
+use mem3d::ServicePath;
+use sim_exec::{JobResult, JsonlSink};
+use sim_util::hash::StableHasher;
+use sim_util::json::{self, JsonObject, Value};
+
+use crate::{Architecture, ColumnPhaseResult, DesignPoint, SystemConfig};
+
+/// Cache format/semantics version, hashed into every key. Bump when
+/// the simulator's timing semantics or the line schema change: every
+/// old entry then misses and the cache rebuilds itself.
+pub const CACHE_VERSION: u64 = 1;
+
+/// Hit/miss accounting for one cached sweep.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Design points answered from the cache without simulation.
+    pub hits: usize,
+    /// Design points simulated this run and appended to the cache.
+    pub misses: usize,
+    /// Candidates whose outcome is not cacheable (infeasible-layout /
+    /// infeasible-processor skips and isolated failures); these are
+    /// cheap to re-derive and are re-evaluated on every run.
+    pub uncacheable: usize,
+}
+
+impl CacheStats {
+    /// Candidates considered in total.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses + self.uncacheable
+    }
+
+    /// One-line human summary (`hits/misses/uncacheable`).
+    pub fn summary(&self) -> String {
+        format!(
+            "cache: {} hits, {} misses, {} uncacheable",
+            self.hits, self.misses, self.uncacheable
+        )
+    }
+}
+
+/// Feeds the configuration fingerprint shared by every key. Field
+/// order is part of the cache format — see the module docs.
+fn write_config(h: &mut StableHasher, cfg: &SystemConfig, n: usize) {
+    h.write_u64(CACHE_VERSION);
+    let g = &cfg.geometry;
+    h.write_usize(g.vaults);
+    h.write_usize(g.layers);
+    h.write_usize(g.banks_per_layer);
+    h.write_usize(g.rows_per_bank);
+    h.write_usize(g.row_bytes);
+    let t = &cfg.timing;
+    for p in [
+        t.t_in_row,
+        t.t_diff_row,
+        t.t_diff_bank,
+        t.t_in_vault,
+        t.t_activate,
+        t.t_column,
+        t.tsv_ps_per_byte,
+        t.t_refi,
+        t.t_rfc,
+    ] {
+        h.write_u64(p.as_ps());
+    }
+    let b = &cfg.budget;
+    h.write_u64(b.luts);
+    h.write_u64(b.ffs);
+    h.write_u64(b.bram36);
+    h.write_u64(b.dsp48);
+    h.write_usize(cfg.lanes);
+    h.write_u64(cfg.window_bytes);
+    h.write_u64(cfg.reorg_budget_bytes);
+    h.write_u8(match cfg.service_path {
+        ServicePath::Fast => 0,
+        ServicePath::Reference => 1,
+    });
+    h.write_usize(n);
+}
+
+/// Key of one `(lanes, family, param)` exploration candidate under a
+/// configuration and problem size.
+pub(crate) fn point_key(
+    cfg: &SystemConfig,
+    n: usize,
+    lanes: usize,
+    family: FamilyId,
+    param: usize,
+) -> u64 {
+    let mut h = StableHasher::new();
+    write_config(&mut h, cfg, n);
+    h.write_str("point");
+    h.write_usize(lanes);
+    h.write_str(family.name());
+    h.write_usize(param);
+    h.finish()
+}
+
+/// Key of one isolated column-phase measurement.
+pub(crate) fn column_key(cfg: &SystemConfig, n: usize, arch: Architecture) -> u64 {
+    let mut h = StableHasher::new();
+    write_config(&mut h, cfg, n);
+    h.write_str("column");
+    h.write_str(arch.name());
+    h.finish()
+}
+
+/// One replayable cache entry.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Entry {
+    Point(DesignPoint),
+    Column(ColumnPhaseResult),
+}
+
+fn key_hex(key: u64) -> String {
+    format!("{key:016x}")
+}
+
+fn point_line(key: u64, p: &DesignPoint) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("key", &key_hex(key));
+    o.field_str("kind", "point");
+    o.field_raw("value", &p.to_json());
+    o.finish()
+}
+
+fn column_line(key: u64, r: &ColumnPhaseResult) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("key", &key_hex(key));
+    o.field_str("kind", "column");
+    let mut v = JsonObject::new();
+    v.field_str("arch", r.arch.name());
+    v.field_u64("n", r.n as u64);
+    v.field_f64("throughput_gbps", r.throughput_gbps);
+    v.field_f64("peak_gbps", r.peak_gbps);
+    v.field_u64("activations", r.activations);
+    v.field_f64("row_hit_rate", r.row_hit_rate);
+    v.field_u64("block_h", r.block_h as u64);
+    o.field_raw("value", &v.finish());
+    o.finish()
+}
+
+fn column_from_json(v: &Value) -> Option<ColumnPhaseResult> {
+    Some(ColumnPhaseResult {
+        arch: Architecture::from_name(v.get("arch")?.as_str()?)?,
+        n: usize::try_from(v.get("n")?.as_i64()?).ok()?,
+        throughput_gbps: v.get("throughput_gbps")?.as_f64()?,
+        peak_gbps: v.get("peak_gbps")?.as_f64()?,
+        activations: u64::try_from(v.get("activations")?.as_i64()?).ok()?,
+        row_hit_rate: v.get("row_hit_rate")?.as_f64()?,
+        block_h: usize::try_from(v.get("block_h")?.as_i64()?).ok()?,
+    })
+}
+
+/// Parses one cache line; `None` for anything malformed (including a
+/// line truncated by an interrupted run).
+fn parse_line(line: &str) -> Option<(u64, Entry)> {
+    let v = json::parse(line).ok()?;
+    let key = u64::from_str_radix(v.get("key")?.as_str()?, 16).ok()?;
+    let value = v.get("value")?;
+    match v.get("kind")?.as_str()? {
+        "point" => Some((key, Entry::Point(DesignPoint::from_json(value)?))),
+        "column" => Some((key, Entry::Column(column_from_json(value)?))),
+        _ => None,
+    }
+}
+
+/// The persistent, content-addressed exploration cache.
+///
+/// Opened from a JSON-lines file (or purely in memory for tests),
+/// consulted by [`System::explore_cached`](crate::System) and
+/// [`System::column_phase_cached`](crate::System), and appended to as
+/// new points are evaluated. Entries live in a `BTreeMap`, so lookup
+/// order never influences emission order — the determinism contract
+/// simlint rule D002 protects holds for cached sweeps too.
+#[derive(Debug, Default)]
+pub struct ExploreCache {
+    entries: BTreeMap<u64, Entry>,
+    path: Option<PathBuf>,
+}
+
+impl ExploreCache {
+    /// Opens (or creates on first append) the cache backed by `path`,
+    /// replaying every complete line already present. Malformed or
+    /// truncated lines — the signature of an interrupted sweep — are
+    /// skipped, not fatal.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors other than the file not existing yet.
+    pub fn open(path: impl AsRef<Path>) -> io::Result<Self> {
+        let path = path.as_ref();
+        let mut entries = BTreeMap::new();
+        match std::fs::read_to_string(path) {
+            Ok(text) => {
+                for line in text.lines() {
+                    if let Some((key, entry)) = parse_line(line) {
+                        entries.insert(key, entry);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        Ok(ExploreCache {
+            entries,
+            path: Some(path.to_path_buf()),
+        })
+    }
+
+    /// A cache with no backing file: hits and misses behave
+    /// identically, appends stay in memory.
+    pub fn in_memory() -> Self {
+        ExploreCache::default()
+    }
+
+    /// Number of replayable entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub(crate) fn get_point(&self, key: u64) -> Option<DesignPoint> {
+        match self.entries.get(&key) {
+            Some(Entry::Point(p)) => Some(*p),
+            _ => None,
+        }
+    }
+
+    pub(crate) fn get_column(&self, key: u64) -> Option<ColumnPhaseResult> {
+        match self.entries.get(&key) {
+            Some(Entry::Column(r)) => Some(*r),
+            _ => None,
+        }
+    }
+
+    /// Records freshly-evaluated entries: inserts them in memory and
+    /// appends them to the backing file through the ordered sink.
+    /// Write failures are reported, not silently dropped — a read-only
+    /// cache location should be visible, but the in-memory entries are
+    /// already inserted, so the current run's results stay usable.
+    pub(crate) fn record_points(
+        &mut self,
+        new: impl IntoIterator<Item = (u64, DesignPoint)>,
+    ) -> io::Result<()> {
+        let mut lines: Vec<JobResult<String>> = Vec::new();
+        for (key, p) in new {
+            lines.push(Ok(point_line(key, &p)));
+            self.entries.insert(key, Entry::Point(p));
+        }
+        self.append(&lines)
+    }
+
+    pub(crate) fn record_column(&mut self, key: u64, r: ColumnPhaseResult) -> io::Result<()> {
+        let line: JobResult<String> = Ok(column_line(key, &r));
+        self.entries.insert(key, Entry::Column(r));
+        self.append(std::slice::from_ref(&line))
+    }
+
+    fn append(&mut self, lines: &[JobResult<String>]) -> io::Result<()> {
+        if lines.is_empty() {
+            return Ok(());
+        }
+        let Some(path) = &self.path else {
+            return Ok(());
+        };
+        let mut file = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .append(true)
+            .open(path)?;
+        // An interrupted writer can leave a torn final line with no
+        // trailing newline; appending straight after it would corrupt
+        // the first new entry too. Start a fresh line instead — the
+        // torn fragment stays isolated and is skipped on replay.
+        let len = file.seek(SeekFrom::End(0))?;
+        if len > 0 {
+            file.seek(SeekFrom::End(-1))?;
+            let mut last = [0u8; 1];
+            file.read_exact(&mut last)?;
+            if last != [b'\n'] {
+                file.write_all(b"\n")?;
+            }
+        }
+        let mut sink = JsonlSink::new(file);
+        sink.push_all(lines)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fpga_model::Resources;
+
+    fn cfg() -> SystemConfig {
+        SystemConfig::default()
+    }
+
+    #[test]
+    fn keys_are_stable_and_content_sensitive() {
+        let a = point_key(&cfg(), 512, 8, FamilyId::BlockDynamic, 16);
+        let b = point_key(&cfg(), 512, 8, FamilyId::BlockDynamic, 16);
+        assert_eq!(a, b);
+        // Every content dimension perturbs the key.
+        assert_ne!(a, point_key(&cfg(), 512, 8, FamilyId::BlockDynamic, 8));
+        assert_ne!(a, point_key(&cfg(), 512, 8, FamilyId::Tiled, 16));
+        assert_ne!(a, point_key(&cfg(), 512, 4, FamilyId::BlockDynamic, 16));
+        assert_ne!(a, point_key(&cfg(), 256, 8, FamilyId::BlockDynamic, 16));
+        let mut other = cfg();
+        other.window_bytes += 1;
+        assert_ne!(a, point_key(&other, 512, 8, FamilyId::BlockDynamic, 16));
+        let mut geom = cfg();
+        geom.geometry.vaults *= 2;
+        assert_ne!(a, point_key(&geom, 512, 8, FamilyId::BlockDynamic, 16));
+        // Point and column keys never collide on kind.
+        assert_ne!(
+            column_key(&cfg(), 512, Architecture::Optimized),
+            column_key(&cfg(), 512, Architecture::Baseline),
+        );
+    }
+
+    #[test]
+    fn point_lines_round_trip() {
+        let p = DesignPoint {
+            lanes: 8,
+            family: FamilyId::BurstInterleaved,
+            h: 32,
+            throughput_gbps: 31.25,
+            resources: Resources::new(1000, 2000, 30, 40),
+            clock_mhz: 500.0,
+            fits: true,
+        };
+        let key = 0xdead_beef_0123_4567;
+        let (k2, entry) = parse_line(&point_line(key, &p)).expect("parses");
+        assert_eq!(k2, key);
+        assert_eq!(entry, Entry::Point(p));
+    }
+
+    #[test]
+    fn column_lines_round_trip() {
+        let r = ColumnPhaseResult {
+            arch: Architecture::Tiled,
+            n: 1024,
+            throughput_gbps: 12.5,
+            peak_gbps: 80.0,
+            activations: 4096,
+            row_hit_rate: 0.875,
+            block_h: 64,
+        };
+        let key = 7;
+        let (k2, entry) = parse_line(&column_line(key, &r)).expect("parses");
+        assert_eq!(k2, key);
+        assert_eq!(entry, Entry::Column(r));
+    }
+
+    #[test]
+    fn malformed_lines_are_skipped_not_fatal() {
+        assert!(parse_line("").is_none());
+        assert!(parse_line("{\"key\":\"zz\"").is_none());
+        assert!(parse_line("{\"key\":\"0f\",\"kind\":\"point\",\"value\":{}}").is_none());
+        assert!(parse_line("{\"key\":\"0f\",\"kind\":\"mystery\",\"value\":{}}").is_none());
+    }
+}

@@ -23,6 +23,10 @@ pub enum Fft2dError {
         /// Actual element count.
         got: usize,
     },
+    /// The persistent exploration cache could not be read or appended
+    /// (e.g. an unwritable cache path) — results would silently lose
+    /// their resumability, so this is surfaced instead of swallowed.
+    Cache(String),
 }
 
 impl fmt::Display for Fft2dError {
@@ -35,6 +39,7 @@ impl fmt::Display for Fft2dError {
             Fft2dError::Shape { expected, got } => {
                 write!(f, "expected {expected} elements, got {got}")
             }
+            Fft2dError::Cache(msg) => write!(f, "exploration cache: {msg}"),
         }
     }
 }

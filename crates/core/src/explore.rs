@@ -34,7 +34,20 @@ use mem3d::{Direction, Picos};
 use sim_exec::ExecConfig;
 use sim_util::json::{self, JsonObject};
 
-use crate::{run_phase, DriverConfig, Fft2dError, ProcessorModel, System};
+use crate::cache::{column_key, point_key, CacheStats, ExploreCache};
+use crate::{
+    run_phase_in, Architecture, ColumnPhaseResult, DriverConfig, Fft2dError, PhaseWorkspace,
+    ProcessorModel, System,
+};
+
+std::thread_local! {
+    /// One driver workspace per evaluating thread: candidates stream
+    /// through [`run_phase_in`] reusing the same buffers, so a sweep's
+    /// steady state allocates nothing in the driver no matter how many
+    /// thousands of points it visits.
+    static EVAL_WS: std::cell::RefCell<PhaseWorkspace> =
+        std::cell::RefCell::new(PhaseWorkspace::new());
+}
 
 /// One evaluated design point.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -69,6 +82,23 @@ impl DesignPoint {
         o.field_bool("fits", self.fits);
         o.field_raw("resources", &self.resources.to_json());
         o.finish()
+    }
+
+    /// Parses a point back from a parsed JSON value — the inverse of
+    /// [`to_json`](Self::to_json), used by the exploration cache to
+    /// replay persisted points. Returns `None` when any field is
+    /// missing or ill-typed (e.g. a non-finite throughput emitted as
+    /// `null`), which the cache treats as a miss and re-evaluates.
+    pub fn from_json(v: &json::Value) -> Option<DesignPoint> {
+        Some(DesignPoint {
+            lanes: usize::try_from(v.get("lanes")?.as_i64()?).ok()?,
+            family: FamilyId::from_name(v.get("family")?.as_str()?)?,
+            h: usize::try_from(v.get("h")?.as_i64()?).ok()?,
+            throughput_gbps: v.get("throughput_gbps")?.as_f64()?,
+            clock_mhz: v.get("clock_mhz")?.as_f64()?,
+            fits: v.get("fits")?.as_bool()?,
+            resources: Resources::from_json(v.get("resources")?)?,
+        })
     }
 }
 
@@ -222,6 +252,39 @@ impl System {
         n: usize,
         lane_options: &[usize],
     ) -> Result<Exploration, Fft2dError> {
+        // One code path: an uncached sweep is a cached sweep against an
+        // empty in-memory cache (every candidate misses).
+        let mut cache = ExploreCache::in_memory();
+        let (exploration, _stats) = self.explore_cached(exec, n, lane_options, &mut cache)?;
+        Ok(exploration)
+    }
+
+    /// [`explore_with`](Self::explore_with) consulting (and extending)
+    /// a persistent content-hashed cache: candidates whose key is
+    /// already present are replayed without simulation, the rest are
+    /// evaluated on the pool and appended to the cache through the
+    /// ordered sink. The returned [`Exploration`] — including its JSON
+    /// serialization — is **byte-identical** to an uncached sweep; the
+    /// [`CacheStats`] tell the caller how much work the cache saved.
+    ///
+    /// Infeasible candidates (layout/processor skips) and isolated
+    /// failures carry structured reasons that do not round-trip through
+    /// the cache; they are re-derived on every run (cheap — no
+    /// simulation happens on those paths) and counted as
+    /// [`CacheStats::uncacheable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Cache`] when newly-evaluated points cannot
+    /// be appended to the cache's backing file; per-candidate
+    /// simulation errors are isolated into [`Exploration::failures`].
+    pub fn explore_cached(
+        &self,
+        exec: &ExecConfig,
+        n: usize,
+        lane_options: &[usize],
+        cache: &mut ExploreCache,
+    ) -> Result<(Exploration, CacheStats), Fft2dError> {
         let params = self.layout_params_pub(n);
         let mut skipped = SkipCounts::default();
         let specs = enumerate_candidates(&params);
@@ -236,39 +299,113 @@ impl System {
             }
         }
 
-        let results = sim_exec::par_map(exec, &candidates, |&(lanes, spec), _ctx| {
+        let keys: Vec<u64> = candidates
+            .iter()
+            .map(|&(lanes, spec)| point_key(self.config(), n, lanes, spec.id, spec.param))
+            .collect();
+        let mut replayed: Vec<Option<DesignPoint>> =
+            keys.iter().map(|&k| cache.get_point(k)).collect();
+        let miss_idx: Vec<usize> = (0..candidates.len())
+            .filter(|&i| replayed[i].is_none())
+            .collect();
+        let miss_jobs: Vec<(usize, FamilySpec)> = miss_idx.iter().map(|&i| candidates[i]).collect();
+
+        let results = sim_exec::par_map(exec, &miss_jobs, |&(lanes, spec), _ctx| {
             self.evaluate(&params, lanes, spec)
         });
 
+        // Reassemble in candidate-enumeration order, pulling each slot
+        // from the cache replay or the (order-preserving) miss results —
+        // emission order is independent of the hit/miss split.
+        let mut stats = CacheStats::default();
+        let mut new_points: Vec<(u64, DesignPoint)> = Vec::new();
         let mut points = Vec::new();
         let mut failures = Vec::new();
-        for ((lanes, spec), result) in candidates.into_iter().zip(results) {
+        let mut misses = miss_idx.into_iter().zip(results);
+        for (i, &(lanes, spec)) in candidates.iter().enumerate() {
+            if let Some(p) = replayed[i].take() {
+                stats.hits += 1;
+                points.push(p);
+                continue;
+            }
+            let Some((mi, result)) = misses.next() else {
+                return Err(Fft2dError::Cache(
+                    "miss results exhausted before candidates".into(),
+                ));
+            };
+            debug_assert_eq!(mi, i, "miss results must align with candidates");
             match result {
-                Ok(Eval::Point(p)) => points.push(p),
+                Ok(Eval::Point(p)) => {
+                    stats.misses += 1;
+                    new_points.push((keys[i], p));
+                    points.push(p);
+                }
                 Ok(Eval::SkipLayout(e)) => {
+                    stats.uncacheable += 1;
                     skipped.infeasible_layout += 1;
                     skipped.last_layout_skip = Some(e);
                 }
-                Ok(Eval::SkipProcessor) => skipped.infeasible_processor += 1,
-                Ok(Eval::Failed(error)) => failures.push(ExploreFailure {
-                    lanes,
-                    family: spec.id,
-                    h: spec.param,
-                    error,
-                }),
-                Err(job_error) => failures.push(ExploreFailure {
-                    lanes,
-                    family: spec.id,
-                    h: spec.param,
-                    error: job_error.to_string(),
-                }),
+                Ok(Eval::SkipProcessor) => {
+                    stats.uncacheable += 1;
+                    skipped.infeasible_processor += 1;
+                }
+                Ok(Eval::Failed(error)) => {
+                    stats.uncacheable += 1;
+                    failures.push(ExploreFailure {
+                        lanes,
+                        family: spec.id,
+                        h: spec.param,
+                        error,
+                    });
+                }
+                Err(job_error) => {
+                    stats.uncacheable += 1;
+                    failures.push(ExploreFailure {
+                        lanes,
+                        family: spec.id,
+                        h: spec.param,
+                        error: job_error.to_string(),
+                    });
+                }
             }
         }
-        Ok(Exploration {
-            points,
-            skipped,
-            failures,
-        })
+        cache
+            .record_points(new_points)
+            .map_err(|e| Fft2dError::Cache(format!("append failed: {e}")))?;
+        Ok((
+            Exploration {
+                points,
+                skipped,
+                failures,
+            },
+            stats,
+        ))
+    }
+
+    /// [`column_phase`](System::column_phase) through the persistent
+    /// cache: replays a previously-measured `(arch, n)` result when its
+    /// content key is present, otherwise simulates and appends it.
+    /// Returns the result and whether it was a cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Cache`] when a fresh result cannot be
+    /// appended to the cache's backing file, or any simulation error.
+    pub fn column_phase_cached(
+        &self,
+        cache: &mut ExploreCache,
+        arch: Architecture,
+        n: usize,
+    ) -> Result<(ColumnPhaseResult, bool), Fft2dError> {
+        let key = column_key(self.config(), n, arch);
+        if let Some(r) = cache.get_column(key) {
+            return Ok((r, true));
+        }
+        let r = EVAL_WS.with(|ws| self.column_phase_in(&mut ws.borrow_mut(), arch, n))?;
+        cache
+            .record_column(key, r)
+            .map_err(|e| Fft2dError::Cache(format!("append failed: {e}")))?;
+        Ok((r, false))
     }
 
     /// Evaluates one `(lanes, family)` candidate: closed-loop
@@ -298,14 +435,18 @@ impl System {
             write_delay: Picos::ZERO,
             latency_probe_bytes: 0,
         };
-        match run_phase(
-            &mut mem,
-            &cfg,
-            reads.as_mut(),
-            family.map_kind(),
-            None,
-            Picos::ZERO,
-        ) {
+        let outcome = EVAL_WS.with(|ws| {
+            run_phase_in(
+                &mut ws.borrow_mut(),
+                &mut mem,
+                &cfg,
+                reads.as_mut(),
+                family.map_kind(),
+                None,
+                Picos::ZERO,
+            )
+        });
+        match outcome {
             Ok(rep) => Eval::Point(DesignPoint {
                 lanes,
                 family: spec.id,

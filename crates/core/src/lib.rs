@@ -46,6 +46,7 @@
 #![warn(missing_docs)]
 
 mod app;
+mod cache;
 mod energy;
 mod error;
 mod explore;
@@ -56,9 +57,12 @@ mod processor;
 pub use app::{
     improvement, AppResult, Architecture, BatchResult, ColumnPhaseResult, System, SystemConfig,
 };
+pub use cache::{CacheStats, ExploreCache, CACHE_VERSION};
 pub use energy::{AppEnergyReport, PlatformEnergy};
 pub use error::Fft2dError;
 pub use explore::{pareto_front, DesignPoint, Exploration, ExploreFailure, SkipCounts};
 pub use image::MemoryImage;
-pub use phases::{run_phase, DriverConfig, PendingBeat, PhaseReport, ResumablePhase};
+pub use phases::{
+    run_phase, run_phase_in, DriverConfig, PendingBeat, PhaseReport, PhaseWorkspace, ResumablePhase,
+};
 pub use processor::ProcessorModel;

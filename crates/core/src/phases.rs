@@ -40,8 +40,56 @@ use mem3d::{
     AddressMapKind, MemorySystem, Picos, RequestSource, RunPacing, RunServed, ServicePath,
     SpanOutcome, Stats, TraceOp,
 };
+use sim_util::pool::ExclusivePool;
 
 use crate::Fft2dError;
+
+/// The phase driver's delayed-write release queue. Bounded by the
+/// prefetch window plus the write delay, so its capacity converges
+/// after one phase and can be recycled forever.
+type PendingWrites = std::collections::VecDeque<(Picos, AddressMapKind, TraceOp)>;
+
+/// Reusable buffers for the phase driver, recycled across phases,
+/// candidates, and jobs so the steady-state hot loop performs **zero**
+/// heap allocations per beat.
+///
+/// Ownership rule: the workspace *owns* idle buffers; a driver run
+/// ([`run_phase_in`], [`ResumablePhase::new_in`]) **takes** a buffer
+/// for the duration of the phase and **returns** it (cleared, capacity
+/// intact) when the phase report is assembled. A phase that errors out
+/// simply drops its buffer — correctness never depends on the pool, it
+/// only recycles capacity.
+///
+/// One workspace per driving thread: the pool is plain `&mut` state
+/// with no interior mutability, which is exactly what makes reuse free.
+/// [`run_phase`] and [`ResumablePhase::new`] remain allocation-owning
+/// conveniences that build (and drop) a private buffer per phase.
+#[derive(Debug, Default)]
+pub struct PhaseWorkspace {
+    pending: ExclusivePool<PendingWrites>,
+}
+
+impl PhaseWorkspace {
+    /// An empty workspace; buffers are created on first use and
+    /// recycled afterwards.
+    pub fn new() -> Self {
+        PhaseWorkspace {
+            pending: ExclusivePool::new(),
+        }
+    }
+
+    /// Takes a cleared pending-write queue (pooled capacity if
+    /// available, fresh otherwise).
+    fn take_pending(&mut self) -> PendingWrites {
+        self.pending.take_or(PendingWrites::new)
+    }
+
+    /// Returns a drained queue to the pool for the next phase.
+    fn put_pending(&mut self, mut q: PendingWrites) {
+        q.clear();
+        self.pending.put(q);
+    }
+}
 
 /// Knobs of the closed-loop driver.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -172,8 +220,10 @@ struct DriverState {
     /// write delay: writes are only scheduled as their inputs are
     /// consumed, and released as soon as the frontier catches up. Each
     /// entry carries its address map so releasing never has to unwrap
-    /// the phase-level `write_map` option.
-    pending: std::collections::VecDeque<(Picos, AddressMapKind, TraceOp)>,
+    /// the phase-level `write_map` option. The queue itself is borrowed
+    /// from a [`PhaseWorkspace`] and handed back (capacity intact) by
+    /// [`finish`](Self::finish), so a warmed driver never reallocates it.
+    pending: PendingWrites,
 }
 
 impl DriverState {
@@ -182,7 +232,9 @@ impl DriverState {
         read_map: AddressMapKind,
         write_map: Option<AddressMapKind>,
         start: Picos,
+        pending: PendingWrites,
     ) -> Result<Self, Fft2dError> {
+        debug_assert!(pending.is_empty(), "pooled queue must arrive cleared");
         let rate_fs = fs_per_byte(cfg.ps_per_byte)?;
         Ok(DriverState {
             read_map,
@@ -198,7 +250,7 @@ impl DriverState {
             probe_done: Picos::ZERO,
             last_beat: start,
             next_write: None,
-            pending: std::collections::VecDeque::new(),
+            pending,
         })
     }
 
@@ -299,13 +351,14 @@ impl DriverState {
         }
     }
 
-    /// Drains the write tail and assembles the report.
+    /// Drains the write tail and assembles the report, handing the
+    /// (now empty) pending queue back so its capacity can be pooled.
     fn finish(
         mut self,
         mem: &mut MemorySystem,
         write_src: Option<&mut (dyn RequestSource + '_)>,
         before: Stats,
-    ) -> Result<PhaseReport, Fft2dError> {
+    ) -> Result<(PhaseReport, PendingWrites), Fft2dError> {
         if let (Some(src), Some(wmap)) = (write_src, self.write_map) {
             while let Some(wop) = self.next_write.take().or_else(|| src.next()) {
                 self.pending.push_back((
@@ -321,13 +374,13 @@ impl DriverState {
                 "every write burst must have been scheduled"
             );
         }
-        for (at, wmap, wop) in std::mem::take(&mut self.pending) {
+        while let Some((at, wmap, wop)) = self.pending.pop_front() {
             let wout = mem.service_burst(wmap, wop, at)?;
             self.last_beat = self.last_beat.max(wout.done);
         }
 
         let d = mem.stats().delta(&before);
-        Ok(PhaseReport {
+        let report = PhaseReport {
             read_bytes: d.bytes_read,
             write_bytes: d.bytes_written,
             start: self.start,
@@ -335,7 +388,8 @@ impl DriverState {
             probe_done: self.probe_done,
             activations: d.activations,
             row_hit_rate: hit_rate(d.row_hits, d.row_misses),
-        })
+        };
+        Ok((report, self.pending))
     }
 }
 
@@ -459,12 +513,34 @@ impl<'s> ResumablePhase<'s> {
         writes: Option<(Box<dyn RequestSource + 's>, AddressMapKind)>,
         start: Picos,
     ) -> Result<Self, Fft2dError> {
+        let mut ws = PhaseWorkspace::new();
+        Self::new_in(&mut ws, mem, cfg, reads, read_map, writes, start)
+    }
+
+    /// [`new`](Self::new), but drawing the driver's pending-write queue
+    /// from `ws` instead of allocating a fresh one. Pair with
+    /// [`finish_into`](Self::finish_into) so the queue's capacity
+    /// survives into the next phase — the combination is what makes a
+    /// long-running scheduler's steady state allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Driver`] for an invalid kernel rate.
+    pub fn new_in(
+        ws: &mut PhaseWorkspace,
+        mem: &MemorySystem,
+        cfg: &DriverConfig,
+        reads: Box<dyn RequestSource + 's>,
+        read_map: AddressMapKind,
+        writes: Option<(Box<dyn RequestSource + 's>, AddressMapKind)>,
+        start: Picos,
+    ) -> Result<Self, Fft2dError> {
         let (writes, write_map) = match writes {
             Some((src, map)) => (Some(src), Some(map)),
             None => (None, None),
         };
         Ok(ResumablePhase {
-            state: DriverState::new(cfg, read_map, write_map, start)?,
+            state: DriverState::new(cfg, read_map, write_map, start, ws.take_pending())?,
             before: mem.stats(),
             read_total: reads.total_bytes(),
             write_total: writes.as_ref().map_or(0, |w| w.total_bytes()),
@@ -535,7 +611,32 @@ impl<'s> ResumablePhase<'s> {
             mut writes,
             ..
         } = self;
-        state.finish(mem, writes.as_deref_mut(), before)
+        let (report, _pending) = state.finish(mem, writes.as_deref_mut(), before)?;
+        Ok(report)
+    }
+
+    /// [`finish`](Self::finish), additionally returning the driver's
+    /// pending-write queue to `ws` so the next phase opened with
+    /// [`new_in`](Self::new_in) reuses its capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Fft2dError::Mem`] if a trailing write fails to decode
+    /// (the buffer is dropped, not pooled, on that path).
+    pub fn finish_into(
+        self,
+        mem: &mut MemorySystem,
+        ws: &mut PhaseWorkspace,
+    ) -> Result<PhaseReport, Fft2dError> {
+        let ResumablePhase {
+            state,
+            before,
+            mut writes,
+            ..
+        } = self;
+        let (report, pending) = state.finish(mem, writes.as_deref_mut(), before)?;
+        ws.put_pending(pending);
+        Ok(report)
     }
 }
 
@@ -569,18 +670,46 @@ pub fn run_phase(
     writes: Option<(&mut dyn RequestSource, AddressMapKind)>,
     start: Picos,
 ) -> Result<PhaseReport, Fft2dError> {
+    let mut ws = PhaseWorkspace::new();
+    run_phase_in(&mut ws, mem, cfg, reads, read_map, writes, start)
+}
+
+/// [`run_phase`], but drawing the driver's reusable buffers from `ws`
+/// and returning them (capacity intact) when the phase completes.
+///
+/// After one warmup phase has sized the pooled pending-write queue, a
+/// call to `run_phase_in` performs **zero** heap allocations — the
+/// counting-allocator regression test in `tests/alloc_steady.rs` pins
+/// this. Sweeps that evaluate thousands of candidates thread one
+/// workspace through every call.
+///
+/// # Errors
+///
+/// Returns [`Fft2dError::Mem`] if any request fails to decode and
+/// [`Fft2dError::Driver`] for an invalid kernel rate.
+pub fn run_phase_in(
+    ws: &mut PhaseWorkspace,
+    mem: &mut MemorySystem,
+    cfg: &DriverConfig,
+    reads: &mut dyn RequestSource,
+    read_map: AddressMapKind,
+    writes: Option<(&mut dyn RequestSource, AddressMapKind)>,
+    start: Picos,
+) -> Result<PhaseReport, Fft2dError> {
     let before = mem.stats();
     let (mut write_src, write_map) = match writes {
         Some((src, map)) => (Some(src), Some(map)),
         None => (None, None),
     };
-    let mut state = DriverState::new(cfg, read_map, write_map, start)?;
+    let mut state = DriverState::new(cfg, read_map, write_map, start, ws.take_pending())?;
     if mem.service_path() == ServicePath::Fast {
         drive_event(&mut state, mem, reads, write_src.as_deref_mut())?;
     } else {
         drive_reference(&mut state, mem, reads, write_src.as_deref_mut())?;
     }
-    state.finish(mem, write_src, before)
+    let (report, pending) = state.finish(mem, write_src, before)?;
+    ws.put_pending(pending);
+    Ok(report)
 }
 
 #[cfg(test)]

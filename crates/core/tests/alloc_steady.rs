@@ -1,0 +1,64 @@
+//! Counting-allocator regression for the zero-allocation steady state:
+//! after one warmup phase has sized the pooled buffers, a full
+//! [`fft2d::run_phase_in`] — reads, delayed writes, event-driven fast
+//! path — performs **zero** heap allocations.
+//!
+//! This must stay the only `#[test]` in this file: the global counting
+//! allocator tallies every thread in the process, so a concurrently
+//! running sibling test would pollute the measured window.
+
+use alloc_counter::CountingAlloc;
+use fft2d::{run_phase_in, DriverConfig, PhaseWorkspace};
+use layout::{row_phase_stream, LayoutParams, MatrixLayout, RowMajor};
+use mem3d::{Direction, Geometry, MemorySystem, Picos, TimingParams};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc::new();
+
+#[test]
+fn warmed_run_phase_allocates_nothing() {
+    let geom = Geometry::default();
+    let timing = TimingParams::default();
+    let params = LayoutParams::for_device(128, &geom, &timing);
+    let layout = RowMajor::interleaved(&params);
+    let cfg = DriverConfig {
+        ps_per_byte: 31.25,
+        window_bytes: 256 * 1024,
+        write_delay: Picos::from_ns(1000),
+        latency_probe_bytes: 0,
+    };
+    let mut mem = MemorySystem::new(geom, timing);
+    let mut ws = PhaseWorkspace::new();
+
+    let run = |ws: &mut PhaseWorkspace, mem: &mut MemorySystem, at: Picos| {
+        let mut writes = row_phase_stream(&layout, Direction::Write);
+        run_phase_in(
+            ws,
+            mem,
+            &cfg,
+            &mut row_phase_stream(&layout, Direction::Read),
+            layout.map_kind(),
+            Some((&mut writes, layout.map_kind())),
+            at,
+        )
+        .expect("phase runs")
+    };
+
+    // Warmup: sizes the pooled pending-write queue (and any capacity
+    // the memory system grows lazily).
+    let warm = run(&mut ws, &mut mem, Picos::ZERO);
+    assert_eq!(warm.read_bytes, 128 * 128 * 8);
+
+    let before = alloc_counter::allocations();
+    let rep = run(&mut ws, &mut mem, warm.end);
+    let after = alloc_counter::allocations();
+
+    assert_eq!(rep.read_bytes, warm.read_bytes);
+    assert_eq!(rep.write_bytes, warm.write_bytes);
+    assert_eq!(
+        after - before,
+        0,
+        "a warmed run_phase_in must not allocate (streams, beats, \
+         delayed writes and the report are all allocation-free)"
+    );
+}

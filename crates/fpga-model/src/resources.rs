@@ -134,6 +134,24 @@ impl Resources {
         o.field_u64("dsp48", self.dsp48);
         o.finish()
     }
+
+    /// Parses a bundle back from a parsed JSON value — the inverse of
+    /// [`to_json`](Self::to_json), used by the exploration cache to
+    /// replay persisted design points. Returns `None` when any field
+    /// is missing or not a non-negative integer.
+    pub fn from_json(v: &sim_util::json::Value) -> Option<Resources> {
+        let field = |key: &str| {
+            v.get(key)
+                .and_then(sim_util::json::Value::as_i64)
+                .and_then(|x| u64::try_from(x).ok())
+        };
+        Some(Resources {
+            luts: field("luts")?,
+            ffs: field("ffs")?,
+            bram36: field("bram36")?,
+            dsp48: field("dsp48")?,
+        })
+    }
 }
 
 #[cfg(test)]

@@ -153,6 +153,13 @@ impl FamilyId {
         }
     }
 
+    /// The inverse of [`name`](Self::name): resolves a stable name back
+    /// to its family, or `None` for an unknown name (e.g. a cache line
+    /// written by a build with a family this one does not register).
+    pub fn from_name(name: &str) -> Option<FamilyId> {
+        FamilyId::ALL.into_iter().find(|id| id.name() == name)
+    }
+
     /// The parameter values worth racing for this family under
     /// `params`, ascending. Every returned value makes
     /// [`build`](Self::build) succeed by construction.

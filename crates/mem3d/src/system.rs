@@ -98,7 +98,7 @@ impl MemorySystem {
         timing.validate()?;
         let controllers = (0..geom.vaults)
             .map(|v| VaultController::new(v, geom, timing))
-            .collect();
+            .collect(); // simlint::allow(H001): system construction — one controller table per device, never per request
         Ok(MemorySystem {
             geom,
             timing,

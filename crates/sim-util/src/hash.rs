@@ -1,0 +1,145 @@
+//! A stable, in-repo content hasher (64-bit FNV-1a).
+//!
+//! `std::hash` deliberately refuses to promise cross-run stability
+//! (`RandomState` reseeds per process, and `SipHasher`'s output is
+//! documented as unstable across releases). The exploration cache keys
+//! design points by *content* — the same geometry/timing/family/param
+//! must hash to the same key on every run, every host, every toolchain
+//! — so it uses this fixed-parameter FNV-1a instead.
+//!
+//! The hasher is write-order sensitive by design: callers feed fields
+//! in a fixed documented order, and changing that order is a cache
+//! format change (bump the caller's version constant).
+//!
+//! ```
+//! use sim_util::hash::StableHasher;
+//!
+//! let mut h = StableHasher::new();
+//! h.write_u64(16);
+//! h.write_str("block-ddl");
+//! let a = h.finish();
+//!
+//! let mut h2 = StableHasher::new();
+//! h2.write_u64(16);
+//! h2.write_str("block-ddl");
+//! assert_eq!(a, h2.finish());
+//! ```
+
+/// FNV-1a offset basis (64-bit).
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a prime (64-bit).
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+/// A 64-bit FNV-1a hasher with run-to-run stable output.
+#[derive(Debug, Clone)]
+pub struct StableHasher {
+    state: u64,
+}
+
+impl StableHasher {
+    /// Starts a fresh hash at the FNV offset basis.
+    pub fn new() -> Self {
+        StableHasher { state: FNV_OFFSET }
+    }
+
+    /// Feeds raw bytes.
+    pub fn write_bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.state ^= u64::from(b);
+            self.state = self.state.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// Feeds one byte.
+    pub fn write_u8(&mut self, v: u8) {
+        self.write_bytes(&[v]);
+    }
+
+    /// Feeds a `u64` as 8 little-endian bytes.
+    pub fn write_u64(&mut self, v: u64) {
+        self.write_bytes(&v.to_le_bytes());
+    }
+
+    /// Feeds a `usize` widened to `u64` (so 32- and 64-bit hosts agree).
+    pub fn write_usize(&mut self, v: usize) {
+        self.write_u64(v as u64);
+    }
+
+    /// Feeds a string as its UTF-8 bytes, length-prefixed so
+    /// `("ab", "c")` and `("a", "bc")` hash differently.
+    pub fn write_str(&mut self, s: &str) {
+        self.write_u64(s.len() as u64);
+        self.write_bytes(s.as_bytes());
+    }
+
+    /// Feeds an `f64` by its IEEE-754 bit pattern (exact, no rounding;
+    /// note `-0.0` and `0.0` hash differently, and every NaN payload is
+    /// its own value — acceptable for config fingerprinting, where the
+    /// inputs are parsed constants).
+    pub fn write_f64_bits(&mut self, v: f64) {
+        self.write_u64(v.to_bits());
+    }
+
+    /// The accumulated 64-bit hash.
+    pub fn finish(&self) -> u64 {
+        self.state
+    }
+}
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_fnv_vectors() {
+        // Canonical FNV-1a test vectors.
+        let mut h = StableHasher::new();
+        h.write_bytes(b"");
+        assert_eq!(h.finish(), 0xcbf2_9ce4_8422_2325);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+        let mut h = StableHasher::new();
+        h.write_bytes(b"foobar");
+        assert_eq!(h.finish(), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn field_order_and_framing_matter() {
+        let mut a = StableHasher::new();
+        a.write_str("ab");
+        a.write_str("c");
+        let mut b = StableHasher::new();
+        b.write_str("a");
+        b.write_str("bc");
+        assert_ne!(a.finish(), b.finish());
+
+        let mut c = StableHasher::new();
+        c.write_u64(1);
+        c.write_u64(2);
+        let mut d = StableHasher::new();
+        d.write_u64(2);
+        d.write_u64(1);
+        assert_ne!(c.finish(), d.finish());
+    }
+
+    #[test]
+    fn f64_is_hashed_by_bits() {
+        let mut a = StableHasher::new();
+        a.write_f64_bits(1.5);
+        let mut b = StableHasher::new();
+        b.write_f64_bits(1.5);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = StableHasher::new();
+        c.write_f64_bits(-0.0);
+        let mut d = StableHasher::new();
+        d.write_f64_bits(0.0);
+        assert_ne!(c.finish(), d.finish());
+    }
+}

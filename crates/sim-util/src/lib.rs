@@ -15,7 +15,11 @@
 //! * [`json`] — a tiny JSON emitter (and matching parser) used by the
 //!   hand-rolled `to_json()` methods that replaced the `serde` derives
 //!   in `mem3d`, `layout` and `fpga-model`, and by tools (`simlint`)
-//!   that consume the workspace's JSON-lines protocols.
+//!   that consume the workspace's JSON-lines protocols;
+//! * [`hash`] — a stable 64-bit FNV-1a content hasher (replacing
+//!   unstable `std::hash` for the on-disk exploration cache keys);
+//! * [`pool`] — an exclusive object pool used to recycle hot-path
+//!   buffers across phases, candidates, and jobs.
 //!
 //! Everything here is deterministic by construction: the same seed
 //! always produces the same stream, property cases derive their
@@ -26,9 +30,13 @@
 #![deny(missing_docs)]
 
 pub mod bench;
+pub mod hash;
 pub mod json;
+pub mod pool;
 pub mod prop;
 pub mod rng;
 
 pub use bench::BenchGroup;
+pub use hash::StableHasher;
+pub use pool::ExclusivePool;
 pub use rng::SimRng;

@@ -82,6 +82,7 @@ pub fn all_rules() -> Vec<Box<dyn Rule>> {
         Box::new(D001),
         Box::new(D002),
         Box::new(D003),
+        Box::new(H001),
         Box::new(P001),
         Box::new(R001),
         Box::new(X001),
@@ -262,6 +263,96 @@ impl Rule for D003 {
                     i,
                     format!("`{}` in a timing module — keep time integral", t.text),
                 ));
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------- H001
+
+/// The per-beat hot paths: the phase driver's beat body, the mem3d
+/// request service core, and the tenancy event loop. One allocation
+/// here runs millions of times per sweep; the zero-allocation
+/// steady-state contract (DESIGN.md) is enforced by a counting
+/// allocator in `tests/alloc_steady.rs` and statically by this rule.
+const H001_SCOPE: &[&str] = &[
+    "crates/core/src/phases.rs",
+    "crates/mem3d/src/system.rs",
+    "crates/mem3d/src/controller.rs",
+    "crates/tenancy/src/service.rs",
+];
+
+/// H001: no heap allocation constructs in hot-path scopes.
+///
+/// Flags `Box::new`, `Vec::new`, `vec![...]`, `.collect()` (including
+/// turbofish) and `.to_vec()` in the files whose steady state must be
+/// allocation-free. Construction-time allocations (done once per
+/// system/run, not per beat) are legitimate — suppress them with a
+/// justified `simlint::allow(H001)` naming the setup path they sit on.
+pub struct H001;
+
+impl Rule for H001 {
+    fn id(&self) -> &'static str {
+        "H001"
+    }
+    fn summary(&self) -> &'static str {
+        "no allocation constructs (Box::new / Vec::new / vec! / collect / to_vec) in hot-path scopes"
+    }
+    fn applies_to(&self, path: &str) -> bool {
+        H001_SCOPE.contains(&path)
+    }
+    fn check(&self, f: &FileCheck) -> Vec<Diagnostic> {
+        let mut out = Vec::new();
+        for i in 0..f.tokens.len() {
+            if f.contexts[i].in_test {
+                continue;
+            }
+            for owner in ["Box", "Vec"] {
+                if f.is_ident(i, owner)
+                    && f.is_punct(i + 1, ":")
+                    && f.is_punct(i + 2, ":")
+                    && f.is_ident(i + 3, "new")
+                {
+                    out.push(f.diag(
+                        self.id(),
+                        i,
+                        format!(
+                            "`{owner}::new` allocates on the hot path — hoist the buffer \
+                             into a reusable workspace"
+                        ),
+                    ));
+                }
+            }
+            if f.is_ident(i, "vec") && f.is_punct(i + 1, "!") {
+                out.push(
+                    f.diag(
+                        self.id(),
+                        i,
+                        "`vec![...]` allocates on the hot path — hoist the buffer out of the loop"
+                            .to_string(),
+                    ),
+                );
+            } else if f.is_ident(i, "collect") && (f.is_punct(i + 1, "(") || f.is_punct(i + 1, ":"))
+            {
+                out.push(
+                    f.diag(
+                        self.id(),
+                        i,
+                        "`.collect()` materializes on the hot path — reuse a hoisted buffer \
+                     or iterate lazily"
+                            .to_string(),
+                    ),
+                );
+            } else if f.is_ident(i, "to_vec") && f.is_punct(i + 1, "(") {
+                out.push(
+                    f.diag(
+                        self.id(),
+                        i,
+                        "`.to_vec()` clones on the hot path — borrow or reuse a hoisted buffer"
+                            .to_string(),
+                    ),
+                );
             }
         }
         out
@@ -515,6 +606,23 @@ mod tests {
         let boundary = "fn as_ns_f64() { let x = 1.5; }";
         assert!(check_at("crates/mem3d/src/timing.rs", boundary).is_empty());
         assert!(check_at("crates/mem3d/src/system.rs", src).is_empty());
+    }
+
+    #[test]
+    fn h001_flags_allocations_in_hot_scopes_only() {
+        let src = "fn beat() { let b = Box::new(s); let v = Vec::new(); let w = vec![0; 4]; \
+                   let c = it.collect::<Vec<_>>(); let d = xs.to_vec(); }";
+        let d = check_at("crates/core/src/phases.rs", src);
+        assert_eq!(d.iter().filter(|d| d.rule == "H001").count(), 5);
+        assert!(check_at("crates/core/src/explore.rs", src).is_empty());
+    }
+
+    #[test]
+    fn h001_skips_tests_and_non_allocating_idioms() {
+        let test_src = "#[cfg(test)] mod tests { fn f() { let v = vec![1]; } }";
+        assert!(check_at("crates/tenancy/src/service.rs", test_src).is_empty());
+        let clean = "fn beat() { buf.clear(); buf.push(x); let n = xs.iter().count(); }";
+        assert!(check_at("crates/tenancy/src/service.rs", clean).is_empty());
     }
 
     #[test]

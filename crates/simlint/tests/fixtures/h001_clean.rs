@@ -1,0 +1,17 @@
+// simlint-fixture-path: crates/core/src/phases.rs
+// The allocation-free idioms pass untouched: clearing and refilling a
+// hoisted buffer, popping from a pooled queue, lazy iteration. Docs
+// mentioning `Vec::new()` or `vec![...]` are not code.
+
+/// Reuses a hoisted buffer (docs may say `Vec::new()` freely).
+fn beat(pending: &mut PendingWrites, scratch: &mut Vec<u64>, ops: &[u64]) -> u64 {
+    scratch.clear();
+    for op in ops {
+        scratch.push(*op);
+    }
+    while let Some(w) = pending.pop_front() {
+        scratch.push(w);
+    }
+    let _note = "vec![...] inside a string is fine";
+    scratch.iter().sum()
+}

@@ -1,0 +1,13 @@
+// simlint-fixture-path: crates/tenancy/src/service.rs
+// Allocation constructs inside the per-beat event loop are flagged:
+// every one of these runs once per grant, and the steady-state
+// contract is zero heap allocations per beat.
+
+fn arbitrate(running: &[Job], vault: usize) -> usize {
+    let mut contenders = Vec::new();
+    let owners = vec![0usize; running.len()];
+    let boxed = Box::new(running.first());
+    let ready: Vec<u64> = running.iter().map(|r| r.ready).collect();
+    let copy = owners.to_vec();
+    pick(&contenders, &owners, &ready, &copy, &boxed)
+}

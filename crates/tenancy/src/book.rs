@@ -10,7 +10,7 @@
 //! so any drift between the two recipe sets is a test failure, not a
 //! silent divergence.
 
-use fft2d::{DriverConfig, ProcessorModel, ResumablePhase, System, SystemConfig};
+use fft2d::{DriverConfig, PhaseWorkspace, ProcessorModel, ResumablePhase, System, SystemConfig};
 use layout::{row_phase_stream, LayoutFamily, LayoutParams, MatrixLayout, ReorgCost, RowMajor};
 use mem3d::{Direction, MemorySystem, Picos};
 
@@ -125,8 +125,14 @@ impl SpecBook {
     /// exactly (see module docs) — and since every stream comes from
     /// the entry's [`LayoutFamily`], the match is per *phase shape*,
     /// not per architecture.
+    ///
+    /// The driver's pending-write queue is drawn from `ws`; closing the
+    /// phase with [`ResumablePhase::finish_into`] hands it back, so a
+    /// long service run reuses one queue's capacity across every phase
+    /// of every job.
     pub(crate) fn open_phase<'b>(
         &'b self,
+        ws: &mut PhaseWorkspace,
         mem: &MemorySystem,
         t: usize,
         phase: usize,
@@ -146,7 +152,8 @@ impl SpecBook {
                 } else {
                     0
                 };
-                ResumablePhase::new(
+                ResumablePhase::new_in(
+                    ws,
                     mem,
                     &self.driver(e, Picos::ZERO, probe),
                     Box::new(OffsetSource::new(
@@ -167,7 +174,8 @@ impl SpecBook {
                 } else {
                     &e.row
                 };
-                ResumablePhase::new(
+                ResumablePhase::new_in(
+                    ws,
                     mem,
                     &self.driver(e, e.write_delay1, 0),
                     Box::new(OffsetSource::new(
@@ -283,8 +291,9 @@ mod tests {
         assert_eq!(book.phases(0), 1);
         assert_eq!(book.phases(1), 2);
         let mem = MemorySystem::new(platform.geometry, platform.timing);
-        assert!(book.open_phase(&mem, 0, 1, Picos::ZERO).is_err());
-        assert!(book.open_phase(&mem, 1, 1, Picos::ZERO).is_ok());
+        let mut ws = PhaseWorkspace::new();
+        assert!(book.open_phase(&mut ws, &mem, 0, 1, Picos::ZERO).is_err());
+        assert!(book.open_phase(&mut ws, &mem, 1, 1, Picos::ZERO).is_ok());
     }
 
     #[test]

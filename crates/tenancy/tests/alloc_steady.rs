@@ -1,0 +1,78 @@
+//! Counting-allocator regression for the tenancy event loop: the
+//! per-beat steady state of [`tenancy::run_scenario`] allocates
+//! nothing.
+//!
+//! A whole run still performs *setup* allocations — spec book, arrival
+//! sources, slot table, one `Box`ed stream per opened phase, one
+//! record per job, reports — but none of them scale with the number of
+//! beats. The proof is differential: at a fixed matrix size, adding
+//! jobs adds a fixed per-job allocation cost; that increment must be
+//! **identical across matrix sizes**, even though each added job at
+//! n = 64 drives 4× the beats of one at n = 32. Any per-beat
+//! allocation ε would skew the large-n increment by
+//! `Δbeats × ε` and fail the equality.
+//!
+//! This must stay the only `#[test]` in this file: the global counting
+//! allocator tallies every thread in the process, so a concurrently
+//! running sibling test would pollute the measured windows.
+
+use alloc_counter::CountingAlloc;
+use fft2d::Architecture;
+use tenancy::{
+    run_scenario, ArbiterKind, Arrivals, JobShape, JobSpec, Scenario, TenantSpec, Traffic,
+};
+
+#[global_allocator]
+static COUNTER: CountingAlloc = CountingAlloc::new();
+
+fn scenario(n: usize, jobs: u64) -> Scenario {
+    let mk = |name: &str| {
+        TenantSpec::new(
+            name,
+            JobSpec {
+                arch: Architecture::Baseline,
+                n,
+                shape: JobShape::Column,
+            },
+            Traffic::Open {
+                arrivals: Arrivals::Immediate,
+                jobs,
+            },
+        )
+    };
+    Scenario::new(vec![mk("a"), mk("b")], 11)
+}
+
+fn run(n: usize, jobs: u64) -> u64 {
+    let before = alloc_counter::allocations();
+    let rep = run_scenario(&scenario(n, jobs), ArbiterKind::RoundRobin, None).expect("run");
+    assert_eq!(rep.jobs.len(), (2 * jobs) as usize);
+    alloc_counter::allocations() - before
+}
+
+#[test]
+fn event_loop_allocations_do_not_scale_with_beats() {
+    // Warmup pays lazily-grown process state (thread locals, allocator
+    // arenas) before the measured windows.
+    for (n, jobs) in [(32, 2), (32, 4), (64, 2), (64, 4)] {
+        run(n, jobs);
+    }
+
+    // Per-job allocation increment at each size: two extra jobs'
+    // admissions, phase opens and records — plus *all their beats*.
+    let inc_small = run(32, 4) - run(32, 2);
+    let inc_large = run(64, 4) - run(64, 2);
+
+    // Two extra jobs at n = 64 drive 4× the beats of two at n = 32
+    // through the shared memory system; equal increments mean the
+    // extra ~25k beats allocated exactly nothing.
+    assert_eq!(
+        inc_small, inc_large,
+        "per-job allocation increment must be beat-count independent \
+         (n=32: +{inc_small}, n=64: +{inc_large})"
+    );
+    assert!(
+        inc_small > 0,
+        "admitting jobs does allocate at setup, so the counter works"
+    );
+}

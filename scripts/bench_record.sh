@@ -16,6 +16,10 @@
 #                       registered family across sizes and geometries,
 #                       with the per-(N, geometry) Pareto front marked
 #                       (layout_bench)
+#   BENCH_alloc.json    zero-allocation steady state + exploration
+#                       cache: warmed run_phase allocations (floor: 0),
+#                       the event loop's beat-independence differential,
+#                       and the warm-vs-cold sweep speedup (alloc_bench)
 #
 # sweep_bench verifies that every N-thread sweep is bit-identical to
 # the 1-thread reference, and hotpath_bench that the fast path's phase
@@ -30,7 +34,7 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline -p bench \
   --bin sweep_bench --bin stream_bench --bin hotpath_bench --bin tenancy_bench \
-  --bin layout_bench
+  --bin layout_bench --bin alloc_bench
 ./target/release/sweep_bench | grep '^{' > BENCH_sweep.json
 echo "wrote $(wc -l < BENCH_sweep.json) records to BENCH_sweep.json:"
 cat BENCH_sweep.json
@@ -67,4 +71,15 @@ echo "wrote $(wc -l < BENCH_layouts.json) records to BENCH_layouts.json:"
 # block-DDL open-loop rows at or above the kernel-coupled hotpath
 # throughput they must be able to feed.
 python3 scripts/check_layouts.py BENCH_layouts.json \
+  ${SIM_BENCH_FAST:+--smoke}
+
+./target/release/alloc_bench | grep '^{' > BENCH_alloc.json
+echo "wrote $(wc -l < BENCH_alloc.json) records to BENCH_alloc.json:"
+cat BENCH_alloc.json
+# Gate the record: the warmed phase driver allocated exactly nothing,
+# the tenancy event loop's per-job allocation increment is beat-count
+# independent, and the warm (fully cached) exploration sweep replayed
+# every point byte-identically at >= 10x the cold wall clock (>= 2x at
+# smoke sizes, where fixed costs dominate the cold sweep too).
+python3 scripts/check_alloc.py BENCH_alloc.json \
   ${SIM_BENCH_FAST:+--smoke}
