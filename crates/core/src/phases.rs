@@ -585,6 +585,7 @@ impl<'s> ResumablePhase<'s> {
     /// # Errors
     ///
     /// Returns [`Fft2dError::Mem`] if a request fails to decode.
+    // simlint::entry(hot_path)
     pub fn step(&mut self, mem: &mut MemorySystem) -> Result<Option<Picos>, Fft2dError> {
         if self.peeked.is_none() {
             self.peeked = self.reads.next();
@@ -662,6 +663,7 @@ impl<'s> ResumablePhase<'s> {
 ///
 /// Returns [`Fft2dError::Mem`] if any request fails to decode and
 /// [`Fft2dError::Driver`] for an invalid kernel rate.
+// simlint::entry(service_path)
 pub fn run_phase(
     mem: &mut MemorySystem,
     cfg: &DriverConfig,
@@ -687,6 +689,7 @@ pub fn run_phase(
 ///
 /// Returns [`Fft2dError::Mem`] if any request fails to decode and
 /// [`Fft2dError::Driver`] for an invalid kernel rate.
+// simlint::entry(service_path)
 pub fn run_phase_in(
     ws: &mut PhaseWorkspace,
     mem: &mut MemorySystem,

@@ -110,6 +110,7 @@ impl ProcessorModel {
 
     /// Kernel fill latency in wall-clock time.
     pub fn kernel_latency(&self) -> Picos {
+        // simlint::allow(P101): kernel_cfg was validated when the model was built
         let kernel = StreamingFft::new(self.kernel_cfg).expect("config validated at build");
         self.clock() * kernel.latency_cycles()
     }

@@ -447,6 +447,7 @@ pub fn digit_reversal(n: usize, r: usize) -> Result<Permutation, KernelError> {
             out
         })
         .collect();
+    // simlint::allow(P101): digit reversal is an involution on 0..n — always a bijection
     Ok(Permutation::from_map(map).expect("digit reversal is a bijection"))
 }
 

@@ -47,6 +47,7 @@ impl BurstInterleaved {
     ///
     /// Returns [`LayoutError`] unless `h` divides both the burst
     /// capacity and `n`, and the resulting width divides `n`.
+    // simlint::entry(service_path)
     pub fn with_height(params: &LayoutParams, h: usize) -> Result<Self, LayoutError> {
         let burst = Self::burst_elems(params);
         if h == 0 {

@@ -194,6 +194,7 @@ impl FamilyId {
     ///
     /// Returns the underlying constructor's [`LayoutError`] when the
     /// parameter is infeasible for `params`.
+    // simlint::entry(service_path)
     pub fn build(
         self,
         params: &LayoutParams,

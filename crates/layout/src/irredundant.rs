@@ -41,6 +41,7 @@ impl Irredundant {
     ///
     /// Returns [`LayoutError`] unless `h` divides both `s` and `n`,
     /// and the induced width divides `n`.
+    // simlint::entry(service_path)
     pub fn with_height(params: &LayoutParams, h: usize) -> Result<Self, LayoutError> {
         if h == 0 {
             return Err(LayoutError::Zero { what: "h" });

@@ -159,6 +159,8 @@ impl VaultController {
     ///
     /// Panics (debug assertions) if the request targets another vault or
     /// spills past the end of its row.
+    // simlint::entry(service_path)
+    // simlint::entry(hot_path)
     pub fn service(&mut self, req: Request) -> RequestOutcome {
         debug_assert_eq!(req.loc.vault, self.vault, "request routed to wrong vault");
         debug_assert!(

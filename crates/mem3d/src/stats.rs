@@ -78,7 +78,7 @@ impl Stats {
         let lat = out.latency_from(req.at);
         self.latency_sum += lat;
         self.latency_max = self.latency_max.max(lat);
-        if self.first_beat.is_none() || out.data_start < self.first_beat.unwrap() {
+        if self.first_beat.is_none_or(|fb| out.data_start < fb) {
             self.first_beat = Some(out.data_start);
         }
         self.last_beat = self.last_beat.max(out.done);

@@ -187,6 +187,8 @@ impl MemorySystem {
     /// the geometry or the request runs past the last row of its bank
     /// (the reported address is the location's chunked-map
     /// linearization), and [`Error::BadRequest`] if its length is zero.
+    // simlint::entry(service_path)
+    // simlint::entry(hot_path)
     pub fn service(&mut self, req: Request) -> Result<RequestOutcome> {
         if !self.geom.contains(req.loc) {
             return Err(Error::OutOfRange {

@@ -26,6 +26,7 @@ impl Picos {
     /// # Panics
     ///
     /// Panics if `ns` is negative or not finite.
+    // simlint::allow(T101): the one sanctioned f64→Picos boundary — rounds once, here
     pub fn from_ns_f64(ns: f64) -> Self {
         assert!(ns.is_finite() && ns >= 0.0, "invalid duration: {ns} ns");
         Picos((ns * 1_000.0).round() as u64)

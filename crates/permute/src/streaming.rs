@@ -159,6 +159,7 @@ impl<T: Clone> StreamingPermuter<T> {
             self.drain = self
                 .fill
                 .iter_mut()
+                // simlint::allow(P101): fill_count == frame len here, so every slot is Some
                 .map(|slot| slot.take().expect("complete frame has no holes"))
                 .collect();
             self.drain_pos = 0;

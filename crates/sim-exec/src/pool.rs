@@ -261,6 +261,7 @@ impl JobCtx {
 ///
 /// See the [module docs](self) for the determinism / fault-isolation /
 /// cancellation contract.
+// simlint::entry(service_path)
 pub fn run_jobs<T, F>(cfg: &ExecConfig, jobs: usize, f: F) -> Vec<JobResult<T>>
 where
     T: Send,
@@ -294,6 +295,7 @@ where
                 match next {
                     Some(i) => {
                         let r = execute(cfg, base, w, i, f);
+                        // simlint::allow(P001): poisoned lock means a worker already panicked
                         results.lock().expect("results lock")[i] = Some(r);
                     }
                     None => {
@@ -308,13 +310,16 @@ where
 
     results
         .into_inner()
+        // simlint::allow(P001): poisoned lock means a worker already panicked
         .expect("results lock")
         .into_iter()
+        // simlint::allow(P001): the scope above ran every job to completion
         .map(|r| r.expect("every job leaves a result"))
         .collect()
 }
 
 /// Runs `f` over `items` on the pool; sugar over [`run_jobs`].
+// simlint::entry(service_path)
 pub fn par_map<I, T, F>(cfg: &ExecConfig, items: &[I], f: F) -> Vec<JobResult<T>>
 where
     I: Sync,
@@ -330,9 +335,11 @@ fn next_job(
     queues: &[Mutex<VecDeque<usize>>],
     injector: &Mutex<VecDeque<usize>>,
 ) -> Option<usize> {
+    // simlint::allow(P001): poisoned lock means a worker already panicked
     if let Some(i) = queues[w].lock().expect("queue lock").pop_front() {
         return Some(i);
     }
+    // simlint::allow(P001): poisoned lock means a worker already panicked
     if let Some(i) = injector.lock().expect("injector lock").pop_front() {
         return Some(i);
     }
@@ -341,6 +348,7 @@ fn next_job(
     let n = queues.len();
     for off in 1..n {
         let v = (w + off) % n;
+        // simlint::allow(P001): poisoned lock means a worker already panicked
         if let Some(i) = queues[v].lock().expect("victim lock").pop_back() {
             return Some(i);
         }

@@ -65,6 +65,7 @@ impl Suppressions {
                     e.rule, e.rule
                 ),
                 enclosing_fn: None,
+                key: e.rule.clone(),
             })
             .collect()
     }
@@ -98,6 +99,7 @@ pub fn collect(
             col: c.col,
             message,
             enclosing_fn: None,
+            key: "allow".to_string(),
         };
         let Some((rule, rest)) = parse_marker(&c.text) else {
             diags.push(a001(

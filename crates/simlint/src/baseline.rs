@@ -1,0 +1,252 @@
+//! Diagnostic baselines: gate *new* violations while known ones burn
+//! down.
+//!
+//! Every diagnostic gets a stable **fingerprint**
+//!
+//! ```text
+//! {rule}|{path}|{enclosing fn or -}|{key}|{ordinal}
+//! ```
+//!
+//! where `key` is the rule's line-independent description of what was
+//! matched (see [`Diagnostic::key`]) and `ordinal` numbers repeated
+//! identical findings in canonical diagnostic order. Line and column
+//! are deliberately excluded — editing unrelated code above a known
+//! violation must not make it "new". Moving a violation to another
+//! function or file *does* change its fingerprint, which is the
+//! desired behaviour: moved code gets re-reviewed.
+//!
+//! The baseline file is a single JSON object:
+//!
+//! ```json
+//! {"version":1,"entries":[{"fingerprint":"...","note":"..."}]}
+//! ```
+//!
+//! `simlint --baseline FILE` subtracts it from the run;
+//! `--write-baseline FILE` records the current findings, preserving
+//! notes attached to fingerprints that persist.
+
+use std::collections::BTreeMap;
+
+use crate::diag::Diagnostic;
+use sim_util::json::{self, JsonObject};
+
+/// Computes one fingerprint per diagnostic, parallel to `diags`.
+///
+/// `diags` must already be in canonical order ([`crate::diag::sort`])
+/// so ordinals are assigned deterministically.
+pub fn fingerprints(diags: &[Diagnostic]) -> Vec<String> {
+    let mut seen: BTreeMap<String, u32> = BTreeMap::new();
+    diags
+        .iter()
+        .map(|d| {
+            let base = format!(
+                "{}|{}|{}|{}",
+                d.rule,
+                d.path,
+                d.enclosing_fn.as_deref().unwrap_or("-"),
+                d.key
+            );
+            let n = seen.entry(base.clone()).or_insert(0);
+            let fp = format!("{base}|{n}");
+            *n += 1;
+            fp
+        })
+        .collect()
+}
+
+/// A loaded baseline: fingerprint → note.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    entries: BTreeMap<String, String>,
+}
+
+impl Baseline {
+    /// Number of recorded fingerprints.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no fingerprints are recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Parses the baseline JSON text.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the text is not a `version: 1`
+    /// baseline object.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text).map_err(|e| format!("baseline does not parse: {e:?}"))?;
+        if v.get("version").and_then(json::Value::as_i64) != Some(1) {
+            return Err("baseline version must be 1".to_string());
+        }
+        let mut entries = BTreeMap::new();
+        let list = v
+            .get("entries")
+            .and_then(json::Value::as_array)
+            .ok_or("baseline has no entries array")?;
+        for e in list {
+            let fp = e
+                .get("fingerprint")
+                .and_then(json::Value::as_str)
+                .ok_or("baseline entry missing fingerprint")?;
+            let note = e.get("note").and_then(json::Value::as_str).unwrap_or("");
+            entries.insert(fp.to_string(), note.to_string());
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Splits `diags` into (new, known): a diagnostic whose fingerprint
+    /// is recorded is *known* and does not gate. Also returns the
+    /// fingerprints recorded in the baseline that matched nothing this
+    /// run — stale entries ready to be pruned on the next
+    /// `--write-baseline`.
+    pub fn apply(&self, diags: Vec<Diagnostic>) -> (Vec<Diagnostic>, Vec<Diagnostic>, Vec<String>) {
+        let fps = fingerprints(&diags);
+        let mut new = Vec::new();
+        let mut known = Vec::new();
+        let mut matched: std::collections::BTreeSet<String> = std::collections::BTreeSet::new();
+        for (d, fp) in diags.into_iter().zip(&fps) {
+            if self.entries.contains_key(fp.as_str()) {
+                matched.insert(fp.clone());
+                known.push(d);
+            } else {
+                new.push(d);
+            }
+        }
+        let stale = self
+            .entries
+            .keys()
+            .filter(|k| !matched.contains(*k))
+            .cloned()
+            .collect();
+        (new, known, stale)
+    }
+
+    /// Renders a baseline recording `diags`, carrying over any notes
+    /// this baseline holds for fingerprints that persist.
+    pub fn render_with(&self, diags: &[Diagnostic]) -> String {
+        let fps = fingerprints(diags);
+        let entries: Vec<String> = fps
+            .iter()
+            .zip(diags)
+            .map(|(fp, d)| {
+                let mut o = JsonObject::new();
+                o.field_str("fingerprint", fp);
+                o.field_str("rule", d.rule);
+                o.field_str("path", &d.path);
+                o.field_str(
+                    "note",
+                    self.entries.get(fp).map(String::as_str).unwrap_or(""),
+                );
+                o.finish()
+            })
+            .collect();
+        let mut root = JsonObject::new();
+        root.field_u64("version", 1);
+        root.field_raw("entries", &format!("[\n{}\n]", entries.join(",\n")));
+        let mut out = root.finish();
+        out.push('\n');
+        out
+    }
+}
+
+/// Renders a fresh baseline (no prior notes) for `diags`.
+pub fn render(diags: &[Diagnostic]) -> String {
+    Baseline::default().render_with(diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::diag::Severity;
+
+    fn d(rule: &'static str, path: &str, f: &str, key: &str, line: u32) -> Diagnostic {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            path: path.to_string(),
+            line,
+            col: 1,
+            message: format!("violation at line {line}"),
+            enclosing_fn: Some(f.to_string()),
+            key: key.to_string(),
+        }
+    }
+
+    #[test]
+    fn fingerprints_are_line_independent_and_ordinal() {
+        let a = vec![
+            d("P101", "a.rs", "f", "unwrap", 10),
+            d("P101", "a.rs", "f", "unwrap", 20),
+        ];
+        let b = vec![
+            d("P101", "a.rs", "f", "unwrap", 30),
+            d("P101", "a.rs", "f", "unwrap", 99),
+        ];
+        assert_eq!(fingerprints(&a), fingerprints(&b));
+        assert_eq!(fingerprints(&a)[0], "P101|a.rs|f|unwrap|0");
+        assert_eq!(fingerprints(&a)[1], "P101|a.rs|f|unwrap|1");
+    }
+
+    #[test]
+    fn round_trip_yields_zero_new() {
+        let diags = vec![
+            d("P101", "a.rs", "f", "unwrap", 3),
+            d("H101", "b.rs", "g", "Vec::new", 7),
+        ];
+        let text = render(&diags);
+        let base = Baseline::parse(&text).unwrap();
+        assert_eq!(base.len(), 2);
+        let (new, known, stale) = base.apply(diags);
+        assert!(new.is_empty(), "{new:?}");
+        assert_eq!(known.len(), 2);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn injected_violation_is_exactly_one_new_fingerprint() {
+        let committed = vec![d("P101", "a.rs", "f", "unwrap", 3)];
+        let base = Baseline::parse(&render(&committed)).unwrap();
+        let now = vec![
+            d("P101", "a.rs", "f", "unwrap", 3),
+            d("P101", "a.rs", "helper", "expect", 40),
+        ];
+        let (new, known, stale) = base.apply(now);
+        assert_eq!(new.len(), 1);
+        assert_eq!(new[0].enclosing_fn.as_deref(), Some("helper"));
+        assert_eq!(known.len(), 1);
+        assert!(stale.is_empty());
+    }
+
+    #[test]
+    fn fixed_violation_surfaces_as_stale_entry() {
+        let committed = vec![
+            d("P101", "a.rs", "f", "unwrap", 3),
+            d("P101", "a.rs", "g", "index", 9),
+        ];
+        let base = Baseline::parse(&render(&committed)).unwrap();
+        let (new, known, stale) = base.apply(vec![d("P101", "a.rs", "f", "unwrap", 3)]);
+        assert!(new.is_empty());
+        assert_eq!(known.len(), 1);
+        assert_eq!(stale, vec!["P101|a.rs|g|index|0".to_string()]);
+    }
+
+    #[test]
+    fn notes_survive_rewrite() {
+        let diags = vec![d("P101", "a.rs", "f", "unwrap", 3)];
+        let text = render(&diags).replace("\"note\":\"\"", "\"note\":\"proven in bounds\"");
+        let base = Baseline::parse(&text).unwrap();
+        let rewritten = base.render_with(&diags);
+        assert!(rewritten.contains("proven in bounds"));
+    }
+
+    #[test]
+    fn malformed_baseline_is_an_error() {
+        assert!(Baseline::parse("not json").is_err());
+        assert!(Baseline::parse("{\"version\":2,\"entries\":[]}").is_err());
+        assert!(Baseline::parse("{\"version\":1}").is_err());
+    }
+}

@@ -20,6 +20,9 @@ pub struct TokenContext {
     pub module_path: Vec<String>,
     /// Name of the innermost enclosing `fn`, if any.
     pub enclosing_fn: Option<String>,
+    /// Self-type of the innermost enclosing `impl` block (or trait
+    /// name inside a `trait` definition), if any.
+    pub impl_type: Option<String>,
     /// `true` inside `#[cfg(test)]` / `#[test]` items (or when the
     /// whole file is test code, e.g. under `tests/`).
     pub in_test: bool,
@@ -29,6 +32,7 @@ pub struct TokenContext {
 enum ScopeKind {
     Module(String),
     Fn(String),
+    Impl(String),
     Other,
 }
 
@@ -36,6 +40,39 @@ enum ScopeKind {
 struct Scope {
     kind: ScopeKind,
     test: bool,
+}
+
+/// Resolves the self-type name of an `impl` header starting at token
+/// `start` (the token after `impl`): skips the generic parameter list,
+/// walks path segments, and — when `for` appears before the opening
+/// brace — restarts on the right-hand side, so `impl<T> Add for
+/// Picos` yields `Picos`. Returns `None` for headers it cannot read
+/// (e.g. `impl Trait for &mut [u8]`).
+fn impl_self_type(tokens: &[Token], start: usize) -> Option<String> {
+    let mut i = start;
+    let mut last_seg: Option<String> = None;
+    let mut angle_depth = 0usize;
+    while let Some(t) = tokens.get(i) {
+        match (&t.kind, t.text.as_str()) {
+            (TokenKind::Punct, "<") => angle_depth += 1,
+            // `->` inside generic bounds must not close the list.
+            (TokenKind::Punct, ">") if angle_depth > 0 => {
+                let arrow =
+                    i > 0 && tokens[i - 1].kind == TokenKind::Punct && tokens[i - 1].text == "-";
+                if !arrow {
+                    angle_depth -= 1;
+                }
+            }
+            (_, _) if angle_depth > 0 => {}
+            (TokenKind::Punct, "{" | ";") => break,
+            (TokenKind::Ident, "where") => break,
+            (TokenKind::Ident, "for") => last_seg = None,
+            (TokenKind::Ident, name) => last_seg = Some(name.to_string()),
+            _ => {}
+        }
+        i += 1;
+    }
+    last_seg
 }
 
 /// Computes one [`TokenContext`] per token, in token order.
@@ -76,6 +113,10 @@ pub fn contexts(tokens: &[Token], file_is_test: bool) -> Vec<TokenContext> {
                     _ => None,
                 })
             }),
+            impl_type: scopes.iter().rev().find_map(|s| match &s.kind {
+                ScopeKind::Impl(name) => Some(name.clone()),
+                _ => None,
+            }),
             in_test,
         });
 
@@ -98,6 +139,7 @@ pub fn contexts(tokens: &[Token], file_is_test: bool) -> Vec<TokenContext> {
                             .map(|c| c.module_path.clone())
                             .unwrap_or_default(),
                         enclosing_fn: out.last().and_then(|c| c.enclosing_fn.clone()),
+                        impl_type: out.last().and_then(|c| c.impl_type.clone()),
                         in_test,
                     });
                     match (&a.kind, a.text.as_str()) {
@@ -130,6 +172,22 @@ pub fn contexts(tokens: &[Token], file_is_test: bool) -> Vec<TokenContext> {
                 if let Some(n) = tokens.get(i + 1) {
                     if n.kind == TokenKind::Ident {
                         pending = Some(ScopeKind::Fn(n.text.clone()));
+                    }
+                }
+            }
+            // `impl [<..>] Type {` / `impl [<..>] Trait for Type {` /
+            // `trait Name {`: the scope the brace opens is tagged with
+            // the *self type* (after `for` when present) so methods can
+            // be qualified as `Type::method`.
+            (TokenKind::Ident, "impl") => {
+                if let Some(name) = impl_self_type(tokens, i + 1) {
+                    pending = Some(ScopeKind::Impl(name));
+                }
+            }
+            (TokenKind::Ident, "trait") => {
+                if let Some(n) = tokens.get(i + 1) {
+                    if n.kind == TokenKind::Ident {
+                        pending = Some(ScopeKind::Impl(n.text.clone()));
                     }
                 }
             }

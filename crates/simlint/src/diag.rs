@@ -38,6 +38,11 @@ pub struct Diagnostic {
     pub message: String,
     /// Name of the enclosing function, when known.
     pub enclosing_fn: Option<String>,
+    /// Short stable description of *what* was matched (`unwrap`,
+    /// `HashMap`, `as u32`, ...) — the line/col-independent part of the
+    /// baseline fingerprint (see [`crate::baseline`]). Messages may
+    /// embed call chains that shift as code moves; the key must not.
+    pub key: String,
 }
 
 impl Diagnostic {
@@ -71,6 +76,7 @@ impl Diagnostic {
             Some(f) => o.field_str("fn", f),
             None => o.field_raw("fn", "null"),
         };
+        o.field_str("key", &self.key);
         o.finish()
     }
 }
@@ -99,6 +105,7 @@ mod tests {
             col: 5,
             message: "wall-clock read".to_string(),
             enclosing_fn: Some("tick".to_string()),
+            key: "Instant::now".to_string(),
         }
     }
 

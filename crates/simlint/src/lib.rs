@@ -12,27 +12,42 @@
 //! | D001 | wall-clock reads leaking into deterministic code |
 //! | D002 | `HashMap`/`HashSet` iteration order feeding output |
 //! | D003 | float rounding inside clock/timing accumulation |
-//! | P001 | panics on the `mem3d` service path / phase engine |
+//! | H001 | heap allocation in files annotated `simlint::entry(hot_path)` |
+//! | P001 | panics in files annotated `simlint::entry(service_path)` |
 //! | R001 | silent `as` truncation in address arithmetic |
 //! | X001 | under-synchronized atomics in `sim-exec` |
 //! | A001 | malformed/unjustified `simlint::allow` comments |
 //! | A002 | stale `simlint::allow` comments (warning) |
+//! | A003 | malformed/unattached `simlint::entry` annotations |
+//! | D101 | hash-ordered iteration escaping into emitted output |
+//! | H101 | allocation transitively reachable from a `hot_path` entry |
+//! | P101 | panic transitively reachable from a `service_path` entry |
+//! | T101 | f32/f64 crossing a fn boundary into clock construction |
 //!
-//! The pipeline is three stages, all hand-rolled (the workspace is
-//! hermetically zero-dependency — no `syn`): [`lexer`] produces
-//! tokens with exact line/col spans and an out-of-band comment
-//! stream; [`context`] annotates every token with its module path,
-//! enclosing `fn` and test-ness; [`rules`] pattern-match the
-//! annotated stream. [`allow`] applies line-targeted suppressions
-//! parsed from the comment stream.
+//! The lexical pipeline is three stages, all hand-rolled (the
+//! workspace is hermetically zero-dependency — no `syn`): [`lexer`]
+//! produces tokens with exact line/col spans and an out-of-band
+//! comment stream; [`context`] annotates every token with its module
+//! path, enclosing `fn` and test-ness; [`rules`] pattern-match the
+//! annotated stream. On top of that, [`parse`] lifts the stream into
+//! per-function items (facts + call sites), [`callgraph`] links them
+//! workspace-wide, and [`reach`] runs the interprocedural `*101`
+//! rules over the graph. [`allow`] applies line-targeted suppressions
+//! parsed from the comment stream to both passes; [`baseline`] turns
+//! surviving diagnostics into stable fingerprints so CI gates only
+//! *new* findings.
 
 #![forbid(unsafe_code)]
 #![deny(missing_docs)]
 
 pub mod allow;
+pub mod baseline;
+pub mod callgraph;
 pub mod context;
 pub mod diag;
 pub mod lexer;
+pub mod parse;
+pub mod reach;
 pub mod rules;
 pub mod walk;
 
@@ -41,66 +56,169 @@ use std::path::Path;
 
 pub use diag::{Diagnostic, Severity};
 
+/// Interprocedural rule ids, valid in `simlint::allow(...)`.
+pub const INTERPROC_RULE_IDS: &[&str] = &["D101", "H101", "P101", "T101"];
+
+/// A `simlint::allow` naming the lexical twin of an interprocedural
+/// rule also silences the interprocedural finding on the same line —
+/// the justification concerns the construct, not which pass saw it.
+const LEXICAL_ALIAS: &[(&str, &str)] = &[
+    ("D101", "D002"),
+    ("H101", "H001"),
+    ("P101", "P001"),
+    ("T101", "D003"),
+];
+
+/// Every rule id `simlint::allow(...)` may name.
+pub fn known_rule_ids() -> Vec<&'static str> {
+    let mut ids = rules::known_rule_ids();
+    ids.extend_from_slice(INTERPROC_RULE_IDS);
+    ids.sort_unstable();
+    ids
+}
+
+/// The result of analysing a set of sources as one workspace.
+#[derive(Debug)]
+pub struct Analysis {
+    /// Surviving diagnostics, in canonical (path, line, col, rule)
+    /// order.
+    pub diags: Vec<Diagnostic>,
+    /// One-line advisory notices (never gate): e.g. crates reachable
+    /// from entry points that declare no entries of their own.
+    pub notices: Vec<String>,
+    /// Number of files analysed.
+    pub files: usize,
+    /// The workspace call graph, for `--emit callgraph`.
+    pub graph: callgraph::CallGraph,
+}
+
+/// Analyses `files` — `(workspace-relative path, source text)` pairs —
+/// as one workspace: the lexical rules run per file, then every
+/// parsed function joins a single call graph for the interprocedural
+/// rules. Suppressions collected per file silence findings from both
+/// passes; `A002` staleness is judged only after both have run.
+pub fn check_sources(files: &[(String, String)]) -> Analysis {
+    check_sources_with_deps(files, None)
+}
+
+/// [`check_sources`], with a workspace dependency map (crate dir →
+/// linkable crate dirs, see [`walk::workspace_deps`]) that tightens
+/// call resolution: candidate callees in crates the caller cannot
+/// link against are discarded. `None` stays fully permissive, which
+/// is what ad-hoc file lists and the fixture suite want.
+pub fn check_sources_with_deps(
+    files: &[(String, String)],
+    deps: Option<&std::collections::BTreeMap<String, Vec<String>>>,
+) -> Analysis {
+    let known = known_rule_ids();
+    let mut diags = Vec::new();
+    let mut sups: Vec<(String, allow::Suppressions)> = Vec::new();
+    let mut fns = Vec::new();
+
+    for (path, src) in files {
+        let lexed = match lexer::lex(src) {
+            Ok(l) => l,
+            Err(e) => {
+                diags.push(Diagnostic {
+                    rule: "L001",
+                    severity: Severity::Error,
+                    path: path.clone(),
+                    line: e.line,
+                    col: e.col,
+                    message: format!("file failed to lex: {}", e.message),
+                    enclosing_fn: None,
+                    key: "lex".to_string(),
+                });
+                continue;
+            }
+        };
+        let contexts = context::contexts(&lexed.tokens, walk::path_is_test(path));
+        let (mut sup, mut allow_diags) =
+            allow::collect(&lexed.comments, &lexed.tokens, &known, path);
+        diags.append(&mut allow_diags);
+        let (items, mut entry_diags) =
+            parse::parse_file(path, &lexed.tokens, &contexts, &lexed.comments);
+        diags.append(&mut entry_diags);
+        let entry_scopes: Vec<String> = items.iter().flat_map(|f| f.entries.clone()).collect();
+        let file = rules::FileCheck {
+            path,
+            tokens: &lexed.tokens,
+            contexts: &contexts,
+            entry_scopes: &entry_scopes,
+        };
+        for rule in rules::all_rules() {
+            if !rule.applies_to(path) {
+                continue;
+            }
+            for d in rule.check(&file) {
+                if !sup.suppress(d.rule, d.line) {
+                    diags.push(d);
+                }
+            }
+        }
+        fns.extend(items);
+        sups.push((path.clone(), sup));
+    }
+
+    let graph = callgraph::CallGraph::build_with_deps(fns, deps);
+    let (graph_diags, notices) = reach::check_graph(&graph);
+    for d in graph_diags {
+        let suppressed = sups
+            .iter_mut()
+            .find(|(p, _)| p == &d.path)
+            .is_some_and(|(_, sup)| {
+                let alias = LEXICAL_ALIAS
+                    .iter()
+                    .find(|(ip, _)| *ip == d.rule)
+                    .map(|(_, lex)| *lex);
+                // Evaluate both so either allow is marked used.
+                let direct = sup.suppress(d.rule, d.line);
+                let aliased = alias.is_some_and(|a| sup.suppress(a, d.line));
+                direct || aliased
+            });
+        if !suppressed {
+            diags.push(d);
+        }
+    }
+    for (path, sup) in &sups {
+        diags.extend(sup.stale(path));
+    }
+    diag::sort(&mut diags);
+    Analysis {
+        diags,
+        notices,
+        files: files.len(),
+        graph,
+    }
+}
+
 /// Checks one file's source text as if it lived at workspace-relative
 /// `path` (which decides rule applicability, allowlists, and whether
 /// the whole file is test code).
 ///
 /// Returns diagnostics in canonical order. A file that fails to lex
-/// yields a single `L001` error instead.
+/// yields a single `L001` error instead. Interprocedural rules run
+/// over the file's own call graph — cross-file reachability needs
+/// [`check_sources`] / [`check_workspace`].
 pub fn check_source(path: &str, src: &str) -> Vec<Diagnostic> {
-    let lexed = match lexer::lex(src) {
-        Ok(l) => l,
-        Err(e) => {
-            return vec![Diagnostic {
-                rule: "L001",
-                severity: Severity::Error,
-                path: path.to_string(),
-                line: e.line,
-                col: e.col,
-                message: format!("file failed to lex: {}", e.message),
-                enclosing_fn: None,
-            }];
-        }
-    };
-    let contexts = context::contexts(&lexed.tokens, walk::path_is_test(path));
-    let known = rules::known_rule_ids();
-    let (mut sup, mut diags) = allow::collect(&lexed.comments, &lexed.tokens, &known, path);
-    let file = rules::FileCheck {
-        path,
-        tokens: &lexed.tokens,
-        contexts: &contexts,
-    };
-    for rule in rules::all_rules() {
-        if !rule.applies_to(path) {
-            continue;
-        }
-        for d in rule.check(&file) {
-            if !sup.suppress(d.rule, d.line) {
-                diags.push(d);
-            }
-        }
-    }
-    diags.extend(sup.stale(path));
-    diag::sort(&mut diags);
-    diags
+    check_sources(&[(path.to_string(), src.to_string())]).diags
 }
 
-/// Walks the workspace under `root` and checks every file, returning
-/// all diagnostics in canonical (path, line, col, rule) order plus the
-/// number of files checked.
+/// Walks the workspace under `root` and analyses every file as one
+/// unit — see [`check_sources`].
 ///
 /// # Errors
 ///
 /// Propagates I/O failures from the directory walk or file reads.
-pub fn check_workspace(root: &Path) -> io::Result<(Vec<Diagnostic>, usize)> {
+pub fn check_workspace(root: &Path) -> io::Result<Analysis> {
     let files = walk::workspace_files(root)?;
-    let mut diags = Vec::new();
-    for rel in &files {
-        let src = std::fs::read_to_string(root.join(rel))?;
-        diags.extend(check_source(rel, &src));
+    let mut sources = Vec::with_capacity(files.len());
+    for rel in files {
+        let src = std::fs::read_to_string(root.join(&rel))?;
+        sources.push((rel, src));
     }
-    diag::sort(&mut diags);
-    Ok((diags, files.len()))
+    let deps = walk::workspace_deps(root)?;
+    Ok(check_sources_with_deps(&sources, Some(&deps)))
 }
 
 #[cfg(test)]
@@ -138,5 +256,46 @@ mod tests {
         let rules: Vec<_> = diags.iter().map(|d| d.rule).collect();
         assert!(rules.contains(&"D001"), "{diags:?}");
         assert!(rules.contains(&"A002"), "{diags:?}");
+    }
+
+    #[test]
+    fn interprocedural_diag_crosses_files_in_one_analysis() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "// simlint::entry(service_path)\npub fn serve() { helper::deep(x); }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/a/src/helper.rs".to_string(),
+                "pub fn deep(x: Option<u64>) { x.unwrap(); }\n".to_string(),
+            ),
+        ];
+        let a = check_sources(&files);
+        let p101: Vec<_> = a.diags.iter().filter(|d| d.rule == "P101").collect();
+        assert_eq!(p101.len(), 1, "{:?}", a.diags);
+        assert_eq!(p101[0].path, "crates/a/src/helper.rs");
+    }
+
+    #[test]
+    fn allow_of_lexical_twin_silences_interprocedural_rule() {
+        let files = vec![
+            (
+                "crates/a/src/lib.rs".to_string(),
+                "// simlint::entry(service_path)\npub fn serve() { helper::deep(x); }\n"
+                    .to_string(),
+            ),
+            (
+                "crates/a/src/helper.rs".to_string(),
+                "pub fn deep(x: Option<u64>) { x.unwrap(); // simlint::allow(P001): checked upstream\n}\n"
+                    .to_string(),
+            ),
+        ];
+        let a = check_sources(&files);
+        assert!(
+            a.diags.iter().all(|d| d.rule != "P101" && d.rule != "A002"),
+            "{:?}",
+            a.diags
+        );
     }
 }

@@ -27,10 +27,14 @@ pub struct FileCheck<'a> {
     pub tokens: &'a [Token],
     /// Per-token context, same length as `tokens`.
     pub contexts: &'a [TokenContext],
+    /// Entry scopes declared anywhere in the file via
+    /// `// simlint::entry(SCOPE)` — the annotation-driven replacement
+    /// for the old hand-maintained file lists.
+    pub entry_scopes: &'a [String],
 }
 
 impl FileCheck<'_> {
-    fn diag(&self, rule: &'static str, i: usize, message: String) -> Diagnostic {
+    fn diag(&self, rule: &'static str, i: usize, key: &str, message: String) -> Diagnostic {
         Diagnostic {
             rule,
             severity: Severity::Error,
@@ -39,7 +43,13 @@ impl FileCheck<'_> {
             col: self.tokens[i].col,
             message,
             enclosing_fn: self.contexts[i].enclosing_fn.clone(),
+            key: key.to_string(),
         }
+    }
+
+    /// Whether the file declares an entry of `scope`.
+    fn has_entry(&self, scope: &str) -> bool {
+        self.entry_scopes.iter().any(|s| s == scope)
     }
 
     fn is_ident(&self, i: usize, text: &str) -> bool {
@@ -132,18 +142,21 @@ impl Rule for D001 {
                 out.push(f.diag(
                     self.id(),
                     i,
+                    "Instant::now",
                     "wall-clock read `Instant::now()` in deterministic code".to_string(),
                 ));
             } else if f.is_ident(i, "SystemTime") {
                 out.push(f.diag(
                     self.id(),
                     i,
+                    "SystemTime",
                     "wall-clock type `SystemTime` in deterministic code".to_string(),
                 ));
             } else if f.is_ident(i, "elapsed") && f.is_punct(i + 1, "(") {
                 out.push(f.diag(
                     self.id(),
                     i,
+                    "elapsed",
                     "wall-clock read `.elapsed()` in deterministic code".to_string(),
                 ));
             }
@@ -194,6 +207,7 @@ impl Rule for D002 {
                     out.push(f.diag(
                         self.id(),
                         i,
+                        name,
                         format!(
                             "`{name}` has nondeterministic iteration order — use \
                              `BTree{}` or a sorted Vec",
@@ -255,12 +269,14 @@ impl Rule for D003 {
                 out.push(f.diag(
                     self.id(),
                     i,
+                    &t.text,
                     format!("float literal `{}` in a timing module", t.text),
                 ));
             } else if f.is_ident(i, "f32") || f.is_ident(i, "f64") {
                 out.push(f.diag(
                     self.id(),
                     i,
+                    &t.text,
                     format!("`{}` in a timing module — keep time integral", t.text),
                 ));
             }
@@ -271,23 +287,17 @@ impl Rule for D003 {
 
 // ---------------------------------------------------------------- H001
 
-/// The per-beat hot paths: the phase driver's beat body, the mem3d
-/// request service core, and the tenancy event loop. One allocation
-/// here runs millions of times per sweep; the zero-allocation
-/// steady-state contract (DESIGN.md) is enforced by a counting
-/// allocator in `tests/alloc_steady.rs` and statically by this rule.
-const H001_SCOPE: &[&str] = &[
-    "crates/core/src/phases.rs",
-    "crates/mem3d/src/system.rs",
-    "crates/mem3d/src/controller.rs",
-    "crates/tenancy/src/service.rs",
-];
-
-/// H001: no heap allocation constructs in hot-path scopes.
+/// H001: no heap allocation constructs in files that declare a
+/// `hot_path` entry point.
 ///
 /// Flags `Box::new`, `Vec::new`, `vec![...]`, `.collect()` (including
-/// turbofish) and `.to_vec()` in the files whose steady state must be
-/// allocation-free. Construction-time allocations (done once per
+/// turbofish) and `.to_vec()` in any file carrying a
+/// `// simlint::entry(hot_path)` annotation — one allocation there
+/// runs millions of times per sweep; the zero-allocation steady-state
+/// contract (DESIGN.md) is enforced at runtime by the counting
+/// allocator in `tests/alloc_steady.rs` and statically by this rule
+/// plus the interprocedural H101, which follows the call graph out of
+/// the annotated files. Construction-time allocations (done once per
 /// system/run, not per beat) are legitimate — suppress them with a
 /// justified `simlint::allow(H001)` naming the setup path they sit on.
 pub struct H001;
@@ -297,13 +307,16 @@ impl Rule for H001 {
         "H001"
     }
     fn summary(&self) -> &'static str {
-        "no allocation constructs (Box::new / Vec::new / vec! / collect / to_vec) in hot-path scopes"
+        "no allocation constructs (Box::new / Vec::new / vec! / collect / to_vec) in hot_path entry files"
     }
-    fn applies_to(&self, path: &str) -> bool {
-        H001_SCOPE.contains(&path)
+    fn applies_to(&self, _path: &str) -> bool {
+        true // gated per-file on the hot_path entry annotation below
     }
     fn check(&self, f: &FileCheck) -> Vec<Diagnostic> {
         let mut out = Vec::new();
+        if !f.has_entry("hot_path") {
+            return out;
+        }
         for i in 0..f.tokens.len() {
             if f.contexts[i].in_test {
                 continue;
@@ -317,6 +330,7 @@ impl Rule for H001 {
                     out.push(f.diag(
                         self.id(),
                         i,
+                        &format!("{owner}::new"),
                         format!(
                             "`{owner}::new` allocates on the hot path — hoist the buffer \
                              into a reusable workspace"
@@ -329,6 +343,7 @@ impl Rule for H001 {
                     f.diag(
                         self.id(),
                         i,
+                        "vec!",
                         "`vec![...]` allocates on the hot path — hoist the buffer out of the loop"
                             .to_string(),
                     ),
@@ -339,6 +354,7 @@ impl Rule for H001 {
                     f.diag(
                         self.id(),
                         i,
+                        "collect",
                         "`.collect()` materializes on the hot path — reuse a hoisted buffer \
                      or iterate lazily"
                             .to_string(),
@@ -349,6 +365,7 @@ impl Rule for H001 {
                     f.diag(
                         self.id(),
                         i,
+                        "to_vec",
                         "`.to_vec()` clones on the hot path — borrow or reuse a hoisted buffer"
                             .to_string(),
                     ),
@@ -361,24 +378,15 @@ impl Rule for H001 {
 
 // ---------------------------------------------------------------- P001
 
-/// The request service path plus the phase engine: errors here must
-/// flow through the crates' `Error` enums, not abort the simulation.
-/// The layout-family registry and the two competitor layouts are in
-/// scope too — `FamilyId::build` is how the explorer probes infeasible
-/// candidates, so a panic there aborts a whole design-space sweep
-/// instead of landing in `SkipCounts`.
-const P001_SCOPE: &[&str] = &[
-    "crates/mem3d/src/system.rs",
-    "crates/mem3d/src/controller.rs",
-    "crates/core/src/phases.rs",
-    "crates/tenancy/src/service.rs",
-    "crates/tenancy/src/arbiter.rs",
-    "crates/layout/src/family.rs",
-    "crates/layout/src/burst.rs",
-    "crates/layout/src/irredundant.rs",
-];
-
-/// P001: no panicking constructs on the service path.
+/// P001: no panicking constructs in files that declare a
+/// `service_path` entry point.
+///
+/// Errors on the service path must flow through the crates' `Error`
+/// enums, not abort the simulation. The old hand-maintained file list
+/// is gone: a file is in scope exactly when it carries a
+/// `// simlint::entry(service_path)` annotation, and the
+/// interprocedural P101 follows the call graph out of those files so
+/// helpers one call away no longer sail through.
 pub struct P001;
 
 impl Rule for P001 {
@@ -386,13 +394,16 @@ impl Rule for P001 {
         "P001"
     }
     fn summary(&self) -> &'static str {
-        "no unwrap/expect/panic!/unreachable! in mem3d service path, core::phases, tenancy service or the layout-family registry"
+        "no unwrap/expect/panic!/unreachable! in service_path entry files"
     }
-    fn applies_to(&self, path: &str) -> bool {
-        P001_SCOPE.contains(&path)
+    fn applies_to(&self, _path: &str) -> bool {
+        true // gated per-file on the service_path entry annotation below
     }
     fn check(&self, f: &FileCheck) -> Vec<Diagnostic> {
         let mut out = Vec::new();
+        if !f.has_entry("service_path") {
+            return out;
+        }
         for i in 0..f.tokens.len() {
             if f.contexts[i].in_test {
                 continue;
@@ -402,6 +413,7 @@ impl Rule for P001 {
                     out.push(f.diag(
                         self.id(),
                         i,
+                        name,
                         format!(
                             "`{name}()` on the service path — return an `Error` variant instead"
                         ),
@@ -413,6 +425,7 @@ impl Rule for P001 {
                     out.push(f.diag(
                         self.id(),
                         i,
+                        name,
                         format!(
                             "`{name}!` on the service path — return an `Error` variant instead"
                         ),
@@ -483,6 +496,7 @@ impl Rule for R001 {
                         out.push(f.diag(
                             self.id(),
                             i,
+                            &format!("as {}", target.text),
                             format!(
                                 "narrowing `as {}` in address/timing arithmetic — use \
                                  `try_into()` or a checked conversion",
@@ -536,6 +550,7 @@ impl Rule for X001 {
                     f.diag(
                         self.id(),
                         i,
+                        "Relaxed",
                         "`Ordering::Relaxed` outside the allowlisted counters — use \
                      Acquire/Release (or extend the allowlist with a proof)"
                             .to_string(),
@@ -556,10 +571,13 @@ mod tests {
     fn check_at(path: &str, src: &str) -> Vec<Diagnostic> {
         let l = lex(src).unwrap();
         let ctxs = contexts(&l.tokens, false);
+        let (items, _) = crate::parse::parse_file(path, &l.tokens, &ctxs, &l.comments);
+        let entry_scopes: Vec<String> = items.iter().flat_map(|f| f.entries.clone()).collect();
         let file = FileCheck {
             path,
             tokens: &l.tokens,
             contexts: &ctxs,
+            entry_scopes: &entry_scopes,
         };
         let mut out = Vec::new();
         for rule in all_rules() {
@@ -609,33 +627,46 @@ mod tests {
     }
 
     #[test]
-    fn h001_flags_allocations_in_hot_scopes_only() {
-        let src = "fn beat() { let b = Box::new(s); let v = Vec::new(); let w = vec![0; 4]; \
+    fn h001_flags_allocations_in_annotated_files_only() {
+        let src = "// simlint::entry(hot_path)\n\
+                   fn beat() { let b = Box::new(s); let v = Vec::new(); let w = vec![0; 4]; \
                    let c = it.collect::<Vec<_>>(); let d = xs.to_vec(); }";
         let d = check_at("crates/core/src/phases.rs", src);
         assert_eq!(d.iter().filter(|d| d.rule == "H001").count(), 5);
-        assert!(check_at("crates/core/src/explore.rs", src).is_empty());
+        let unannotated = src.lines().nth(1).unwrap();
+        assert!(check_at("crates/core/src/phases.rs", unannotated)
+            .iter()
+            .all(|d| d.rule != "H001"));
     }
 
     #[test]
     fn h001_skips_tests_and_non_allocating_idioms() {
-        let test_src = "#[cfg(test)] mod tests { fn f() { let v = vec![1]; } }";
+        let test_src = "// simlint::entry(hot_path)\nfn beat() {}\n\
+                        #[cfg(test)] mod tests { fn f() { let v = vec![1]; } }";
         assert!(check_at("crates/tenancy/src/service.rs", test_src).is_empty());
-        let clean = "fn beat() { buf.clear(); buf.push(x); let n = xs.iter().count(); }";
+        let clean = "// simlint::entry(hot_path)\n\
+                     fn beat() { buf.clear(); buf.push(x); let n = xs.iter().count(); }";
         assert!(check_at("crates/tenancy/src/service.rs", clean).is_empty());
     }
 
     #[test]
     fn p001_flags_panicking_constructs() {
-        let src = "fn service() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); unreachable!(); }";
-        let d = check_at("crates/mem3d/src/system.rs", src);
+        let src = "// simlint::entry(service_path)\n\
+                   fn service() { a.unwrap(); b.expect(\"m\"); panic!(\"x\"); unreachable!(); }";
+        let d: Vec<_> = check_at("crates/mem3d/src/system.rs", src)
+            .into_iter()
+            .filter(|d| d.rule == "P001")
+            .collect();
         assert_eq!(d.len(), 4);
     }
 
     #[test]
     fn p001_does_not_flag_unwrap_or() {
-        let src = "fn service() { let x = a.unwrap_or(0).unwrap_or_default(); }";
-        assert!(check_at("crates/mem3d/src/system.rs", src).is_empty());
+        let src = "// simlint::entry(service_path)\n\
+                   fn service() { let x = a.unwrap_or(0).unwrap_or_default(); }";
+        assert!(check_at("crates/mem3d/src/system.rs", src)
+            .iter()
+            .all(|d| d.rule != "P001"));
     }
 
     #[test]

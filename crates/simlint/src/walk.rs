@@ -92,6 +92,137 @@ pub fn workspace_files(root: &Path) -> io::Result<Vec<String>> {
     Ok(rel)
 }
 
+/// The dependency lines of one manifest's `[dependencies]` /
+/// `[dev-dependencies]` / `[build-dependencies]` sections. Handles the
+/// three declaration shapes the workspace uses:
+/// `foo.workspace = true`, `foo = { workspace = true }`, and
+/// `foo = { path = "../foo" }`. Returns *package* names.
+fn manifest_dep_names(text: &str) -> Vec<String> {
+    let mut deps = Vec::new();
+    let mut in_deps = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_deps = line == "[dependencies]"
+                || line == "[dev-dependencies]"
+                || line == "[build-dependencies]";
+            continue;
+        }
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // `foo.workspace = true` → key before the first '.';
+        // `foo = { ... }` → key before the first '='.
+        let key_end = line
+            .find('.')
+            .into_iter()
+            .chain(line.find('='))
+            .min()
+            .unwrap_or(line.len());
+        let key = line[..key_end].trim().trim_matches('"');
+        if !key.is_empty() {
+            deps.push(key.to_string());
+        }
+    }
+    deps
+}
+
+/// Parses the root manifest's `[workspace.dependencies]` table into a
+/// package-name → crate-directory-name map (`fft2d` lives in
+/// `crates/core`, so member manifests name deps by package, not dir).
+fn workspace_dep_dirs(text: &str) -> std::collections::BTreeMap<String, String> {
+    let mut map = std::collections::BTreeMap::new();
+    let mut in_table = false;
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            in_table = line == "[workspace.dependencies]";
+            continue;
+        }
+        if !in_table {
+            continue;
+        }
+        let Some(eq) = line.find('=') else { continue };
+        let name = line[..eq].trim().trim_matches('"');
+        if let Some(at) = line.find("path = \"") {
+            let rest = &line[at + 8..];
+            if let Some(end) = rest.find('"') {
+                if let Some(dir) = rest[..end].rsplit('/').next() {
+                    if !name.is_empty() && !dir.is_empty() {
+                        map.insert(name.to_string(), dir.to_string());
+                    }
+                }
+            }
+        }
+    }
+    map
+}
+
+/// Reads the workspace dependency graph from the member manifests:
+/// crate *directory* name → transitive closure of the workspace crate
+/// directories it may link against (dev-dependencies included). The
+/// root package's own dependencies are stored under `""`, matching
+/// how the call graph classifies files outside `crates/`. The
+/// call-graph resolver uses this to refuse edges into crates the
+/// caller cannot even link against.
+///
+/// # Errors
+///
+/// Propagates I/O failures reading the manifests.
+pub fn workspace_deps(root: &Path) -> io::Result<std::collections::BTreeMap<String, Vec<String>>> {
+    use std::collections::{BTreeMap, BTreeSet};
+    let root_manifest = fs::read_to_string(root.join("Cargo.toml")).unwrap_or_default();
+    let dirs_by_package = workspace_dep_dirs(&root_manifest);
+    let to_dir = |package: &str| -> String {
+        dirs_by_package
+            .get(package)
+            .cloned()
+            .unwrap_or_else(|| package.to_string())
+    };
+    let mut direct: BTreeMap<String, BTreeSet<String>> = BTreeMap::new();
+    direct.insert(
+        String::new(),
+        manifest_dep_names(&root_manifest)
+            .iter()
+            .map(|p| to_dir(p))
+            .collect(),
+    );
+    let crates = root.join("crates");
+    if crates.is_dir() {
+        for krate in sorted_entries(&crates)? {
+            let dir = krate
+                .file_name()
+                .map(|n| n.to_string_lossy().into_owned())
+                .unwrap_or_default();
+            let Ok(text) = fs::read_to_string(krate.join("Cargo.toml")) else {
+                continue;
+            };
+            let deps: BTreeSet<String> = manifest_dep_names(&text)
+                .iter()
+                .map(|p| to_dir(p))
+                .filter(|d| *d != dir)
+                .collect();
+            direct.insert(dir, deps);
+        }
+    }
+    // Transitive closure, so re-exported types resolve too.
+    let names: Vec<String> = direct.keys().cloned().collect();
+    let mut closed: BTreeMap<String, Vec<String>> = BTreeMap::new();
+    for name in &names {
+        let mut seen: BTreeSet<String> = BTreeSet::new();
+        let mut stack: Vec<String> = direct[name].iter().cloned().collect();
+        while let Some(d) = stack.pop() {
+            if seen.insert(d.clone()) {
+                if let Some(next) = direct.get(&d) {
+                    stack.extend(next.iter().cloned());
+                }
+            }
+        }
+        closed.insert(name.clone(), seen.into_iter().collect());
+    }
+    Ok(closed)
+}
+
 /// Whether a workspace-relative path is test code as a whole (under a
 /// `tests/` or `benches/` directory).
 pub fn path_is_test(rel_path: &str) -> bool {
@@ -119,6 +250,47 @@ mod tests {
         let root = find_workspace_root(here).expect("workspace root above crate dir");
         assert!(root.join("Cargo.toml").is_file());
         assert!(root.join("crates").is_dir());
+    }
+
+    #[test]
+    fn dep_graph_reflects_the_manifests() {
+        let here = Path::new(env!("CARGO_MANIFEST_DIR"));
+        let root = find_workspace_root(here).unwrap();
+        let deps = workspace_deps(&root).unwrap();
+        // simlint links only sim-util — it must not gain edges into
+        // the simulator crates, and they must not gain edges into it.
+        assert_eq!(deps["simlint"], vec!["sim-util".to_string()]);
+        assert!(!deps["tenancy"].contains(&"simlint".to_string()));
+        // Package `fft2d` lives in `crates/core`: the dep map speaks
+        // directory names throughout.
+        assert!(deps["tenancy"].contains(&"core".to_string()));
+        assert!(deps["tenancy"].contains(&"mem3d".to_string()));
+        // Transitive: tenancy → sim-exec → sim-util.
+        assert!(deps["tenancy"].contains(&"sim-util".to_string()));
+        // The root package ("" — files outside crates/) has deps too.
+        assert!(deps[""].contains(&"mem3d".to_string()));
+        assert!(!deps[""].contains(&"simlint".to_string()));
+    }
+
+    #[test]
+    fn manifest_dep_parsing_handles_all_declaration_shapes() {
+        let text = "\
+[package]
+name = \"demo\"
+
+[dependencies]
+mem3d.workspace = true
+fft2d = { workspace = true }
+local = { path = \"../local\" }
+
+[dev-dependencies]
+alloc-counter.workspace = true
+
+[features]
+extra = []
+";
+        let deps = manifest_dep_names(text);
+        assert_eq!(deps, vec!["mem3d", "fft2d", "local", "alloc-counter"]);
     }
 
     #[test]

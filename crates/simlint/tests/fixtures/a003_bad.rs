@@ -1,0 +1,11 @@
+// simlint-fixture-path: crates/mem3d/src/bad_entries.rs
+// Malformed entry annotations are themselves findings: unknown scope,
+// missing parens, and a marker with no fn to attach to.
+
+// simlint::entry(turbo_path)
+pub fn f() {}
+
+// simlint::entry service_path
+pub fn g() {}
+
+// simlint::entry(service_path)

@@ -1,0 +1,26 @@
+// simlint-fixture-path: crates/permute/src/report.rs
+// A hash-ordered collection inside a fn that (transitively) emits
+// output is flagged even though this path is outside the lexical
+// D002 scope list. The pure fn below never reaches an emitter and
+// stays clean.
+
+pub fn tally(rows: &[Row]) -> u64 {
+    let mut counts = HashMap::new();
+    for r in rows {
+        *counts.entry(r.id).or_insert(0u64) += 1;
+    }
+    emit(counts.len());
+    counts.len() as u64
+}
+
+fn emit(n: usize) {
+    println!("{n}");
+}
+
+pub fn pure(rows: &[Row]) -> usize {
+    let mut seen = HashSet::new();
+    for r in rows {
+        seen.insert(r.id);
+    }
+    seen.len()
+}

@@ -1,0 +1,16 @@
+// simlint-fixture-path: crates/permute/src/report.rs
+// A justified allow on the collection silences D101.
+
+pub fn tally(rows: &[Row]) -> u64 {
+    // simlint::allow(D101): keys are sorted before emission
+    let mut counts = HashMap::new();
+    for r in rows {
+        *counts.entry(r.id).or_insert(0u64) += 1;
+    }
+    emit(counts.len());
+    counts.len() as u64
+}
+
+fn emit(n: usize) {
+    println!("{n}");
+}

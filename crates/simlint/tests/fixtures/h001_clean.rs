@@ -2,7 +2,7 @@
 // The allocation-free idioms pass untouched: clearing and refilling a
 // hoisted buffer, popping from a pooled queue, lazy iteration. Docs
 // mentioning `Vec::new()` or `vec![...]` are not code.
-
+// simlint::entry(hot_path)
 /// Reuses a hoisted buffer (docs may say `Vec::new()` freely).
 fn beat(pending: &mut PendingWrites, scratch: &mut Vec<u64>, ops: &[u64]) -> u64 {
     scratch.clear();

@@ -2,7 +2,7 @@
 // Allocation constructs inside the per-beat event loop are flagged:
 // every one of these runs once per grant, and the steady-state
 // contract is zero heap allocations per beat.
-
+// simlint::entry(hot_path)
 fn arbitrate(running: &[Job], vault: usize) -> usize {
     let mut contenders = Vec::new();
     let owners = vec![0usize; running.len()];

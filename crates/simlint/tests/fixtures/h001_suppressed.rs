@@ -2,7 +2,7 @@
 // Construction-time allocations are legitimate when justified: these
 // run once per service run, not per beat. The justified allow names
 // the setup path; test code is exempt by construction.
-
+// simlint::entry(hot_path)
 fn setup(tenants: usize) -> Vec<Slot> {
     // simlint::allow(H001): run-setup allocation, sized once before the event loop
     let slots = vec![Slot::default(); tenants];

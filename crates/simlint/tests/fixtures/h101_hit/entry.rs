@@ -1,0 +1,8 @@
+// simlint-fixture-path: crates/tenancy/src/beat.rs
+// The per-beat entry is clean; the allocation hides one call level
+// down in an un-annotated file that lexical H001 never scans.
+
+// simlint::entry(hot_path)
+pub fn beat(state: &mut State) -> u64 {
+    scratch::gather(state)
+}

@@ -1,0 +1,7 @@
+// simlint-fixture-path: crates/tenancy/src/beat.rs
+// Same shape as h101_hit, with the allocation justified in place.
+
+// simlint::entry(hot_path)
+pub fn beat(state: &mut State) -> u64 {
+    scratch::gather(state)
+}

@@ -1,0 +1,7 @@
+// simlint-fixture-path: crates/tenancy/src/scratch.rs
+
+pub fn gather(state: &mut State) -> u64 {
+    // simlint::allow(H101): amortized — grows once, reused across beats
+    let ids: Vec<u64> = state.jobs.iter().map(|j| j.id).collect();
+    ids.len() as u64
+}

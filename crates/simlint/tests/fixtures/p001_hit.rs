@@ -1,7 +1,7 @@
 // simlint-fixture-path: crates/mem3d/src/system.rs
 // Panicking constructs on the service path are flagged; a justified
 // allow silences one; unwrap_or-style combinators never match.
-
+// simlint::entry(service_path)
 fn service(x: Option<u64>, y: Option<u64>) -> u64 {
     let a = x.unwrap();
     let b = y.expect("y must be set");

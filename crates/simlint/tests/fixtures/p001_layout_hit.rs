@@ -3,7 +3,7 @@
 // explorer probes infeasible candidates, so a panicking constructor
 // aborts a whole design-space sweep instead of landing the parameter
 // in `SkipCounts`. Tests stay exempt.
-
+// simlint::entry(service_path)
 fn build(heights: &[usize], param: usize) -> usize {
     let h = heights.iter().find(|&&h| h == param).expect("feasible h");
     if *h == 0 {

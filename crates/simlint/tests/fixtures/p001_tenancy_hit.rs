@@ -2,7 +2,7 @@
 // The tenancy arbitration path is P001 scope: a panicking pick would
 // abort every tenant's job, so indexing mistakes must surface as
 // fallback choices, never as panics. Tests stay exempt.
-
+// simlint::entry(service_path)
 fn pick(credit: &mut Vec<u64>, vault: usize, owners: &[usize]) -> usize {
     let lane = credit.get_mut(vault).unwrap();
     *lane += 1;

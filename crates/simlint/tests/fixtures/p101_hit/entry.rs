@@ -1,0 +1,9 @@
+// simlint-fixture-path: crates/mem3d/src/dispatch.rs
+// The entry file is clean; the panic sits one call level down in a
+// file no lexical rule covers (no annotation there) — only the call
+// graph sees it.
+
+// simlint::entry(service_path)
+pub fn dispatch(req: Request) -> Response {
+    route::classify(req)
+}

@@ -1,0 +1,9 @@
+// simlint-fixture-path: crates/mem3d/src/dispatch.rs
+// Same shape as p101_hit, but the transitive panic carries a
+// justified allow — the finding is silenced and the allow is used
+// (no A002).
+
+// simlint::entry(service_path)
+pub fn dispatch(req: Request) -> Response {
+    route::classify(req)
+}

@@ -1,0 +1,6 @@
+// simlint-fixture-path: crates/mem3d/src/route.rs
+
+pub fn classify(req: Request) -> Response {
+    let kind = req.kind.unwrap(); // simlint::allow(P101): kind is validated at enqueue time
+    Response { kind }
+}

@@ -1,0 +1,35 @@
+// simlint-fixture-path: crates/mem3d/src/convert.rs
+// f32/f64 crossing a fn boundary into clock construction is flagged
+// at depth 1: the fn constructs a clock itself or a direct callee
+// does. Two hops away is deliberately not flagged (DESIGN.md), and
+// integer-signature fns and test code stay clean.
+
+pub struct Picos(pub u64);
+
+pub fn from_ns(ns: f64) -> Picos {
+    Picos((ns * 1_000.0) as u64)
+}
+
+pub fn one_hop(ns: f64) -> Picos {
+    make(ns)
+}
+
+fn make(x: f64) -> Picos {
+    Picos(x as u64)
+}
+
+pub fn two_hops(ns: f64) -> Picos {
+    one_hop(ns)
+}
+
+pub fn integral(steps: u64) -> Picos {
+    make(steps as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_conversions_are_exempt(ns: f64) {
+        let _ = Picos(ns as u64);
+    }
+}

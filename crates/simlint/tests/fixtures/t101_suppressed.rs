@@ -1,0 +1,9 @@
+// simlint-fixture-path: crates/mem3d/src/convert.rs
+// A justified allow on the fn header silences T101.
+
+pub struct Picos(pub u64);
+
+// simlint::allow(T101): boundary converter — callers own the rounding
+pub fn from_ns(ns: f64) -> Picos {
+    Picos((ns * 1_000.0) as u64)
+}

@@ -3,11 +3,18 @@
 //! `// simlint-fixture-path: <path>` header and is paired with a
 //! `.expected` file listing the diagnostics it must produce, one per
 //! line as `{line}:{col} {level}[{rule}] {message}`.
+//!
+//! A *directory* under `tests/fixtures/` is a multi-file fixture: its
+//! `.rs` members (each with its own fixture-path header) are analysed
+//! together as one workspace — this is how the interprocedural rules
+//! prove cross-file reachability — and its `expected` file lists the
+//! combined diagnostics as `{path}:{line}:{col} {level}[{rule}]
+//! {message}`.
 
 use std::fs;
 use std::path::{Path, PathBuf};
 
-use simlint::{check_source, Diagnostic};
+use simlint::{check_source, check_sources, Diagnostic};
 
 fn fixture_dir() -> PathBuf {
     Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
@@ -21,6 +28,17 @@ fn fixtures() -> Vec<PathBuf> {
         .collect();
     v.sort();
     assert!(!v.is_empty(), "no fixtures found");
+    v
+}
+
+fn dir_fixtures() -> Vec<PathBuf> {
+    let mut v: Vec<PathBuf> = fs::read_dir(fixture_dir())
+        .expect("fixtures dir exists")
+        .map(|e| e.expect("readable entry").path())
+        .filter(|p| p.is_dir())
+        .collect();
+    v.sort();
+    assert!(!v.is_empty(), "no directory fixtures found");
     v
 }
 
@@ -72,20 +90,90 @@ fn fixtures_match_expected_diagnostics() {
 }
 
 #[test]
+fn dir_fixtures_match_expected_diagnostics() {
+    let mut failures = Vec::new();
+    for dir in dir_fixtures() {
+        let mut members: Vec<PathBuf> = fs::read_dir(&dir)
+            .expect("readable fixture dir")
+            .map(|e| e.expect("readable entry").path())
+            .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+            .collect();
+        members.sort();
+        assert!(!members.is_empty(), "{} has no .rs members", dir.display());
+        let sources: Vec<(String, String)> = members
+            .iter()
+            .map(|m| {
+                let src = fs::read_to_string(m).expect("readable member");
+                (logical_path(&src, m), src)
+            })
+            .collect();
+        let analysis = check_sources(&sources);
+        let got: Vec<String> = analysis
+            .diags
+            .iter()
+            .map(|d| format!("{}:{}", d.path, render(d)))
+            .collect();
+        let expected_file = dir.join("expected");
+        let expected_text = fs::read_to_string(&expected_file)
+            .unwrap_or_else(|_| panic!("{} has no expected file", dir.display()));
+        let expected: Vec<String> = expected_text.lines().map(str::to_string).collect();
+        if got != expected {
+            failures.push(format!(
+                "== {}\n-- expected:\n{}\n-- got:\n{}",
+                dir.display(),
+                expected.join("\n"),
+                got.join("\n"),
+            ));
+        }
+    }
+    assert!(failures.is_empty(), "\n{}", failures.join("\n\n"));
+}
+
+#[test]
 fn every_rule_has_a_positive_fixture() {
     // Guards fixture rot: each shipped rule must keep at least one
     // fixture that exercises a hit.
     let mut uncovered: Vec<&str> = vec![
-        "D001", "D002", "D003", "H001", "P001", "R001", "X001", "A001", "A002",
+        "D001", "D002", "D003", "H001", "P001", "R001", "X001", "A001", "A002", "A003", "D101",
+        "H101", "P101", "T101",
     ];
     for fixture in fixtures() {
         let expected = fs::read_to_string(fixture.with_extension("expected")).unwrap_or_default();
+        uncovered.retain(|r| !expected.contains(&format!("[{r}]")));
+    }
+    for dir in dir_fixtures() {
+        let expected = fs::read_to_string(dir.join("expected")).unwrap_or_default();
         uncovered.retain(|r| !expected.contains(&format!("[{r}]")));
     }
     assert!(
         uncovered.is_empty(),
         "rules without a hit fixture: {uncovered:?}"
     );
+}
+
+#[test]
+fn interprocedural_rules_catch_what_lexical_rules_miss() {
+    // The acceptance bar for the `*101` family: on the same fixture,
+    // the helper file analysed *alone* (lexical rules only see one
+    // un-annotated file) reports nothing, while the workspace analysis
+    // flags the violation one call level deep.
+    for (dir, rule) in [("p101_hit", "P101"), ("h101_hit", "H101")] {
+        let helper = fixture_dir().join(dir).join("helper.rs");
+        let src = fs::read_to_string(&helper).expect("readable helper");
+        let path = logical_path(&src, &helper);
+        let alone = check_source(&path, &src);
+        assert!(
+            alone
+                .iter()
+                .all(|d| !d.rule.starts_with('P') && !d.rule.starts_with('H')),
+            "{dir}: helper alone should be lexically invisible: {alone:?}"
+        );
+        let expected = fs::read_to_string(fixture_dir().join(dir).join("expected")).unwrap();
+        assert!(
+            expected.contains(&format!("[{rule}]")),
+            "{dir}: workspace analysis must flag {rule}"
+        );
+    }
 }
 
 #[test]

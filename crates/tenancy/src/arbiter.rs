@@ -41,6 +41,7 @@ pub trait Arbiter {
     fn name(&self) -> &'static str;
 
     /// Chooses the winning contender (index into `c`).
+    // simlint::entry(service_path)
     fn pick(&mut self, vault: usize, c: &[Contender]) -> usize;
 }
 

@@ -51,7 +51,7 @@ pub fn percentile(sorted_ps: &[u64], pct: u64) -> Picos {
     let pct = pct.clamp(1, 100);
     let rank = (pct * sorted_ps.len() as u64).div_ceil(100).max(1) - 1;
     let idx = (rank as usize).min(sorted_ps.len() - 1);
-    Picos(sorted_ps[idx])
+    sorted_ps.get(idx).copied().map_or(Picos::ZERO, Picos)
 }
 
 /// One tenant's QoS summary over a service run.

@@ -82,6 +82,7 @@ fn fresh_mem(platform: &fft2d::SystemConfig) -> Result<MemorySystem, TenancyErro
 /// recipe as the shared run, stepped through the same resumable
 /// executor, so the only difference from the shared run is the absence
 /// of other tenants.
+// simlint::entry(service_path)
 pub fn run_isolated(scenario: &Scenario, tenant: usize) -> Result<Picos, TenancyError> {
     scenario.validate()?;
     let book = SpecBook::build(&scenario.platform, &scenario.tenants)?;
@@ -112,6 +113,7 @@ fn isolated_latency(
 /// [`TenancyError::Cancelled`] if `cancel` fires (with the admission
 /// ledger at that point), [`TenancyError::NothingAdmitted`] when every
 /// job bounced, and [`TenancyError::Driver`] for simulator errors.
+// simlint::entry(service_path)
 pub fn run_scenario(
     scenario: &Scenario,
     kind: ArbiterKind,
@@ -121,7 +123,6 @@ pub fn run_scenario(
     let book = SpecBook::build(&scenario.platform, &scenario.tenants)?;
     let isolated = (0..scenario.tenants.len())
         .map(|t| isolated_latency(&book, scenario, t))
-        // simlint::allow(H001): per-scenario setup — one baseline table before the event loop
         .collect::<Result<Vec<_>, _>>()?;
     run_shared(scenario, &book, kind, cancel, &isolated)
 }
@@ -146,7 +147,6 @@ pub fn run_suite(
     let book = SpecBook::build(&scenario.platform, &scenario.tenants)?;
     let isolated = (0..scenario.tenants.len())
         .map(|t| isolated_latency(&book, scenario, t))
-        // simlint::allow(H001): per-suite setup — one shared baseline table before any run
         .collect::<Result<Vec<_>, _>>()?;
     let results = par_map(exec, kinds, |kind, _ctx| {
         run_shared(scenario, &book, *kind, cancel, &isolated)
@@ -180,11 +180,10 @@ fn run_shared(
         .iter()
         .enumerate()
         .map(|(i, t)| ArrivalSource::new(&root, i as u64, t.traffic))
-        .collect(); // simlint::allow(H001): run setup — one source per tenant, before the event loop
+        .collect();
     let mut mem = fresh_mem(&scenario.platform)?;
     let mut arbiter = kind.build(tenants, scenario.platform.geometry.vaults);
     let adm = scenario.admission;
-    // simlint::allow(H001): run setup — slot table sized once by the admission bound
     let mut slots = vec![
         Slot {
             free_at: Picos::ZERO,
@@ -192,12 +191,9 @@ fn run_shared(
         };
         adm.max_running
     ];
-    // simlint::allow(H001): run setup — amortized over the whole run, capped by max_running
     let mut running: Vec<Running<'_>> = Vec::new();
     let mut queue: VecDeque<Queued> = VecDeque::new();
-    // simlint::allow(H001): run setup — one admission ledger per tenant
     let mut counts = vec![AdmissionCounts::default(); tenants.len()];
-    // simlint::allow(H001): run output — grows once per completed job, not per beat
     let mut records: Vec<JobRecord> = Vec::new();
     let mut next_job_id = 0u64;
     // Steady-state reuse: one driver workspace recycles the pending-
@@ -206,9 +202,7 @@ fn run_shared(
     // after warmup the event loop performs zero heap allocations per
     // beat (pinned by `tests/alloc_steady.rs`).
     let mut ws = PhaseWorkspace::new();
-    // simlint::allow(H001): hoisted arbitration scratch — allocated once, cleared per grant
     let mut contenders: Vec<Contender> = Vec::new();
-    // simlint::allow(H001): hoisted arbitration scratch — allocated once, cleared per grant
     let mut owners: Vec<usize> = Vec::new();
 
     loop {
@@ -439,9 +433,7 @@ fn run_shared(
         .fold(Picos::ZERO, Picos::max);
 
     let mut qos = Vec::with_capacity(tenants.len());
-    // simlint::allow(H001): post-run reporting scratch — allocated once, cleared per tenant
     let mut lats: Vec<u64> = Vec::new();
-    // simlint::allow(H001): post-run reporting scratch — allocated once, cleared per tenant
     let mut waits: Vec<u64> = Vec::new();
     for (ti, t) in tenants.iter().enumerate() {
         lats.clear();

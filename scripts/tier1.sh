@@ -12,8 +12,10 @@ cargo build --workspace --release --offline
 cargo test --workspace -q --offline
 cargo clippy --workspace --all-targets --offline -- -D warnings
 cargo fmt --all -- --check
-# Determinism & hot-path static analysis (see DESIGN.md): any
-# diagnostic — including stale simlint::allow comments — fails tier 1.
-cargo run -q --release --offline -p simlint -- --deny-all
+# Determinism, hot-path and interprocedural static analysis (see
+# DESIGN.md): any diagnostic not in the committed baseline — including
+# stale simlint::allow comments and stale baseline entries — fails
+# tier 1.
+cargo run -q --release --offline -p simlint -- --deny-all --baseline .simlint-baseline.json
 
 echo "tier1: OK"
